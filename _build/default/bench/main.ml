@@ -1,0 +1,198 @@
+(* Benchmark harness.
+
+   `main.exe` regenerates every table/figure of the paper's evaluation
+   section (Figures 2-17 plus the variants described in the running text)
+   as aligned text tables, then runs Bechamel micro-benchmarks of the
+   simulator's hot data structures. See EXPERIMENTS.md for the comparison
+   against the paper. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Figure harness                                                      *)
+
+let run_figures ~profile ~ids ~thinks ~csv_dir ~verbose =
+  let cache = Ddbm.Experiment.create_cache ~verbose () in
+  let started = Sys.time () in
+  let generators =
+    match ids with
+    | [] -> Ddbm.Figures.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Ddbm.Figures.find id with
+            | Some g -> (id, g)
+            | None ->
+                Printf.eprintf "unknown figure id %S\n" id;
+                exit 2)
+          ids
+  in
+  Printf.printf
+    "Reproducing %d figures (profile %s; %d think-time points)\n\n%!"
+    (List.length generators)
+    (Ddbm.Experiment.profile_name profile)
+    (List.length thinks);
+  List.iter
+    (fun (id, generate) ->
+      let t0 = Sys.time () in
+      let figure = generate cache ~profile ~thinks in
+      print_string (Ddbm.Figure.to_table figure);
+      Printf.printf "   (%.1f s cpu)\n\n%!" (Sys.time () -. t0);
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+          let path = Filename.concat dir (id ^ ".csv") in
+          let oc = open_out path in
+          output_string oc (Ddbm.Figure.to_csv figure);
+          close_out oc)
+    generators;
+  Printf.printf "Total: %.1f s cpu, %d simulation runs (%d cache hits)\n%!"
+    (Sys.time () -. started)
+    cache.Ddbm.Experiment.runs cache.Ddbm.Experiment.hits
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of simulator substrates                   *)
+
+let micro_tests () =
+  let open Bechamel in
+  let heap_test =
+    Test.make ~name:"heap push/pop x1000"
+      (Staged.stage (fun () ->
+           let h = Desim.Heap.create ~cmp:compare in
+           for i = 0 to 999 do
+             Desim.Heap.push h ((i * 7919) mod 1000)
+           done;
+           while not (Desim.Heap.is_empty h) do
+             ignore (Desim.Heap.pop h)
+           done))
+  in
+  let rng_test =
+    let rng = Desim.Rng.create 42 in
+    Test.make ~name:"rng exponential x1000"
+      (Staged.stage (fun () ->
+           for _ = 1 to 1000 do
+             ignore (Desim.Rng.exponential rng ~mean:1.0)
+           done))
+  in
+  let engine_test =
+    Test.make ~name:"engine 1000 timed events"
+      (Staged.stage (fun () ->
+           let eng = Desim.Engine.create () in
+           for i = 1 to 1000 do
+             ignore (Desim.Engine.schedule eng ~at:(float_of_int i) ignore)
+           done;
+           Desim.Engine.run eng))
+  in
+  let process_test =
+    Test.make ~name:"engine 100 process spawns+waits"
+      (Staged.stage (fun () ->
+           let eng = Desim.Engine.create () in
+           for _ = 1 to 100 do
+             Desim.Engine.spawn eng (fun () ->
+                 for _ = 1 to 10 do
+                   Desim.Engine.wait 1.0
+                 done)
+           done;
+           Desim.Engine.run eng))
+  in
+  let cpu_test =
+    Test.make ~name:"cpu 200 PS jobs"
+      (Staged.stage (fun () ->
+           let eng = Desim.Engine.create () in
+           let cpu = Desim.Cpu.create eng ~rate:1_000_000. in
+           for i = 1 to 200 do
+             Desim.Cpu.submit cpu
+               ~instructions:(float_of_int (1000 + (i * 37 mod 5000)))
+               ignore
+           done;
+           Desim.Engine.run eng))
+  in
+  let sim_test =
+    Test.make ~name:"end-to-end NO_DC mini-sim"
+      (Staged.stage (fun () ->
+           let open Ddbm_model in
+           let p = Ddbm.Experiment.params_of_config ~profile:Ddbm.Experiment.Quick
+               { Ddbm.Experiment.base_config with
+                 Ddbm.Experiment.algorithm = Params.No_dc; think = 8. } in
+           let p = { p with Params.run =
+                       { p.Params.run with Params.warmup = 2.; measure = 10. } } in
+           ignore (Ddbm.Machine.run p)))
+  in
+  [ heap_test; rng_test; engine_test; process_test; cpu_test; sim_test ]
+
+let run_micro () =
+  let open Bechamel in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true
+        ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  Printf.printf "== micro-benchmarks (Bechamel, monotonic clock) ==\n%!";
+  let tests = Test.make_grouped ~name:"desim" (micro_tests ()) in
+  let results = analyze (benchmark tests) in
+  Hashtbl.iter
+    (fun name result ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let profile_conv =
+  let parse s =
+    match Ddbm.Experiment.profile_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg "profile must be quick, standard or full")
+  in
+  Arg.conv (parse, fun fmt p ->
+      Format.pp_print_string fmt (Ddbm.Experiment.profile_name p))
+
+let main =
+  let open Term.Syntax in
+  let+ profile =
+    Arg.(
+      value
+      & opt profile_conv Ddbm.Experiment.Quick
+      & info [ "p"; "profile" ] ~docv:"PROFILE"
+          ~doc:"Simulation length: quick, standard or full.")
+  and+ ids =
+    Arg.(
+      value & opt (list string) []
+      & info [ "figs" ] ~docv:"IDS"
+          ~doc:"Comma-separated figure ids (default: all). E.g. fig2,fig5.")
+  and+ thinks =
+    Arg.(
+      value
+      & opt (list float) Ddbm.Experiment.default_think_times
+      & info [ "thinks" ] ~docv:"T1,T2,..." ~doc:"Think times to sweep.")
+  and+ csv_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Also write each figure as CSV.")
+  and+ skip_micro =
+    Arg.(value & flag & info [ "no-micro" ] ~doc:"Skip micro-benchmarks.")
+  and+ skip_figs =
+    Arg.(value & flag & info [ "no-figs" ] ~doc:"Skip figure reproduction.")
+  and+ verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log each run.")
+  in
+  if not skip_figs then run_figures ~profile ~ids ~thinks ~csv_dir ~verbose;
+  if not skip_micro then run_micro ()
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "ddbm-bench" ~doc:"Regenerate the paper's figures")
+          main))

@@ -1,0 +1,209 @@
+(* Command-line front end: run one simulation of the distributed database
+   machine and print its metrics, or sweep think times. *)
+
+open Cmdliner
+open Ddbm_model
+
+let algorithm_conv =
+  let parse s =
+    match Params.cc_algorithm_of_string s with
+    | Some a -> Ok a
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown algorithm %S (2pl|ww|bto|opt|no_dc)" s))
+  in
+  let print fmt a = Format.pp_print_string fmt (Params.cc_algorithm_name a) in
+  Arg.conv (parse, print)
+
+let params_term =
+  let open Term.Syntax in
+  let+ algorithm =
+    Arg.(
+      value
+      & opt algorithm_conv Params.Twopl
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:
+            "Concurrency control algorithm: 2pl, ww, bto, opt, no_dc, or \
+             the extensions wd (wait-die), 2pl-d (deferred write locks) \
+             and o2pl (deferred replica write locks).")
+  and+ nodes =
+    Arg.(
+      value & opt int 8
+      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of processing nodes.")
+  and+ degree =
+    Arg.(
+      value & opt (some int) None
+      & info [ "d"; "degree" ] ~docv:"D"
+          ~doc:
+            "Partitioning degree (1, 2, 4 or 8): how many nodes each \
+             relation is declustered across. Defaults to the node count.")
+  and+ think =
+    Arg.(
+      value & opt float 0.
+      & info [ "t"; "think" ] ~docv:"SECONDS" ~doc:"Mean terminal think time.")
+  and+ file_size =
+    Arg.(
+      value & opt int 300
+      & info [ "file-size" ] ~docv:"PAGES" ~doc:"Pages per partition file.")
+  and+ replication =
+    Arg.(
+      value & opt int 1
+      & info [ "replication" ] ~docv:"COPIES"
+          ~doc:"Copies of each file (read-one/write-all; 1 = none).")
+  and+ terminals =
+    Arg.(
+      value & opt int 128
+      & info [ "terminals" ] ~docv:"N" ~doc:"Number of terminals at the host.")
+  and+ startup =
+    Arg.(
+      value & opt float 2_000.
+      & info [ "startup-cost" ] ~docv:"INSTR"
+          ~doc:"CPU instructions to start a process (InstPerStartup).")
+  and+ msg_cost =
+    Arg.(
+      value & opt float 1_000.
+      & info [ "msg-cost" ] ~docv:"INSTR"
+          ~doc:"CPU instructions per message end (InstPerMsg).")
+  and+ sequential =
+    Arg.(
+      value & flag
+      & info [ "sequential" ]
+          ~doc:"Execute cohorts sequentially (RPC style) instead of in \
+                parallel.")
+  and+ logging =
+    Arg.(
+      value & flag
+      & info [ "logging" ]
+          ~doc:"Model forced log writes at prepare (off by default, per \
+                the paper's footnote 5).")
+  and+ warmup =
+    Arg.(
+      value & opt float 60.
+      & info [ "warmup" ] ~docv:"SECONDS" ~doc:"Warm-up period to discard.")
+  and+ measure =
+    Arg.(
+      value & opt float 600.
+      & info [ "measure" ] ~docv:"SECONDS" ~doc:"Measurement window length.")
+  and+ seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let degree = Option.value degree ~default:nodes in
+  let default = Params.default in
+  {
+    Params.database =
+      {
+        default.Params.database with
+        Params.num_proc_nodes = nodes;
+        partitioning_degree = degree;
+        file_size;
+        replication;
+      };
+    workload =
+      {
+        default.Params.workload with
+        Params.think_time = think;
+        num_terminals = terminals;
+        exec_pattern = (if sequential then Params.Sequential else Params.Parallel);
+      };
+    resources =
+      {
+        default.Params.resources with
+        Params.inst_per_startup = startup;
+        inst_per_msg = msg_cost;
+        model_logging = logging;
+      };
+    cc = { default.Params.cc with Params.algorithm };
+    run = { default.Params.run with Params.seed; warmup; measure };
+  }
+
+let run_cmd =
+  let doc = "Run one simulation and print its metrics." in
+  let term =
+    let open Term.Syntax in
+    let+ params = params_term
+    and+ csv =
+      Arg.(value & flag & info [ "csv" ] ~doc:"Print a CSV row instead.")
+    and+ replicates =
+      Arg.(
+        value & opt int 1
+        & info [ "r"; "replicates" ] ~docv:"N"
+            ~doc:"Run N independent replicates (seed, seed+1, ...) and \
+                  report mean ± 95% CI across them.")
+    in
+    if csv then print_endline Ddbm.Sim_result.csv_header;
+    let tput = Desim.Stats.Tally.create () in
+    let resp = Desim.Stats.Tally.create () in
+    for i = 0 to replicates - 1 do
+      let params =
+        {
+          params with
+          Params.run =
+            {
+              params.Params.run with
+              Params.seed = params.Params.run.Params.seed + i;
+            };
+        }
+      in
+      let result = Ddbm.Machine.run params in
+      Desim.Stats.Tally.add tput result.Ddbm.Sim_result.throughput;
+      Desim.Stats.Tally.add resp result.Ddbm.Sim_result.mean_response;
+      if csv then print_endline (Ddbm.Sim_result.to_csv_row result)
+      else begin
+        Format.printf "%a@." Ddbm.Sim_result.pp result;
+        Format.printf "abort reasons:";
+        List.iter
+          (fun (name, n) -> Format.printf " %s=%d" name n)
+          result.Ddbm.Sim_result.abort_reasons;
+        Format.printf "@.sim events: %d, simulated %.0f s, wall %.2f s@."
+          result.Ddbm.Sim_result.sim_events result.Ddbm.Sim_result.sim_end
+          result.Ddbm.Sim_result.wall_seconds
+      end
+    done;
+    if replicates > 1 && not csv then
+      Format.printf
+        "@.across %d replicates: throughput %.3f ± %.3f tx/s, response \
+         %.3f ± %.3f s@."
+        replicates
+        (Desim.Stats.Tally.mean tput)
+        (Desim.Stats.Tally.ci95 tput)
+        (Desim.Stats.Tally.mean resp)
+        (Desim.Stats.Tally.ci95 resp)
+  in
+  Cmd.v (Cmd.info "run" ~doc) term
+
+let sweep_cmd =
+  let doc = "Sweep think time for every algorithm; print CSV rows." in
+  let term =
+    let open Term.Syntax in
+    let+ params = params_term
+    and+ thinks =
+      Arg.(
+        value
+        & opt (list float) [ 0.; 2.; 4.; 8.; 12.; 24.; 48.; 120. ]
+        & info [ "thinks" ] ~docv:"T1,T2,..."
+            ~doc:"Think times to sweep (seconds).")
+    in
+    print_endline Ddbm.Sim_result.csv_header;
+    List.iter
+      (fun algorithm ->
+        List.iter
+          (fun think ->
+            let params =
+              {
+                params with
+                Params.workload =
+                  { params.Params.workload with Params.think_time = think };
+                cc = { params.Params.cc with Params.algorithm };
+              }
+            in
+            let result = Ddbm.Machine.run params in
+            print_endline (Ddbm.Sim_result.to_csv_row result))
+          thinks)
+      [ Params.No_dc; Params.Twopl; Params.Bto; Params.Wound_wait; Params.Opt ]
+  in
+  Cmd.v (Cmd.info "sweep" ~doc) term
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  let doc = "Carey & Livny 1989 distributed database machine simulator" in
+  let info = Cmd.info "ddbm" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd ]))

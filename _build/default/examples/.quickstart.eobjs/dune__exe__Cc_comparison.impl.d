@@ -1,0 +1,1 @@
+examples/cc_comparison.ml: Ddbm Ddbm_model Format List Params

@@ -1,0 +1,1 @@
+examples/cc_comparison.mli:

@@ -1,0 +1,1 @@
+examples/deadlock_demo.ml: Array Cc_intf Cpu Ddbm_cc Ddbm_model Desim Engine Format Ids Net Plan Queue Snoop Timestamp Twopl Txn Wound_wait

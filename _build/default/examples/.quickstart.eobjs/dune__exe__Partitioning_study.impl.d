@@ -1,0 +1,1 @@
+examples/partitioning_study.ml: Ddbm Ddbm_model Format List Params

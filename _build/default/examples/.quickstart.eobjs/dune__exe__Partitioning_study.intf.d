@@ -1,0 +1,1 @@
+examples/partitioning_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ddbm Ddbm_model Format Params

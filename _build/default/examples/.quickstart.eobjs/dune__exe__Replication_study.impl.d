@@ -1,0 +1,1 @@
+examples/replication_study.ml: Ddbm Ddbm_model Format List Params

@@ -1,0 +1,1 @@
+examples/replication_study.mli:

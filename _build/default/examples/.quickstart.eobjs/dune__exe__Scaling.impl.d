@@ -1,0 +1,1 @@
+examples/scaling.ml: Ddbm Ddbm_model Format List Params

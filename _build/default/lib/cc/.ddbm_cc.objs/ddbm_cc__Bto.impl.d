@@ -1,0 +1,1 @@
+lib/cc/bto.ml: Cc_intf Ddbm_model Desim Engine Hashtbl Ids List Page Page_table Params Stats Timestamp Txn

@@ -1,0 +1,1 @@
+lib/cc/bto.mli: Ddbm_model

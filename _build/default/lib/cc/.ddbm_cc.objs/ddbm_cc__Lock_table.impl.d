@@ -1,0 +1,1 @@
+lib/cc/lock_table.ml: Cc_intf Ddbm_model Desim Engine Hashtbl Ids List Page Page_table Stats Txn

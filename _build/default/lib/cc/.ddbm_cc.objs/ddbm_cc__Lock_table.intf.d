@@ -1,0 +1,1 @@
+lib/cc/lock_table.mli: Cc_intf Ddbm_model Desim Ids Txn

@@ -1,0 +1,1 @@
+lib/cc/no_dc.ml: Cc_intf Ddbm_model Desim Ids Params Txn

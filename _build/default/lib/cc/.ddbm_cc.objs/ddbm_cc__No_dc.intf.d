@@ -1,0 +1,1 @@
+lib/cc/no_dc.mli: Ddbm_model

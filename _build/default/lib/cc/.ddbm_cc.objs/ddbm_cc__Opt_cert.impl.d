@@ -1,0 +1,1 @@
+lib/cc/opt_cert.ml: Cc_intf Ddbm_model Desim Hashtbl Ids List Page Page_table Params Stats Timestamp Txn

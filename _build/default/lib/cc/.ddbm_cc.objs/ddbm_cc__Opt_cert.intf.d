@@ -1,0 +1,1 @@
+lib/cc/opt_cert.mli: Ddbm_model

@@ -1,0 +1,1 @@
+lib/cc/registry.ml: Bto Cc_intf Ddbm_model No_dc Opt_cert Params Twopl Twopl_defer Wait_die Wound_wait

@@ -1,0 +1,1 @@
+lib/cc/registry.mli: Ddbm_model

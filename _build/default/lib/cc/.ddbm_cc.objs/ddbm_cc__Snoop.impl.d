@@ -1,0 +1,1 @@
+lib/cc/snoop.ml: Cc_intf Ddbm_model Desim Engine Ids Ivar List Net Txn Wfg

@@ -1,0 +1,1 @@
+lib/cc/snoop.mli: Cc_intf Ddbm_model Desim Net Txn

@@ -1,0 +1,1 @@
+lib/cc/twopl.ml: Cc_intf Ddbm_model Desim Hashtbl Lock_table Params Txn Wfg

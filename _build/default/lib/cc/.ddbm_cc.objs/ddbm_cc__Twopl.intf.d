@@ -1,0 +1,1 @@
+lib/cc/twopl.mli: Ddbm_model

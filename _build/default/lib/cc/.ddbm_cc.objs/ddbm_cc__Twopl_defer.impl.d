@@ -1,0 +1,1 @@
+lib/cc/twopl_defer.ml: Cc_intf Ddbm_model Desim Hashtbl Ids List Lock_table Page Params Txn Wfg

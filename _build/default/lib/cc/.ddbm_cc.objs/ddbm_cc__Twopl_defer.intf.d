@@ -1,0 +1,1 @@
+lib/cc/twopl_defer.mli: Ddbm_model

@@ -1,0 +1,1 @@
+lib/cc/wait_die.ml: Cc_intf Ddbm_model Desim List Lock_table Params Txn

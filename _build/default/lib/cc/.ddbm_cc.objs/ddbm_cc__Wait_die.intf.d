@@ -1,0 +1,1 @@
+lib/cc/wait_die.mli: Ddbm_model

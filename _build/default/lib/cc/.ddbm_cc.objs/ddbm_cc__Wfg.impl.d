@@ -1,0 +1,1 @@
+lib/cc/wfg.ml: Cc_intf Ddbm_model Hashtbl List Option Timestamp Txn

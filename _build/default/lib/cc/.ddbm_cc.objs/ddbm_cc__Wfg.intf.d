@@ -1,0 +1,1 @@
+lib/cc/wfg.mli: Cc_intf Ddbm_model Hashtbl Txn

@@ -1,0 +1,1 @@
+lib/cc/wound_wait.mli: Ddbm_model

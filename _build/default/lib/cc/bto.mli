@@ -1,0 +1,7 @@
+(** Basic timestamp ordering (Section 2.4, [Bern80b]): accesses must
+    occur in timestamp order or the requester aborts (Thomas write rule
+    for write-write conflicts). Writes queue in timestamp order without
+    blocking the writer and are installed at commit; readers block behind
+    pending earlier writes until those become visible. *)
+
+val make : Ddbm_model.Cc_intf.hooks -> Ddbm_model.Cc_intf.node_cc

@@ -1,0 +1,20 @@
+(** The NO_DC ("no data contention") reference: 2PL against an infinitely
+    large database, so no request ever conflicts and no transaction ever
+    aborts. All resource costs (CC request CPU included) are still paid,
+    making this the paper's upper-bound curve in every figure. *)
+
+open Ddbm_model
+
+let make (hooks : Cc_intf.hooks) : Cc_intf.node_cc =
+  let grant (_ : Txn.t) (_ : Ids.Page.t) = hooks.Cc_intf.charge_cc_request () in
+  {
+    algorithm = Params.No_dc;
+    cc_read = grant;
+    cc_write = grant;
+    cc_prepare = (fun txn -> not txn.Txn.doomed);
+    cc_installed = (fun _ -> []);
+    cc_commit = ignore;
+    cc_abort = ignore;
+    cc_edges = (fun () -> []);
+    cc_blocking = Desim.Stats.Tally.create ();
+  }

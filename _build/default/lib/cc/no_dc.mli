@@ -1,0 +1,6 @@
+(** The NO_DC ("no data contention") reference: every request granted
+    instantly, no aborts — 2PL against an infinitely large database. All
+    resource costs are still paid, making this the paper's upper-bound
+    curve in every figure. *)
+
+val make : Ddbm_model.Cc_intf.hooks -> Ddbm_model.Cc_intf.node_cc

@@ -1,0 +1,9 @@
+(** Distributed timestamp-based optimistic concurrency control — the
+    first certification algorithm of [Sinh85] (Section 2.5). Reads and
+    writes run unhindered against local workspaces; at prepare time each
+    cohort certifies its reads (version still current, no earlier
+    certified uncommitted write) and writes (no later certified or
+    committed read) atomically, using the globally unique timestamp the
+    coordinator assigned for the commit. *)
+
+val make : Ddbm_model.Cc_intf.hooks -> Ddbm_model.Cc_intf.node_cc

@@ -1,0 +1,22 @@
+(** Construction of a node's concurrency control manager by algorithm. *)
+
+open Ddbm_model
+
+let make (algorithm : Params.cc_algorithm) (hooks : Cc_intf.hooks) :
+    Cc_intf.node_cc =
+  match algorithm with
+  | Params.No_dc -> No_dc.make hooks
+  | Params.Twopl -> Twopl.make hooks
+  | Params.Wound_wait -> Wound_wait.make hooks
+  | Params.Bto -> Bto.make hooks
+  | Params.Opt -> Opt_cert.make hooks
+  | Params.Wait_die -> Wait_die.make hooks
+  | Params.Twopl_defer -> Twopl_defer.make hooks
+  | Params.O2pl -> Twopl.make ~algorithm:Params.O2pl hooks
+
+(** Whether the algorithm needs the Snoop global deadlock detector. *)
+let needs_snoop = function
+  | Params.Twopl | Params.Twopl_defer | Params.O2pl -> true
+  | Params.No_dc | Params.Wound_wait | Params.Bto | Params.Opt
+  | Params.Wait_die ->
+      false

@@ -1,0 +1,9 @@
+(** Construction of a node's concurrency control manager by algorithm. *)
+
+val make :
+  Ddbm_model.Params.cc_algorithm ->
+  Ddbm_model.Cc_intf.hooks ->
+  Ddbm_model.Cc_intf.node_cc
+
+(** Whether the algorithm needs the Snoop global deadlock detector. *)
+val needs_snoop : Ddbm_model.Params.cc_algorithm -> bool

@@ -1,0 +1,12 @@
+(** Distributed two-phase locking (Section 2.2 of the paper): dynamic
+    lock acquisition with read-to-write conversion, block-time local
+    deadlock detection (youngest victim), locks held to commit/abort.
+    Global deadlocks are handled by {!Snoop}. *)
+
+(** [algorithm] relabels the manager for the O2PL variant, which shares
+    this lock-manager implementation (its deferred replica write locks
+    are a transaction-manager behaviour). *)
+val make :
+  ?algorithm:Ddbm_model.Params.cc_algorithm ->
+  Ddbm_model.Cc_intf.hooks ->
+  Ddbm_model.Cc_intf.node_cc

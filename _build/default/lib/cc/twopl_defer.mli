@@ -1,0 +1,5 @@
+(** 2PL with deferred write locks (extension, per [Care89] as cited by
+    the paper's footnote 13): read locks during execution, write-lock
+    upgrades during the first phase of commit. *)
+
+val make : Ddbm_model.Cc_intf.hooks -> Ddbm_model.Cc_intf.node_cc

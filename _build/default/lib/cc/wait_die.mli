@@ -1,0 +1,6 @@
+(** Wait-die locking (extension): the deadlock-prevention counterpart of
+    wound-wait from [Rose78] — older requesters wait, younger requesters
+    abort themselves immediately. Not evaluated in the paper; provided
+    for comparison (see the ext-algos bench). *)
+
+val make : Ddbm_model.Cc_intf.hooks -> Ddbm_model.Cc_intf.node_cc

@@ -1,0 +1,109 @@
+(** Waits-for graphs and cycle detection.
+
+    Used both for block-time local deadlock detection (2PL) and by the
+    Snoop global detector, which unions the edges of all nodes. Vertices
+    are transaction attempts; edges through doomed attempts are treated as
+    already broken. *)
+
+open Ddbm_model
+
+type key = int * int
+
+module Key_table = Hashtbl
+
+type t = {
+  adj : (key, Txn.t list) Key_table.t;  (** waiter -> holders *)
+  txns : (key, Txn.t) Key_table.t;
+}
+
+let create () = { adj = Key_table.create 64; txns = Key_table.create 64 }
+
+let vertex t txn =
+  if not (Key_table.mem t.txns (Txn.key txn)) then
+    Key_table.replace t.txns (Txn.key txn) txn
+
+let add_edge t ~(waiter : Txn.t) ~(holder : Txn.t) =
+  if not (Txn.same_attempt waiter holder) then begin
+    vertex t waiter;
+    vertex t holder;
+    let k = Txn.key waiter in
+    let cur = Option.value ~default:[] (Key_table.find_opt t.adj k) in
+    if not (List.exists (Txn.same_attempt holder) cur) then
+      Key_table.replace t.adj k (holder :: cur)
+  end
+
+let of_edges edges =
+  let t = create () in
+  List.iter
+    (fun { Cc_intf.waiter; holder } -> add_edge t ~waiter ~holder)
+    edges;
+  t
+
+let successors t txn =
+  Option.value ~default:[] (Key_table.find_opt t.adj (Txn.key txn))
+
+let alive (txn : Txn.t) ~(removed : (key, unit) Key_table.t) =
+  (not txn.Txn.doomed) && not (Key_table.mem removed (Txn.key txn))
+
+(** [find_cycle_through t start ~removed] is a cycle containing [start]
+    (as the list of its member transactions), ignoring doomed and removed
+    vertices, or [None]. Depth-first search following waits-for edges. *)
+let find_cycle_through t start ~removed =
+  if not (alive start ~removed) then None
+  else begin
+    let visited = Key_table.create 16 in
+    let rec dfs path txn =
+      List.fold_left
+        (fun acc next ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if Txn.same_attempt next start then Some (List.rev (txn :: path))
+              else if (not (alive next ~removed))
+                      || Key_table.mem visited (Txn.key next)
+              then None
+              else begin
+                Key_table.replace visited (Txn.key next) ();
+                dfs (txn :: path) next
+              end)
+        None (successors t txn)
+    in
+    Key_table.replace visited (Txn.key start) ();
+    dfs [] start
+  end
+
+(** Youngest member of a cycle = most recent initial startup time (the
+    paper's deadlock victim rule). *)
+let youngest cycle =
+  match cycle with
+  | [] -> invalid_arg "Wfg.youngest: empty cycle"
+  | first :: rest ->
+      List.fold_left
+        (fun acc (txn : Txn.t) ->
+          if Timestamp.compare txn.Txn.startup_ts acc.Txn.startup_ts > 0 then
+            txn
+          else acc)
+        first rest
+
+(** Repeatedly find a cycle anywhere in the graph, select its youngest
+    member as the victim, remove it, and continue until acyclic. Returns
+    the victims (used by the Snoop detector). *)
+let break_all_cycles t =
+  let removed = Key_table.create 8 in
+  let victims = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Key_table.iter
+      (fun _ txn ->
+        if not !progress then
+          match find_cycle_through t txn ~removed with
+          | Some cycle ->
+              let victim = youngest cycle in
+              Key_table.replace removed (Txn.key victim) ();
+              victims := victim :: !victims;
+              progress := true
+          | None -> ())
+      t.txns
+  done;
+  !victims

@@ -1,0 +1,28 @@
+(** Waits-for graphs and cycle detection, used by 2PL's block-time local
+    deadlock detection and by the Snoop global detector. Vertices are
+    transaction attempts; doomed attempts count as already removed. *)
+
+open Ddbm_model
+
+type t
+
+val create : unit -> t
+
+(** Add [waiter] waits-for [holder]. Self-edges are dropped. *)
+val add_edge : t -> waiter:Txn.t -> holder:Txn.t -> unit
+
+val of_edges : Cc_intf.edge list -> t
+
+(** [find_cycle_through t start ~removed] is a cycle containing [start]
+    (the list of its member transactions), ignoring doomed and removed
+    vertices, or [None]. *)
+val find_cycle_through :
+  t -> Txn.t -> removed:(int * int, unit) Hashtbl.t -> Txn.t list option
+
+(** Youngest member of a cycle: the most recent initial startup time —
+    the paper's victim selection rule. Raises on an empty list. *)
+val youngest : Txn.t list -> Txn.t
+
+(** Repeatedly find a cycle anywhere, victimize its youngest member, and
+    continue until acyclic; returns the victims. *)
+val break_all_cycles : t -> Txn.t list

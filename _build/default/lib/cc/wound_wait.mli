@@ -1,0 +1,7 @@
+(** Distributed wound-wait locking (Section 2.3, [Rose78]): 2PL-style
+    locking where an older transaction that must wait wounds (aborts) any
+    younger transaction blocking it, unless the victim is already in the
+    second phase of commit. Restarted transactions keep their original
+    startup timestamp, so starvation is impossible. *)
+
+val make : Ddbm_model.Cc_intf.hooks -> Ddbm_model.Cc_intf.node_cc

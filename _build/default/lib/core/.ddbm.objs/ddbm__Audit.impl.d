@@ -1,0 +1,1 @@
+lib/core/audit.ml: Ddbm_model Hashtbl Ids List Option Page Page_table Printf Set Txn

@@ -1,0 +1,1 @@
+lib/core/audit.mli: Ddbm_model Ids Txn

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Ddbm_model Desim Hashtbl Int List Machine Params Printf Sim_result

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Ddbm_model Hashtbl Params Sim_result

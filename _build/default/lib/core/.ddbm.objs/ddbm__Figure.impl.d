@@ -1,0 +1,1 @@
+lib/core/figure.ml: Buffer Float List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/figures.ml: Ddbm_model Experiment Figure Float List Params Printf Sim_result

@@ -1,0 +1,1 @@
+lib/core/figures.mli: Experiment Figure

@@ -1,0 +1,1 @@
+lib/core/machine.mli: Audit Ddbm_model Desim Sim_result

@@ -1,0 +1,1 @@
+lib/core/messages.ml: Ddbm_model Desim Hashtbl Mailbox Txn

@@ -1,0 +1,1 @@
+lib/core/sim_result.ml: Ddbm_model Format Params Printf

@@ -1,0 +1,77 @@
+(** Experiment driver: configuration points for the paper's experiments,
+    simulation-length profiles, a memoized runner so figures sharing
+    configurations share runs, and multi-seed replication. *)
+
+open Ddbm_model
+
+(** Simulation length: [Quick] keeps the full figure suite in minutes of
+    wall time; [Standard] is for reported numbers; [Full] tightens
+    confidence intervals further. *)
+type profile = Quick | Standard | Full
+
+val profile_of_string : string -> profile option
+val profile_name : profile -> string
+
+(** A configuration point: the knobs the paper's experiments turn plus
+    the ablation/extension knobs (transaction size, detection interval,
+    terminal population, write probability, replication). *)
+type config = {
+  algorithm : Params.cc_algorithm;
+  nodes : int;
+  degree : int;
+  file_size : int;
+  think : float;
+  inst_per_startup : float;
+  inst_per_msg : float;
+  exec_pattern : Params.exec_pattern;
+  terminals : int;
+  pages_per_partition : int;
+  replication : int;
+  write_prob : float;
+  detection_interval : float;
+}
+
+(** Table 4's fixed column: 8 nodes, 8-way, small DB, 128 terminals,
+    2K startup / 1K message costs, no replication. *)
+val base_config : config
+
+(** Full parameter record for a configuration point. Warm-up and
+    measurement windows scale with think time and inversely with machine
+    size (a saturated 1-node system needs ~8x longer windows than an
+    8-node one to reach steady state). *)
+val params_of_config : ?profile:profile -> ?seed:int -> config -> Params.t
+
+(** Memoized runner state; [runs]/[hits] are exposed for reporting. *)
+type cache = {
+  table : (Params.t, Sim_result.t) Hashtbl.t;
+  mutable runs : int;
+  mutable hits : int;
+  verbose : bool;
+}
+
+val create_cache : ?verbose:bool -> unit -> cache
+
+(** Run (or reuse) the simulation for exactly these parameters. *)
+val run : cache -> Params.t -> Sim_result.t
+
+val run_config : cache -> ?profile:profile -> ?seed:int -> config -> Sim_result.t
+
+(** Across-replicate mean and 95% CI over independent seeds. *)
+type summary = {
+  replicates : int;
+  mean_throughput : float;
+  ci_throughput : float;
+  mean_response : float;
+  ci_response : float;
+  mean_abort_ratio : float;
+  ci_abort_ratio : float;
+}
+
+val replicate :
+  cache -> ?profile:profile -> ?seeds:int list -> config -> summary
+
+(** The five curves of every paper figure: NO_DC, 2PL, BTO, WW, OPT. *)
+val all_algorithms : Params.cc_algorithm list
+
+(** Default think-time sweep covering the paper's 0-120 s axis. *)
+val default_think_times : float list

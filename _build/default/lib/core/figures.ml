@@ -1,0 +1,706 @@
+(** Reproduction of every figure of the paper's evaluation (Section 4).
+
+    Each [figN] function regenerates the series of the corresponding paper
+    figure from simulation runs (shared through the {!Experiment.cache}).
+    Figure numbers match the paper:
+
+    - Figs 2-7: machine size and parallelism (Section 4.2), 1-node vs
+      8-node, small database.
+    - Figs 8-13: partitioning impact at fixed 8-node size (Section 4.3),
+      1-way vs 8-way declustering, both database sizes.
+    - Figs 14-17 (+ the 20K-startup variants described in the text):
+      system overheads (Section 4.4), response-time speedup vs
+      partitioning degree under different message/startup costs. *)
+
+open Ddbm_model
+open Experiment
+
+let algo_label = Params.cc_algorithm_name
+
+let sweep_thinks cache ~profile ~thinks ~config ~algorithm ~metric =
+  List.map
+    (fun think ->
+      let r = run_config cache ~profile { config with algorithm; think } in
+      { Figure.x = think; y = metric r })
+    thinks
+
+let ratio_sweep cache ~profile ~thinks ~config_num ~config_den ~algorithm
+    ~metric ~combine =
+  List.map
+    (fun think ->
+      let num =
+        metric (run_config cache ~profile { config_num with algorithm; think })
+      in
+      let den =
+        metric (run_config cache ~profile { config_den with algorithm; think })
+      in
+      { Figure.x = think; y = combine num den })
+    thinks
+
+let throughput (r : Sim_result.t) = r.Sim_result.throughput
+let response (r : Sim_result.t) = r.Sim_result.mean_response
+let abort_ratio (r : Sim_result.t) = r.Sim_result.abort_ratio
+let disk_util (r : Sim_result.t) = r.Sim_result.proc_disk_util
+let cpu_util (r : Sim_result.t) = r.Sim_result.proc_cpu_util
+
+let one_node = { base_config with nodes = 1; degree = 1 }
+let n_node n = { base_config with nodes = n; degree = n }
+let eight_node = n_node 8
+
+(* ---------------- Section 4.2: machine size and parallelism -------- *)
+
+(* Figs 2/3/6/7: metric vs think time for the 1-node and 8-node systems. *)
+let size_comparison cache ~profile ~thinks ~metric ~id ~title ~ylabel =
+  let series =
+    List.concat_map
+      (fun (config, tag) ->
+        List.map
+          (fun algorithm ->
+            {
+              Figure.label = Printf.sprintf "%s/%s" (algo_label algorithm) tag;
+              points =
+                sweep_thinks cache ~profile ~thinks ~config ~algorithm ~metric;
+            })
+          all_algorithms)
+      [ (one_node, "1n"); (eight_node, "8n") ]
+  in
+  { Figure.id; title; xlabel = "think"; ylabel; series }
+
+let fig2 cache ~profile ~thinks =
+  size_comparison cache ~profile ~thinks ~metric:throughput ~id:"fig2"
+    ~title:"Throughput, 1-node vs 8-node (small DB)"
+    ~ylabel:"throughput (tx/s)"
+
+let fig3 cache ~profile ~thinks =
+  size_comparison cache ~profile ~thinks ~metric:response ~id:"fig3"
+    ~title:"Response time, 1-node vs 8-node (small DB)"
+    ~ylabel:"response time (s)"
+
+(* Figs 4/5 (and the 4-node variants discussed in the text): speedup of
+   the n-node system over the 1-node system. *)
+let size_speedup cache ~profile ~thinks ~n ~metric ~combine ~id ~title ~ylabel
+    =
+  let series =
+    List.map
+      (fun algorithm ->
+        {
+          Figure.label = algo_label algorithm;
+          points =
+            ratio_sweep cache ~profile ~thinks ~config_num:(n_node n)
+              ~config_den:one_node ~algorithm ~metric ~combine;
+        })
+      all_algorithms
+  in
+  { Figure.id; title; xlabel = "think"; ylabel; series }
+
+let safe_div a b = if b = 0. then Float.nan else a /. b
+
+let fig4 cache ~profile ~thinks =
+  size_speedup cache ~profile ~thinks ~n:8 ~metric:throughput
+    ~combine:safe_div ~id:"fig4" ~title:"Throughput speedup, 8-node / 1-node"
+    ~ylabel:"throughput speedup"
+
+let fig5 cache ~profile ~thinks =
+  size_speedup cache ~profile ~thinks ~n:8 ~metric:response
+    ~combine:(fun r8 r1 -> safe_div r1 r8)
+    ~id:"fig5" ~title:"Response time speedup, 8-node / 1-node"
+    ~ylabel:"response time speedup"
+
+let fig6 cache ~profile ~thinks =
+  size_comparison cache ~profile ~thinks ~metric:disk_util ~id:"fig6"
+    ~title:"Disk utilization, 1-node vs 8-node" ~ylabel:"disk utilization"
+
+let fig7 cache ~profile ~thinks =
+  size_comparison cache ~profile ~thinks ~metric:cpu_util ~id:"fig7"
+    ~title:"CPU utilization, 1-node vs 8-node" ~ylabel:"CPU utilization"
+
+(* 16-node configuration (the paper's footnote 7 reports that 16- and
+   32-node runs showed similar trends). With 8 partitions per relation,
+   each relation spans 8 of the 16 nodes. *)
+let fig16n cache ~profile ~thinks =
+  let sixteen = { base_config with nodes = 16; degree = 8 } in
+  let series =
+    List.map
+      (fun algorithm ->
+        {
+          Figure.label = algo_label algorithm;
+          points =
+            ratio_sweep cache ~profile ~thinks ~config_num:sixteen
+              ~config_den:one_node ~algorithm ~metric:throughput
+              ~combine:safe_div;
+        })
+      all_algorithms
+  in
+  {
+    Figure.id = "fig16n";
+    title = "Throughput speedup, 16-node / 1-node (footnote 7 check)";
+    xlabel = "think";
+    ylabel = "throughput speedup";
+    series;
+  }
+
+let fig4n cache ~profile ~thinks =
+  size_speedup cache ~profile ~thinks ~n:4 ~metric:throughput
+    ~combine:safe_div ~id:"fig4n"
+    ~title:"Throughput speedup, 4-node / 1-node (Section 4.2 text)"
+    ~ylabel:"throughput speedup"
+
+let fig5n cache ~profile ~thinks =
+  size_speedup cache ~profile ~thinks ~n:4 ~metric:response
+    ~combine:(fun r4 r1 -> safe_div r1 r4)
+    ~id:"fig5n"
+    ~title:"Response time speedup, 4-node / 1-node (Section 4.2 text)"
+    ~ylabel:"response time speedup"
+
+(* ---------------- Section 4.3: partitioning impact ----------------- *)
+
+let one_way = { base_config with nodes = 8; degree = 1 }
+let eight_way = { base_config with nodes = 8; degree = 8 }
+
+(* Figs 8/9: response-time speedup of 8-way over 1-way partitioning. *)
+let partition_speedup cache ~profile ~thinks ~file_size ~id ~title =
+  let series =
+    List.map
+      (fun algorithm ->
+        {
+          Figure.label = algo_label algorithm;
+          points =
+            ratio_sweep cache ~profile ~thinks
+              ~config_num:{ eight_way with file_size }
+              ~config_den:{ one_way with file_size }
+              ~algorithm ~metric:response
+              ~combine:(fun r8 r1 -> safe_div r1 r8);
+        })
+      all_algorithms
+  in
+  {
+    Figure.id;
+    title;
+    xlabel = "think";
+    ylabel = "response time speedup (8-way / 1-way)";
+    series;
+  }
+
+let fig8 cache ~profile ~thinks =
+  partition_speedup cache ~profile ~thinks ~file_size:1200 ~id:"fig8"
+    ~title:"Response time improvement from 8-way partitioning (large DB)"
+
+let fig9 cache ~profile ~thinks =
+  partition_speedup cache ~profile ~thinks ~file_size:300 ~id:"fig9"
+    ~title:"Response time improvement from 8-way partitioning (small DB)"
+
+(* Figs 10/11: percentage response-time degradation relative to NO_DC. *)
+let degradation cache ~profile ~thinks ~config ~id ~title =
+  let contended =
+    [ Params.Twopl; Params.Bto; Params.Wound_wait; Params.Opt ]
+  in
+  let series =
+    List.map
+      (fun algorithm ->
+        {
+          Figure.label = algo_label algorithm;
+          points =
+            List.map
+              (fun think ->
+                let r_alg =
+                  response
+                    (run_config cache ~profile { config with algorithm; think })
+                in
+                let r_nodc =
+                  response
+                    (run_config cache ~profile
+                       { config with algorithm = Params.No_dc; think })
+                in
+                {
+                  Figure.x = think;
+                  y = 100. *. safe_div (r_alg -. r_nodc) r_nodc;
+                })
+              thinks;
+        })
+      contended
+  in
+  {
+    Figure.id;
+    title;
+    xlabel = "think";
+    ylabel = "% response time degradation vs NO_DC";
+    series;
+  }
+
+let fig10 cache ~profile ~thinks =
+  degradation cache ~profile ~thinks ~config:eight_way ~id:"fig10"
+    ~title:"Degradation vs NO_DC, 8-way partitioning (small DB)"
+
+let fig11 cache ~profile ~thinks =
+  degradation cache ~profile ~thinks ~config:one_way ~id:"fig11"
+    ~title:"Degradation vs NO_DC, 1-way partitioning (small DB)"
+
+(* Figs 12/13: abort ratios. *)
+let abort_ratios cache ~profile ~thinks ~config ~id ~title =
+  let contended =
+    [ Params.Twopl; Params.Bto; Params.Wound_wait; Params.Opt ]
+  in
+  let series =
+    List.map
+      (fun algorithm ->
+        {
+          Figure.label = algo_label algorithm;
+          points =
+            sweep_thinks cache ~profile ~thinks ~config ~algorithm
+              ~metric:abort_ratio;
+        })
+      contended
+  in
+  {
+    Figure.id;
+    title;
+    xlabel = "think";
+    ylabel = "abort ratio (aborts per commit)";
+    series;
+  }
+
+let fig12 cache ~profile ~thinks =
+  abort_ratios cache ~profile ~thinks ~config:eight_way ~id:"fig12"
+    ~title:"Abort ratio, 8-way partitioning (small DB)"
+
+let fig13 cache ~profile ~thinks =
+  abort_ratios cache ~profile ~thinks ~config:one_way ~id:"fig13"
+    ~title:"Abort ratio, 1-way partitioning (small DB)"
+
+(* ---------------- Section 4.4: system overheads -------------------- *)
+
+(* Figs 14-17: response-time speedup (relative to 1-way partitioning) as a
+   function of partitioning degree, at a fixed think time, under given
+   startup/message costs. *)
+let overhead_speedup cache ~profile ~think ~inst_per_startup ~inst_per_msg ~id
+    ~title =
+  let degrees = [ 1; 2; 4; 8 ] in
+  let config degree =
+    {
+      base_config with
+      nodes = 8;
+      degree;
+      think;
+      inst_per_startup;
+      inst_per_msg;
+    }
+  in
+  let series =
+    List.map
+      (fun algorithm ->
+        let base_response =
+          response
+            (run_config cache ~profile { (config 1) with algorithm })
+        in
+        {
+          Figure.label = algo_label algorithm;
+          points =
+            List.map
+              (fun degree ->
+                let r =
+                  response
+                    (run_config cache ~profile { (config degree) with algorithm })
+                in
+                { Figure.x = float_of_int degree; y = safe_div base_response r })
+              degrees;
+        })
+      all_algorithms
+  in
+  {
+    Figure.id;
+    title;
+    xlabel = "partitioning degree";
+    ylabel = "response time speedup vs 1-way";
+    series;
+  }
+
+let fig14 cache ~profile ~thinks:_ =
+  overhead_speedup cache ~profile ~think:0. ~inst_per_startup:0.
+    ~inst_per_msg:0. ~id:"fig14"
+    ~title:"Speedup vs degree, no overheads, think 0"
+
+let fig15 cache ~profile ~thinks:_ =
+  overhead_speedup cache ~profile ~think:8. ~inst_per_startup:0.
+    ~inst_per_msg:0. ~id:"fig15"
+    ~title:"Speedup vs degree, no overheads, think 8 s"
+
+let fig16 cache ~profile ~thinks:_ =
+  overhead_speedup cache ~profile ~think:0. ~inst_per_startup:0.
+    ~inst_per_msg:4_000. ~id:"fig16"
+    ~title:"Speedup vs degree, 4K-instruction messages, think 0"
+
+let fig17 cache ~profile ~thinks:_ =
+  overhead_speedup cache ~profile ~think:8. ~inst_per_startup:0.
+    ~inst_per_msg:4_000. ~id:"fig17"
+    ~title:"Speedup vs degree, 4K-instruction messages, think 8 s"
+
+let fig16s cache ~profile ~thinks:_ =
+  overhead_speedup cache ~profile ~think:0. ~inst_per_startup:20_000.
+    ~inst_per_msg:0. ~id:"fig16s"
+    ~title:"Speedup vs degree, 20K-instruction startup, think 0 (Sec 4.4 text)"
+
+let fig17s cache ~profile ~thinks:_ =
+  overhead_speedup cache ~profile ~think:8. ~inst_per_startup:20_000.
+    ~inst_per_msg:0. ~id:"fig17s"
+    ~title:"Speedup vs degree, 20K-instruction startup, think 8 s (Sec 4.4 text)"
+
+(* ---------------- Ablations beyond the paper's figures ------------- *)
+
+(* Sequential (RPC-style, Non-Stop SQL) vs parallel (Gamma-style) cohort
+   execution, motivated by the paper's introduction. *)
+let abl_exec cache ~profile ~thinks =
+  let series =
+    List.concat_map
+      (fun (exec_pattern, tag) ->
+        List.map
+          (fun algorithm ->
+            {
+              Figure.label = Printf.sprintf "%s/%s" (algo_label algorithm) tag;
+              points =
+                sweep_thinks cache ~profile ~thinks
+                  ~config:{ eight_way with exec_pattern }
+                  ~algorithm ~metric:response;
+            })
+          [ Params.No_dc; Params.Twopl; Params.Opt ])
+      [ (Params.Parallel, "par"); (Params.Sequential, "seq") ]
+  in
+  {
+    Figure.id = "abl-exec";
+    title = "Sequential (RPC) vs parallel cohort execution, 8-way";
+    xlabel = "think";
+    ylabel = "response time (s)";
+    series;
+  }
+
+(* Sensitivity of 2PL to the Snoop's DetectionInterval (footnote 2 notes
+   that such intervals were critical factors in related studies). *)
+let abl_snoop cache ~profile ~thinks:_ =
+  let intervals = [ 0.25; 0.5; 1.0; 2.0; 4.0 ] in
+  let series_of metric label =
+    {
+      Figure.label;
+      points =
+        List.map
+          (fun detection_interval ->
+            let r =
+              run_config cache ~profile
+                {
+                  eight_way with
+                  algorithm = Params.Twopl;
+                  think = 8.;
+                  detection_interval;
+                }
+            in
+            { Figure.x = detection_interval; y = metric r })
+          intervals;
+    }
+  in
+  {
+    Figure.id = "abl-snoop";
+    title = "2PL sensitivity to the Snoop detection interval (think 8 s)";
+    xlabel = "detection interval (s)";
+    ylabel = "response time (s) / abort ratio";
+    series =
+      [ series_of response "response"; series_of abort_ratio "abort-ratio" ];
+  }
+
+(* Transaction size (the paper also ran 32-read transactions, footnote 9). *)
+let abl_txsize cache ~profile ~thinks:_ =
+  let sizes = [ 4; 8; 16 ] in
+  let series =
+    List.map
+      (fun algorithm ->
+        {
+          Figure.label = algo_label algorithm;
+          points =
+            List.map
+              (fun pages_per_partition ->
+                let r =
+                  run_config cache ~profile
+                    {
+                      eight_way with
+                      algorithm;
+                      think = 8.;
+                      pages_per_partition;
+                    }
+                in
+                {
+                  Figure.x = float_of_int (8 * pages_per_partition);
+                  y = abort_ratio r;
+                })
+              sizes;
+        })
+      [ Params.Twopl; Params.Bto; Params.Wound_wait; Params.Opt ]
+  in
+  {
+    Figure.id = "abl-txsize";
+    title = "Contention vs transaction size (total reads), think 8 s";
+    xlabel = "reads per transaction";
+    ylabel = "abort ratio";
+    series;
+  }
+
+(* Write probability: from read-only to update-heavy workloads. *)
+let abl_writeprob cache ~profile ~thinks:_ =
+  let probs = [ 0.0; 0.1; 0.25; 0.5 ] in
+  let series =
+    List.map
+      (fun algorithm ->
+        {
+          Figure.label = algo_label algorithm;
+          points =
+            List.map
+              (fun write_prob ->
+                let r =
+                  run_config cache ~profile
+                    { eight_way with algorithm; think = 8.; write_prob }
+                in
+                { Figure.x = write_prob; y = throughput r })
+              probs;
+        })
+      all_algorithms
+  in
+  {
+    Figure.id = "abl-writeprob";
+    title = "Throughput vs write probability, think 8 s";
+    xlabel = "write probability";
+    ylabel = "throughput (tx/s)";
+    series;
+  }
+
+(* Multiprogramming level: the classic thrashing curve as the terminal
+   population grows at zero think time. *)
+let abl_mpl cache ~profile ~thinks:_ =
+  let populations = [ 16; 32; 64; 128; 192 ] in
+  let series =
+    List.map
+      (fun algorithm ->
+        {
+          Figure.label = algo_label algorithm;
+          points =
+            List.map
+              (fun terminals ->
+                let r =
+                  run_config cache ~profile
+                    { eight_way with algorithm; think = 0.; terminals }
+                in
+                { Figure.x = float_of_int terminals; y = throughput r })
+              populations;
+        })
+      all_algorithms
+  in
+  {
+    Figure.id = "abl-mpl";
+    title = "Throughput vs terminal population (think 0): thrashing";
+    xlabel = "terminals";
+    ylabel = "throughput (tx/s)";
+    series;
+  }
+
+(* Replicated data (the [Care88] substrate the paper's model includes but
+   does not exercise): reproduce footnote 13 — with several copies per
+   item and expensive messages, plain 2PL's write-all-at-access messages
+   erode its advantage until OPT catches it, while O2PL (write locks on
+   remote copies deferred to the commit protocol) restores 2PL's
+   dominance. x axis: per-message CPU cost. *)
+let ext_replication cache ~profile ~thinks:_ =
+  let msg_costs = [ 0.; 1_000.; 2_000.; 4_000.; 8_000. ] in
+  let series =
+    List.map
+      (fun algorithm ->
+        {
+          Figure.label = algo_label algorithm;
+          points =
+            List.map
+              (fun inst_per_msg ->
+                let r =
+                  run_config cache ~profile
+                    {
+                      eight_way with
+                      algorithm;
+                      think = 8.;
+                      replication = 3;
+                      inst_per_msg;
+                    }
+                in
+                { Figure.x = inst_per_msg; y = throughput r })
+              msg_costs;
+        })
+      [ Params.Twopl; Params.O2pl; Params.Opt; Params.No_dc ]
+  in
+  {
+    Figure.id = "ext-repl";
+    title =
+      "Replicated data (3 copies): throughput vs message cost (footnote 13)";
+    xlabel = "instructions per message";
+    ylabel = "throughput (tx/s)";
+    series;
+  }
+
+(* Logging model: verify the paper's footnote-5 assumption that forcing
+   log pages prior to commit is not the bottleneck. *)
+let abl_logging cache ~profile ~thinks =
+  let series =
+    List.concat_map
+      (fun (model_logging, tag) ->
+        List.map
+          (fun algorithm ->
+            {
+              Figure.label = Printf.sprintf "%s/%s" (algo_label algorithm) tag;
+              points =
+                List.map
+                  (fun think ->
+                    let params =
+                      params_of_config ~profile
+                        { eight_way with algorithm; think }
+                    in
+                    let params =
+                      {
+                        params with
+                        Params.resources =
+                          {
+                            params.Params.resources with
+                            Params.model_logging;
+                          };
+                      }
+                    in
+                    { Figure.x = think; y = throughput (run cache params) })
+                  thinks;
+            })
+          [ Params.No_dc; Params.Twopl ])
+      [ (false, "no-log"); (true, "log") ]
+  in
+  {
+    Figure.id = "abl-logging";
+    title = "Forced log writes at prepare (footnote 5 check), 8-way";
+    xlabel = "think";
+    ylabel = "throughput (tx/s)";
+    series;
+  }
+
+(* Extension algorithms: wait-die (the other [Rose78] policy) and 2PL
+   with deferred write locks ([Care89], footnote 13) against the paper's
+   lock-based schemes, on the Figure 2 configuration. *)
+let ext_algos cache ~profile ~thinks =
+  let algorithms =
+    [
+      Params.Twopl; Params.Twopl_defer; Params.Wound_wait; Params.Wait_die;
+      Params.Opt;
+    ]
+  in
+  let series =
+    List.concat_map
+      (fun (metric, tag) ->
+        List.map
+          (fun algorithm ->
+            {
+              Figure.label = Printf.sprintf "%s/%s" (algo_label algorithm) tag;
+              points =
+                sweep_thinks cache ~profile ~thinks ~config:eight_way
+                  ~algorithm ~metric;
+            })
+          algorithms)
+      [ (throughput, "tput") ]
+  in
+  let series =
+    series
+    @ List.map
+        (fun algorithm ->
+          {
+            Figure.label = Printf.sprintf "%s/abort" (algo_label algorithm);
+            points =
+              sweep_thinks cache ~profile ~thinks ~config:eight_way ~algorithm
+                ~metric:abort_ratio;
+          })
+        algorithms
+  in
+  {
+    Figure.id = "ext-algos";
+    title = "Extensions: wait-die and deferred-write-lock 2PL, 8-way";
+    xlabel = "think";
+    ylabel = "throughput (tx/s) / abort ratio";
+    series;
+  }
+
+(* Restart policy: rerun the same access plan (the paper's model) vs
+   drawing a fresh access set on restart ("fake restarts"). *)
+let abl_restart cache ~profile ~thinks =
+  let series =
+    List.concat_map
+      (fun (fresh, tag) ->
+        List.map
+          (fun algorithm ->
+            {
+              Figure.label = Printf.sprintf "%s/%s" (algo_label algorithm) tag;
+              points =
+                List.map
+                  (fun think ->
+                    let params =
+                      params_of_config ~profile
+                        { eight_way with algorithm; think }
+                    in
+                    let params =
+                      {
+                        params with
+                        Params.run =
+                          {
+                            params.Params.run with
+                            Params.fresh_restart_plan = fresh;
+                          };
+                      }
+                    in
+                    { Figure.x = think; y = response (run cache params) })
+                  thinks;
+            })
+          [ Params.Twopl; Params.Opt ])
+      [ (false, "same-plan"); (true, "fresh-plan") ]
+  in
+  {
+    Figure.id = "abl-restart";
+    title = "Restart policy: rerun same plan vs fresh access set, 8-way";
+    xlabel = "think";
+    ylabel = "response time (s)";
+    series;
+  }
+
+(* ---------------- Registry ----------------------------------------- *)
+
+type generator =
+  Experiment.cache -> profile:Experiment.profile -> thinks:float list ->
+  Figure.t
+
+let all : (string * generator) list =
+  [
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig4n", fig4n);
+    ("fig5n", fig5n);
+    ("fig16n", fig16n);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("fig15", fig15);
+    ("fig16", fig16);
+    ("fig17", fig17);
+    ("fig16s", fig16s);
+    ("fig17s", fig17s);
+    ("abl-exec", abl_exec);
+    ("abl-snoop", abl_snoop);
+    ("abl-txsize", abl_txsize);
+    ("abl-writeprob", abl_writeprob);
+    ("abl-mpl", abl_mpl);
+    ("abl-restart", abl_restart);
+    ("ext-algos", ext_algos);
+    ("ext-repl", ext_replication);
+    ("abl-logging", abl_logging);
+  ]
+
+let find id = List.assoc_opt id all

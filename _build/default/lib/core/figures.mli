@@ -1,0 +1,14 @@
+(** Reproduction of every figure of the paper's evaluation section, plus
+    ablations and extensions. Figure ids match the paper ("fig2" ...
+    "fig17"), with "fig4n"/"fig5n"/"fig16n"/"fig16s"/"fig17s" for the
+    variants described in the running text and "abl-*" / "ext-*" for
+    studies beyond the paper. See EXPERIMENTS.md for the full index. *)
+
+type generator =
+  Experiment.cache -> profile:Experiment.profile -> thinks:float list ->
+  Figure.t
+
+(** All generators in presentation order. *)
+val all : (string * generator) list
+
+val find : string -> generator option

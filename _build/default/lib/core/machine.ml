@@ -1,0 +1,603 @@
+(** Assembly of the distributed database machine and the transaction
+    execution protocol (Sections 2.1 and 3 of the paper).
+
+    One host node (terminals + coordinators) and [num_proc_nodes]
+    processing nodes (data + cohorts). A transaction's coordinator runs in
+    its terminal's process at the host; cohorts are spawned at data nodes
+    by "load cohort" messages (paying process-startup CPU), execute their
+    page accesses, and participate in a centralized two-phase commit:
+
+      load -> work -> Work_done -> Do_prepare -> Vote -> decision -> ack
+
+    Aborts can be triggered by a cohort's own CC manager (BTO rejection),
+    by a remote CC manager or the Snoop detector (wound, deadlock victim;
+    routed as an Abort_request message to the coordinator), or by a
+    certification "no" vote. The coordinator then broadcasts Do_abort,
+    collects one acknowledgement per loaded cohort, waits one mean
+    response time, and reruns the same access plan. *)
+
+open Desim
+open Ddbm_model
+open Ids
+
+type t = {
+  eng : Engine.t;
+  params : Params.t;
+  clock : Timestamp.Clock.t;
+  host : Node.t;
+  procs : Node.t array;
+  net : Net.t;
+  metrics : Metrics.t;
+  catalog : Catalog.t;
+  workload : Workload.t;
+  live : (int, Messages.attempt_runtime) Hashtbl.t;
+  think_rng : Rng.t;
+  mutable next_tid : int;
+  mutable snoop : Ddbm_cc.Snoop.t option;
+  mutable audit : Audit.t option;
+  mutable trace : Trace.t option;
+}
+
+let tracef t ~tag build = Option.iter (fun tr -> Trace.emitf tr ~tag build) t.trace
+
+type attempt_outcome = Committed | Aborted of Txn.abort_reason
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                            *)
+
+let request_abort t ~from_node (txn : Txn.t) reason =
+  (* Wounds (and any other abort demand) are ignored once the transaction
+     has entered the second phase of its commit protocol. The doomed flag
+     is set eagerly to suppress duplicate victimizations; the coordinator
+     still learns of the abort only when the message arrives. *)
+  if (not txn.Txn.doomed) && not (Txn.in_second_phase txn) then begin
+    txn.Txn.doomed <- true;
+    tracef t ~tag:"abort-request" (fun () ->
+        Format.asprintf "%a from node %d: %s" Txn.pp txn from_node
+          (Txn.abort_reason_name reason));
+    Net.send_async t.net ~src:(Proc from_node) ~dst:Host (fun () ->
+        match Hashtbl.find_opt t.live txn.Txn.tid with
+        | Some rt when Txn.same_attempt rt.Messages.txn txn ->
+            Mailbox.send rt.Messages.coord_mb
+              (Messages.Abort_request (txn, reason))
+        | Some _ | None -> ())
+  end
+
+let create (params : Params.t) =
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Machine.create: " ^ msg));
+  let eng = Engine.create () in
+  let rng = Rng.create params.Params.run.Params.seed in
+  let resources = params.Params.resources in
+  let host =
+    Node.create eng (Rng.split rng) ~node_ref:Host
+      ~mips:resources.Params.host_mips ~resources
+  in
+  let procs =
+    Array.init params.Params.database.Params.num_proc_nodes (fun i ->
+        Node.create eng (Rng.split rng) ~node_ref:(Proc i)
+          ~mips:resources.Params.node_mips ~resources)
+  in
+  let cpu_of = function
+    | Host -> host.Node.cpu
+    | Proc i -> procs.(i).Node.cpu
+  in
+  let net = Net.create ~inst_per_msg:resources.Params.inst_per_msg ~cpu_of in
+  let catalog = Catalog.create params.Params.database in
+  let workload = Workload.create params catalog (Rng.split rng) in
+  let t =
+    {
+      eng;
+      params;
+      clock = Timestamp.Clock.create ();
+      host;
+      procs;
+      net;
+      metrics =
+        Metrics.create eng
+          ~restart_delay_floor:params.Params.run.Params.restart_delay_floor;
+      catalog;
+      workload;
+      live = Hashtbl.create 256;
+      think_rng = Rng.split rng;
+      next_tid = 0;
+      snoop = None;
+      audit = None;
+      trace = None;
+    }
+  in
+  let algorithm = params.Params.cc.Params.algorithm in
+  Array.iteri
+    (fun i node ->
+      let charge_cc_request =
+        let cost = resources.Params.inst_per_cc_req in
+        if cost <= 0. then fun () -> ()
+        else fun () -> Cpu.consume node.Node.cpu ~instructions:cost
+      in
+      let hooks =
+        {
+          Cc_intf.eng;
+          clock = t.clock;
+          charge_cc_request;
+          request_abort = (fun txn reason -> request_abort t ~from_node:i txn reason);
+        }
+      in
+      Node.install_cc node (Ddbm_cc.Registry.make algorithm hooks))
+    procs;
+  if Ddbm_cc.Registry.needs_snoop algorithm then
+    t.snoop <-
+      Some
+        (Ddbm_cc.Snoop.create eng ~net
+           ~num_nodes:(Array.length procs)
+           ~detection_interval:params.Params.cc.Params.detection_interval
+           ~edges_of:(fun i -> (Node.cc procs.(i)).Cc_intf.cc_edges ())
+           ~request_abort:(fun ~from_node txn reason ->
+             request_abort t ~from_node txn reason));
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Cohort process                                                      *)
+
+let check_doomed (txn : Txn.t) =
+  if txn.Txn.doomed then raise (Txn.Aborted Txn.Peer_abort)
+
+(* Whether replica copies are write-locked at access time (read-one/
+   write-all during execution) or only during the first phase of commit
+   (O2PL and the certification/deferred schemes, whose remote write
+   intent piggybacks on the prepare message). *)
+let write_all_at_access = function
+  | Params.No_dc | Params.Twopl | Params.Wound_wait | Params.Wait_die
+  | Params.Bto ->
+      true
+  | Params.Opt | Params.O2pl | Params.Twopl_defer -> false
+
+(* Synchronously obtain write permission on every remote copy of [page]:
+   one request message per copy site, a helper process that may block in
+   the remote CC manager, and one reply message. Any rejection aborts the
+   requester. *)
+let acquire_replica_writes t (txn : Txn.t) ~from_node page =
+  let copies =
+    Catalog.copy_nodes t.catalog ~file:page.Ids.Page.file
+    |> List.filter (fun site -> site <> from_node)
+  in
+  if copies <> [] then begin
+    let pending = ref (List.length copies) in
+    let failure = ref None in
+    let all_in : unit Ivar.t = Ivar.create () in
+    List.iter
+      (fun site ->
+        Net.send t.net ~src:(Proc from_node) ~dst:(Proc site) (fun () ->
+            Engine.spawn t.eng (fun () ->
+                let outcome =
+                  try
+                    (Node.cc t.procs.(site)).Cc_intf.cc_write txn page;
+                    `Granted
+                  with Txn.Aborted reason -> `Failed reason
+                in
+                Net.send t.net ~src:(Proc site) ~dst:(Proc from_node)
+                  (fun () ->
+                    (match outcome with
+                    | `Failed reason when !failure = None ->
+                        failure := Some reason
+                    | `Failed _ | `Granted -> ());
+                    decr pending;
+                    if !pending = 0 then Ivar.fill all_in ()))))
+      copies;
+    Ivar.read all_in;
+    match !failure with
+    | Some reason -> raise (Txn.Aborted reason)
+    | None -> ()
+  end
+
+let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
+    =
+  let txn = rt.Messages.txn in
+  let node = t.procs.(cplan.Plan.node) in
+  let cc = Node.cc node in
+  let self = Proc cplan.Plan.node in
+  let resources = t.params.Params.resources in
+  let send_coord msg =
+    Net.send t.net ~src:self ~dst:Host (fun () ->
+        Mailbox.send rt.Messages.coord_mb msg)
+  in
+  let initiate_deferred_writes () =
+    let write_one () =
+      Cpu.consume node.Node.cpu ~instructions:resources.Params.inst_per_update;
+      Disk.submit_write (Node.random_disk node) ignore
+    in
+    List.iter
+      (fun (op : Plan.page_op) -> if op.Plan.update then write_one ())
+      cplan.Plan.ops;
+    (* replica copies installed at this node *)
+    List.iter (fun (_ : Ids.Page.t) -> write_one ()) cplan.Plan.apply_ops
+  in
+  try
+    (* Work phase: each page access is a CC request, a disk read, and a
+       slice of CPU. The transaction manager knows at access time whether
+       the page will be updated, so the read lock of an update access is
+       converted to a write lock immediately at access time (a zero-width
+       upgrade window, matching the paper's model) and the page's disk
+       write is deferred to after commit. *)
+    List.iter
+      (fun (op : Plan.page_op) ->
+        check_doomed txn;
+        cc.Cc_intf.cc_read txn op.Plan.page;
+        if op.Plan.update then begin
+          check_doomed txn;
+          cc.Cc_intf.cc_write txn op.Plan.page;
+          (* read-one/write-all: lock the remote copies now unless the
+             algorithm defers them to the commit protocol *)
+          if
+            write_all_at_access t.params.Params.cc.Params.algorithm
+            && t.params.Params.database.Params.replication > 1
+          then begin
+            check_doomed txn;
+            acquire_replica_writes t txn ~from_node:cplan.Plan.node
+              op.Plan.page
+          end
+        end;
+        (* permission fully granted: the auditor observes the version
+           this access sees, atomically with the grant *)
+        Option.iter (fun a -> Audit.record_read a txn op.Plan.page) t.audit;
+        check_doomed txn;
+        Disk.read (Node.random_disk node);
+        check_doomed txn;
+        Cpu.consume node.Node.cpu
+          ~instructions:(Workload.draw_page_instructions t.workload))
+      cplan.Plan.ops;
+    send_coord (Messages.Work_done cplan.Plan.node);
+    let rec protocol () =
+      match Mailbox.recv mb with
+      | Messages.Do_prepare ->
+          (* algorithms that defer replica write permission to the commit
+             protocol obtain it now; the write intent arrived with the
+             prepare message, so no extra messages are charged. O2PL and
+             2PL-D may block here (covered by the Snoop); OPT merely
+             registers the writes for certification. *)
+          (if
+             (not (write_all_at_access t.params.Params.cc.Params.algorithm))
+             && cplan.Plan.apply_ops <> []
+           then
+             List.iter
+               (fun page -> cc.Cc_intf.cc_write txn page)
+               cplan.Plan.apply_ops);
+          (* optional logging model: an updating cohort forces its log
+             page to disk before it can vote yes (footnote 5) *)
+          if
+            resources.Params.model_logging
+            && (cplan.Plan.apply_ops <> []
+               || List.exists (fun (op : Plan.page_op) -> op.Plan.update)
+                    cplan.Plan.ops)
+          then Disk.write (Node.random_disk node);
+          let vote = cc.Cc_intf.cc_prepare txn in
+          send_coord (Messages.Vote (cplan.Plan.node, vote));
+          protocol ()
+      | Messages.Do_commit ->
+          initiate_deferred_writes ();
+          (* snapshot the installs and perform them in the same event *)
+          let installed = cc.Cc_intf.cc_installed txn in
+          cc.Cc_intf.cc_commit txn;
+          Option.iter
+            (fun a ->
+              (* replica installs are physical copies of the same logical
+                 page; the auditor counts only primary installs *)
+              let primary page =
+                List.exists
+                  (fun (op : Plan.page_op) -> Ids.Page.equal op.Plan.page page)
+                  cplan.Plan.ops
+              in
+              List.iter
+                (fun page ->
+                  if primary page then Audit.record_install a txn page)
+                installed)
+            t.audit;
+          send_coord (Messages.Done_ack cplan.Plan.node)
+      | Messages.Do_abort ->
+          cc.Cc_intf.cc_abort txn;
+          send_coord (Messages.Done_ack cplan.Plan.node)
+    in
+    protocol ()
+  with Txn.Aborted reason ->
+    cc.Cc_intf.cc_abort txn;
+    (match reason with
+    | Txn.Bto_conflict | Txn.Cert_failed | Txn.Died ->
+        (* self-inflicted: the coordinator does not know yet *)
+        send_coord (Messages.Cohort_aborted (cplan.Plan.node, reason))
+    | Txn.Local_deadlock | Txn.Global_deadlock | Txn.Wounded | Txn.Peer_abort
+      ->
+        ());
+    (* wait for the coordinator's abort command, then acknowledge *)
+    let rec drain () =
+      match Mailbox.recv mb with
+      | Messages.Do_abort -> ()
+      | Messages.Do_prepare | Messages.Do_commit -> drain ()
+    in
+    drain ();
+    send_coord (Messages.Done_ack cplan.Plan.node)
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator (runs inside the submitting terminal's process)         *)
+
+let load_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) =
+  let mb = Mailbox.create () in
+  Hashtbl.replace rt.Messages.cohort_mbs cplan.Plan.node mb;
+  let node = t.procs.(cplan.Plan.node) in
+  let startup = t.params.Params.resources.Params.inst_per_startup in
+  Net.send t.net ~src:Host ~dst:(Proc cplan.Plan.node) (fun () ->
+      Cpu.submit node.Node.cpu ~instructions:startup (fun () ->
+          Engine.spawn t.eng (fun () -> run_cohort t rt cplan mb)))
+
+let send_cohort t (rt : Messages.attempt_runtime) ~node_idx msg =
+  let mb = Hashtbl.find rt.Messages.cohort_mbs node_idx in
+  Net.send t.net ~src:Host ~dst:(Proc node_idx) (fun () ->
+      (match msg with
+      | Messages.Do_abort ->
+          (* unblock the cohort if it is stuck in a CC queue *)
+          (Node.cc t.procs.(node_idx)).Cc_intf.cc_abort rt.Messages.txn
+      | Messages.Do_prepare | Messages.Do_commit -> ());
+      Mailbox.send mb msg)
+
+let loaded_nodes (rt : Messages.attempt_runtime) =
+  Hashtbl.fold (fun node _ acc -> node :: acc) rt.Messages.cohort_mbs []
+
+(* Wait for [target] Work_done messages; an abort trigger interrupts. *)
+let await_work (rt : Messages.attempt_runtime) ~target =
+  let rec go done_ =
+    if done_ >= target then `Done
+    else
+      match Mailbox.recv rt.Messages.coord_mb with
+      | Messages.Work_done _ -> go (done_ + 1)
+      | Messages.Cohort_aborted (_, reason) -> `Abort reason
+      | Messages.Abort_request (txn, reason)
+        when Txn.same_attempt txn rt.Messages.txn ->
+          `Abort reason
+      | Messages.Abort_request _ | Messages.Vote _ | Messages.Done_ack _ ->
+          go done_
+  in
+  go 0
+
+let await_acks (rt : Messages.attempt_runtime) ~target =
+  let rec go got =
+    if got >= target then ()
+    else
+      match Mailbox.recv rt.Messages.coord_mb with
+      | Messages.Done_ack _ -> go (got + 1)
+      | Messages.Work_done _ | Messages.Cohort_aborted _ | Messages.Vote _
+      | Messages.Abort_request _ ->
+          go got
+  in
+  go 0
+
+let abort_attempt t (rt : Messages.attempt_runtime) reason =
+  let txn = rt.Messages.txn in
+  txn.Txn.phase <- Txn.Decided_abort;
+  txn.Txn.doomed <- true;
+  let loaded = loaded_nodes rt in
+  List.iter (fun node_idx -> send_cohort t rt ~node_idx Messages.Do_abort) loaded;
+  await_acks rt ~target:(List.length loaded);
+  txn.Txn.phase <- Txn.Finished;
+  Aborted reason
+
+let commit_attempt t (rt : Messages.attempt_runtime) =
+  let txn = rt.Messages.txn in
+  let cohorts = txn.Txn.plan.Plan.cohorts in
+  txn.Txn.phase <- Txn.Decided_commit;
+  List.iter
+    (fun (c : Plan.cohort_plan) ->
+      send_cohort t rt ~node_idx:c.Plan.node Messages.Do_commit)
+    cohorts;
+  await_acks rt ~target:(List.length cohorts);
+  txn.Txn.phase <- Txn.Finished;
+  Committed
+
+let run_two_phase_commit t (rt : Messages.attempt_runtime) =
+  let txn = rt.Messages.txn in
+  let cohorts = txn.Txn.plan.Plan.cohorts in
+  let n = List.length cohorts in
+  txn.Txn.phase <- Txn.Voting;
+  txn.Txn.commit_ts <-
+    Some (Timestamp.Clock.make t.clock ~time:(Engine.now t.eng));
+  List.iter
+    (fun (c : Plan.cohort_plan) ->
+      send_cohort t rt ~node_idx:c.Plan.node Messages.Do_prepare)
+    cohorts;
+  let rec collect_votes got =
+    if got >= n then `All_yes
+    else
+      match Mailbox.recv rt.Messages.coord_mb with
+      | Messages.Vote (_, true) -> collect_votes (got + 1)
+      | Messages.Vote (_, false) -> `Abort Txn.Cert_failed
+      | Messages.Cohort_aborted (_, reason) -> `Abort reason
+      | Messages.Abort_request (tx, reason) when Txn.same_attempt tx txn ->
+          `Abort reason
+      | Messages.Abort_request _ | Messages.Work_done _ | Messages.Done_ack _
+        ->
+          collect_votes got
+  in
+  match collect_votes 0 with
+  | `All_yes -> commit_attempt t rt
+  | `Abort reason -> abort_attempt t rt reason
+
+let run_attempt t (txn : Txn.t) =
+  let rt = Messages.make_runtime txn in
+  Hashtbl.replace t.live txn.Txn.tid rt;
+  Fun.protect
+    ~finally:(fun () ->
+      match Hashtbl.find_opt t.live txn.Txn.tid with
+      | Some cur when cur == rt -> Hashtbl.remove t.live txn.Txn.tid
+      | Some _ | None -> ())
+    (fun () ->
+      (* coordinator process startup at the host *)
+      Cpu.consume t.host.Node.cpu
+        ~instructions:t.params.Params.resources.Params.inst_per_startup;
+      let cohorts = txn.Txn.plan.Plan.cohorts in
+      let phase1 =
+        match t.params.Params.workload.Params.exec_pattern with
+        | Params.Parallel ->
+            List.iter (load_cohort t rt) cohorts;
+            await_work rt ~target:(List.length cohorts)
+        | Params.Sequential ->
+            let rec go = function
+              | [] -> `Done
+              | c :: rest -> (
+                  load_cohort t rt c;
+                  match await_work rt ~target:1 with
+                  | `Done -> go rest
+                  | `Abort reason -> `Abort reason)
+            in
+            go cohorts
+      in
+      match phase1 with
+      | `Done -> run_two_phase_commit t rt
+      | `Abort reason -> abort_attempt t rt reason)
+
+(* ------------------------------------------------------------------ *)
+(* Terminals                                                           *)
+
+let fresh_tid t =
+  let tid = t.next_tid in
+  t.next_tid <- t.next_tid + 1;
+  tid
+
+let make_attempt t ~tid ~attempt ~origin_time ~startup_ts ~plan =
+  let now = Engine.now t.eng in
+  {
+    Txn.tid;
+    attempt;
+    origin_time;
+    attempt_time = now;
+    startup_ts;
+    cc_ts =
+      (if attempt = 1 then startup_ts else Timestamp.Clock.make t.clock ~time:now);
+    commit_ts = None;
+    plan;
+    phase = Txn.Working;
+    doomed = false;
+  }
+
+let run_terminal t ~index =
+  Engine.spawn t.eng ~name:(Printf.sprintf "terminal-%d" index) (fun () ->
+      let rec session () =
+        let think = Workload.think_time t.workload in
+        if think > 0. then
+          Engine.wait (Rng.exponential t.think_rng ~mean:think);
+        let plan = Workload.generate_plan t.workload ~terminal:index in
+        let origin_time = Engine.now t.eng in
+        Metrics.record_submit t.metrics;
+        let tid = fresh_tid t in
+        let startup_ts = Timestamp.Clock.make t.clock ~time:origin_time in
+        let rec attempt k plan =
+          let txn = make_attempt t ~tid ~attempt:k ~origin_time ~startup_ts ~plan in
+          match run_attempt t txn with
+          | Committed ->
+              Option.iter (fun a -> Audit.record_commit a txn) t.audit;
+              tracef t ~tag:"commit" (fun () ->
+                  Format.asprintf "%a after %.3fs" Txn.pp txn
+                    (Engine.now t.eng -. origin_time));
+              Metrics.record_commit t.metrics ~origin_time
+          | Aborted reason ->
+              Option.iter (fun a -> Audit.record_abort a txn) t.audit;
+              tracef t ~tag:"abort" (fun () ->
+                  Format.asprintf "%a: %s, restarting" Txn.pp txn
+                    (Txn.abort_reason_name reason));
+              Metrics.record_abort t.metrics ~reason;
+              Engine.wait (Metrics.restart_delay t.metrics);
+              let plan =
+                if t.params.Params.run.Params.fresh_restart_plan then
+                  Workload.generate_plan t.workload ~terminal:index
+                else plan
+              in
+              attempt (k + 1) plan
+        in
+        attempt 1 plan;
+        session ()
+      in
+      session ())
+
+(* ------------------------------------------------------------------ *)
+(* Run control and result collection                                   *)
+
+let reset_observation_windows t =
+  Metrics.begin_window t.metrics;
+  Node.reset_windows t.host;
+  Array.iter Node.reset_windows t.procs;
+  Array.iter
+    (fun node -> Stats.Tally.reset (Node.cc node).Cc_intf.cc_blocking)
+    t.procs
+
+let mean_over array f =
+  if Array.length array = 0 then 0.
+  else Array.fold_left (fun acc x -> acc +. f x) 0. array
+       /. float_of_int (Array.length array)
+
+let collect_result t ~wall_seconds =
+  let blocking_total, blocking_count =
+    Array.fold_left
+      (fun (tot, cnt) node ->
+        let tally = (Node.cc node).Cc_intf.cc_blocking in
+        (tot +. Stats.Tally.total tally, cnt + Stats.Tally.count tally))
+      (0., 0) t.procs
+  in
+  {
+    Sim_result.algorithm = t.params.Params.cc.Params.algorithm;
+    params = t.params;
+    throughput = Metrics.throughput t.metrics;
+    mean_response = Metrics.mean_response t.metrics;
+    response_ci95 = Metrics.response_ci95 t.metrics;
+    response_p50 = Metrics.response_percentile t.metrics 0.50;
+    response_p95 = Metrics.response_percentile t.metrics 0.95;
+    commits = Metrics.commits t.metrics;
+    aborts = Metrics.aborts t.metrics;
+    abort_ratio = Metrics.abort_ratio t.metrics;
+    abort_reasons = Metrics.abort_reason_counts t.metrics;
+    mean_blocking =
+      (if blocking_count = 0 then 0.
+       else blocking_total /. float_of_int blocking_count);
+    blocked_requests = blocking_count;
+    proc_cpu_util = mean_over t.procs Node.cpu_utilization;
+    proc_disk_util = mean_over t.procs Node.disk_utilization;
+    host_cpu_util = Node.cpu_utilization t.host;
+    mean_active = Metrics.mean_active t.metrics;
+    messages = Net.messages_sent t.net;
+    sim_events = Engine.events_processed t.eng;
+    sim_end = Engine.now t.eng;
+    wall_seconds;
+  }
+
+(** Attach an event trace (before {!execute}). *)
+let enable_trace ?(capacity = 10_000) t =
+  let trace = Trace.create t.eng ~capacity in
+  t.trace <- Some trace;
+  trace
+
+(** Attach a serializability auditor (before {!execute}); committed
+    transactions' reads and installs are then recorded for
+    {!Audit.check}. *)
+let enable_audit t =
+  let audit = Audit.create () in
+  t.audit <- Some audit;
+  audit
+
+(** Run an assembled machine to the end of its measurement window and
+    collect the result. *)
+let execute ?(log = false) t =
+  let run_params = t.params.Params.run in
+  ignore
+    (Engine.schedule t.eng ~at:run_params.Params.warmup (fun () ->
+         reset_observation_windows t)
+      : Engine.handle);
+  for index = 0 to t.params.Params.workload.Params.num_terminals - 1 do
+    run_terminal t ~index
+  done;
+  Option.iter Ddbm_cc.Snoop.start t.snoop;
+  let wall_start = Sys.time () in
+  Engine.run ~until:(run_params.Params.warmup +. run_params.Params.measure)
+    t.eng;
+  let wall_seconds = Sys.time () -. wall_start in
+  let result = collect_result t ~wall_seconds in
+  if log then Logs.info (fun m -> m "%a" Sim_result.pp result);
+  result
+
+(** Build and run a complete simulation; returns the measured result. *)
+let run ?log (params : Params.t) = execute ?log (create params)

@@ -1,0 +1,28 @@
+(** Assembly and execution of the complete distributed database machine
+    (Sections 2.1 and 3 of the paper): host + processing nodes, terminals,
+    coordinator/cohort transaction processes, centralized two-phase
+    commit, abort/restart handling, and the Snoop detector under 2PL.
+
+    The only entry point most users need is {!run}. *)
+
+type t
+
+(** Build a machine (validating the parameters; raises
+    [Invalid_argument] on inconsistent configurations). Exposed for tests
+    and custom drivers. *)
+val create : Ddbm_model.Params.t -> t
+
+(** Attach a serializability auditor to a freshly created machine; after
+    {!execute}, pass it to {!Audit.check}. *)
+val enable_audit : t -> Audit.t
+
+(** Attach a bounded event trace (transaction commits, aborts, abort
+    requests) to a freshly created machine. *)
+val enable_trace : ?capacity:int -> t -> Desim.Trace.t
+
+(** Run an assembled machine and collect the measured result. *)
+val execute : ?log:bool -> t -> Sim_result.t
+
+(** [run params] = [execute (create params)]. Deterministic for a given
+    parameter record. *)
+val run : ?log:bool -> Ddbm_model.Params.t -> Sim_result.t

@@ -1,0 +1,36 @@
+(** Coordinator/cohort message protocol.
+
+    One coordinator mailbox and one mailbox per cohort exist per
+    transaction attempt, so messages can never leak between attempts. The
+    only cross-attempt traffic, {!coord_msg.Abort_request}, carries the
+    target attempt and is dropped at routing time when stale. *)
+
+open Desim
+open Ddbm_model
+
+(** Coordinator -> cohort. *)
+type cohort_msg =
+  | Do_prepare  (** start phase one; [Txn.commit_ts] is already assigned *)
+  | Do_commit
+  | Do_abort
+
+(** Cohort (or CC manager) -> coordinator. *)
+type coord_msg =
+  | Work_done of int  (** cohort at node finished its reads and writes *)
+  | Cohort_aborted of int * Txn.abort_reason
+      (** cohort self-aborted (e.g. BTO rejection) *)
+  | Vote of int * bool
+  | Done_ack of int  (** final acknowledgement of commit or abort *)
+  | Abort_request of Txn.t * Txn.abort_reason
+      (** a CC manager somewhere demands this transaction's abort *)
+
+(** Per-attempt runtime shared between the coordinator and the message
+    routing layer. *)
+type attempt_runtime = {
+  txn : Txn.t;
+  coord_mb : coord_msg Mailbox.t;
+  cohort_mbs : (int, cohort_msg Mailbox.t) Hashtbl.t;  (** node -> mailbox *)
+}
+
+let make_runtime txn =
+  { txn; coord_mb = Mailbox.create (); cohort_mbs = Hashtbl.create 8 }

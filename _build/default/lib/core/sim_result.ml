@@ -1,0 +1,60 @@
+(** Output of one simulation run: the paper's metrics (Section 4.1) plus
+    diagnostics. *)
+
+open Ddbm_model
+
+type t = {
+  algorithm : Params.cc_algorithm;
+  params : Params.t;
+  throughput : float;  (** committed transactions per second *)
+  mean_response : float;  (** seconds, origination to successful completion *)
+  response_ci95 : float;  (** batch-means 95% half-width *)
+  response_p50 : float;
+  response_p95 : float;
+  commits : int;
+  aborts : int;
+  abort_ratio : float;  (** aborts per commit *)
+  abort_reasons : (string * int) list;
+  mean_blocking : float;  (** mean CC blocking time per blocked request *)
+  blocked_requests : int;
+  proc_cpu_util : float;  (** mean over processing nodes *)
+  proc_disk_util : float;  (** mean over all processing-node disks *)
+  host_cpu_util : float;
+  mean_active : float;  (** time-average number of in-flight transactions *)
+  messages : int;
+  sim_events : int;
+  sim_end : float;
+  wall_seconds : float;
+}
+
+let algorithm_name t = Params.cc_algorithm_name t.algorithm
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>%s: tput %.3f tx/s, resp %.3f s (±%.3f), %d commits, %d aborts \
+     (ratio %.3f)@ cpu %.2f disk %.2f host-cpu %.2f, blocking %.4f s \
+     (%d blocks), active %.1f, %d msgs@]"
+    (algorithm_name t) t.throughput t.mean_response t.response_ci95 t.commits
+    t.aborts t.abort_ratio t.proc_cpu_util t.proc_disk_util t.host_cpu_util
+    t.mean_blocking t.blocked_requests t.mean_active t.messages
+
+(** CSV header matching {!to_csv_row}. *)
+let csv_header =
+  "algorithm,think_time,proc_nodes,degree,file_size,inst_per_startup,\
+   inst_per_msg,throughput,mean_response,response_ci95,response_p50,\
+   response_p95,commits,aborts,\
+   abort_ratio,mean_blocking,proc_cpu_util,proc_disk_util,host_cpu_util,\
+   mean_active,messages"
+
+let to_csv_row t =
+  let p = t.params in
+  Printf.sprintf
+    "%s,%g,%d,%d,%d,%g,%g,%.5f,%.5f,%.5f,%.5f,%.5f,%d,%d,%.5f,%.5f,%.4f,%.4f,%.4f,%.3f,%d"
+    (algorithm_name t) p.Params.workload.Params.think_time
+    p.Params.database.Params.num_proc_nodes
+    p.Params.database.Params.partitioning_degree
+    p.Params.database.Params.file_size
+    p.Params.resources.Params.inst_per_startup
+    p.Params.resources.Params.inst_per_msg t.throughput t.mean_response
+    t.response_ci95 t.response_p50 t.response_p95 t.commits t.aborts t.abort_ratio t.mean_blocking
+    t.proc_cpu_util t.proc_disk_util t.host_cpu_util t.mean_active t.messages

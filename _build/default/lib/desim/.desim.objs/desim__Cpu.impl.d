@@ -1,0 +1,1 @@
+lib/desim/cpu.ml: Engine Float List Queue Stats

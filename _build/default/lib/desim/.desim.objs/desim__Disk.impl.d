@@ -1,0 +1,1 @@
+lib/desim/disk.ml: Engine Queue Rng Stats

@@ -1,0 +1,1 @@
+lib/desim/disk.mli: Engine Rng

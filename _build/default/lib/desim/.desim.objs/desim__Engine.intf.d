@@ -1,0 +1,1 @@
+lib/desim/engine.mli:

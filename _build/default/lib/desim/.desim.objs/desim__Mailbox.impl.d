@@ -1,0 +1,1 @@
+lib/desim/mailbox.ml: Engine Queue

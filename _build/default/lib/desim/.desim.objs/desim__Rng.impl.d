@@ -1,0 +1,1 @@
+lib/desim/rng.ml: Array Hashtbl Int64

@@ -1,0 +1,1 @@
+lib/desim/stats.ml: Array List

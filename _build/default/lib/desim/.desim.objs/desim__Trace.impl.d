@@ -1,0 +1,1 @@
+lib/desim/trace.ml: Engine List Printf Queue

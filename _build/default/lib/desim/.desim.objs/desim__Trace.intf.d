@@ -1,0 +1,1 @@
+lib/desim/trace.mli: Engine

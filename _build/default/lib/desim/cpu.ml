@@ -1,0 +1,128 @@
+type job = { mutable remaining : float; k : unit -> unit }
+
+type t = {
+  eng : Engine.t;
+  rate : float;
+  mutable ps : job list;
+  hi : (float * (unit -> unit)) Queue.t;
+  mutable hi_busy : bool;
+  mutable last : float; (* time up to which PS progress is accounted *)
+  mutable timer : Engine.handle option;
+  util : Stats.Utilization.t;
+}
+
+let epsilon = 1e-6 (* instructions *)
+
+let create eng ~rate =
+  assert (rate > 0.);
+  {
+    eng;
+    rate;
+    ps = [];
+    hi = Queue.create ();
+    hi_busy = false;
+    last = Engine.now eng;
+    timer = None;
+    util = Stats.Utilization.create ~now:(Engine.now eng);
+  }
+
+let rate t = t.rate
+
+let busy_level t = if t.hi_busy || t.ps <> [] then 1.0 else 0.0
+
+let record_util t =
+  Stats.Utilization.set_busy_level t.util ~now:(Engine.now t.eng)
+    ~level:(busy_level t)
+
+(* Account PS progress over [last, now]; the PS class only runs when no
+   high-priority work is in service. *)
+let account t =
+  let now = Engine.now t.eng in
+  let dt = now -. t.last in
+  if dt > 0. then begin
+    (if (not t.hi_busy) && t.ps <> [] then
+       let share = t.rate *. dt /. float_of_int (List.length t.ps) in
+       List.iter
+         (fun j -> j.remaining <- Float.max 0. (j.remaining -. share))
+         t.ps);
+    t.last <- now
+  end
+
+let cancel_timer t =
+  match t.timer with
+  | Some h ->
+      Engine.cancel h;
+      t.timer <- None
+  | None -> ()
+
+let rec reschedule t =
+  cancel_timer t;
+  if (not t.hi_busy) && t.ps <> [] then begin
+    let rmin =
+      List.fold_left (fun acc j -> Float.min acc j.remaining) infinity t.ps
+    in
+    let n = float_of_int (List.length t.ps) in
+    let delay = Float.max 0. (rmin *. n /. t.rate) in
+    t.timer <- Some (Engine.schedule_after t.eng ~delay (fun () -> on_timer t))
+  end
+
+and on_timer t =
+  t.timer <- None;
+  account t;
+  let done_, live = List.partition (fun j -> j.remaining <= epsilon) t.ps in
+  t.ps <- live;
+  record_util t;
+  reschedule t;
+  List.iter (fun j -> j.k ()) done_
+
+let rec pump_hi t =
+  if (not t.hi_busy) && not (Queue.is_empty t.hi) then begin
+    account t;
+    cancel_timer t;
+    t.hi_busy <- true;
+    record_util t;
+    let instructions, k = Queue.pop t.hi in
+    ignore
+      (Engine.schedule_after t.eng ~delay:(instructions /. t.rate) (fun () ->
+           account t;
+           t.hi_busy <- false;
+           record_util t;
+           pump_hi t;
+           if not t.hi_busy then reschedule t;
+           k ())
+        : Engine.handle)
+  end
+
+let submit t ~instructions k =
+  if instructions <= 0. then k ()
+  else begin
+    account t;
+    t.ps <- { remaining = instructions; k } :: t.ps;
+    record_util t;
+    reschedule t
+  end
+
+let submit_priority t ~instructions k =
+  if instructions <= 0. then k ()
+  else begin
+    Queue.push (instructions, k) t.hi;
+    pump_hi t
+  end
+
+let consume t ~instructions =
+  if instructions > 0. then
+    Engine.suspend (fun (r : unit Engine.resolver) ->
+        submit t ~instructions (fun () -> r.resolve ()))
+
+let consume_priority t ~instructions =
+  if instructions > 0. then
+    Engine.suspend (fun (r : unit Engine.resolver) ->
+        submit_priority t ~instructions (fun () -> r.resolve ()))
+
+let ps_load t = List.length t.ps
+
+let utilization t =
+  (* Flush the current level before reading. *)
+  Stats.Utilization.value t.util ~now:(Engine.now t.eng)
+
+let reset_window t = Stats.Utilization.set_window t.util ~now:(Engine.now t.eng)

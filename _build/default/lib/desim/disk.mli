@@ -1,0 +1,32 @@
+(** Disk model per the paper's resource manager (Section 3.4):
+
+    - each disk serves its own queue FCFS;
+    - writes are given priority over reads (so the post-commit asynchronous
+      write stream keeps up);
+    - access times are uniform over [min_time, max_time]. *)
+
+type t
+
+val create : Engine.t -> Rng.t -> min_time:float -> max_time:float -> t
+
+(** Queue a read; [k] runs when the read completes. *)
+val submit_read : t -> (unit -> unit) -> unit
+
+(** Queue a write; [k] runs when the write completes. For the paper's
+    asynchronous post-commit writes pass [ignore]-like continuations. *)
+val submit_write : t -> (unit -> unit) -> unit
+
+(** Blocking read (valid only inside a process). *)
+val read : t -> unit
+
+(** Blocking write. *)
+val write : t -> unit
+
+(** Reads + writes waiting or in service. *)
+val queue_length : t -> int
+
+val utilization : t -> float
+val reset_window : t -> unit
+
+(** Completed operation counts since creation (reads, writes). *)
+val op_counts : t -> int * int

@@ -1,0 +1,159 @@
+open Effect
+open Effect.Deep
+
+exception Not_in_process
+
+type handle = { mutable cancelled : bool }
+
+type 'a resolver = { resolve : 'a -> unit; reject : exn -> unit }
+
+type event = { time : float; seq : int; action : unit -> unit; h : handle }
+
+type t = {
+  mutable now : float;
+  events : event Heap.t;
+  mutable seq : int;
+  mutable stop_requested : bool;
+  mutable processed : int;
+}
+
+(* Effects are parameterized by the engine so that several engines can
+   coexist; the handler installed by [spawn] checks identity. *)
+type _ Effect.t +=
+  | Wait : t * float -> unit Effect.t
+  | Suspend : t * ('a resolver -> unit) -> 'a Effect.t
+
+let cmp_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  {
+    now = 0.;
+    events = Heap.create ~cmp:cmp_event;
+    seq = 0;
+    stop_requested = false;
+    processed = 0;
+  }
+
+let now t = t.now
+
+let schedule t ~at action =
+  if at < t.now -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at %g is in the past (now %g)" at t.now);
+  let at = if at < t.now then t.now else at in
+  let h = { cancelled = false } in
+  t.seq <- t.seq + 1;
+  Heap.push t.events { time = at; seq = t.seq; action; h };
+  h
+
+let schedule_after t ~delay action = schedule t ~at:(t.now +. delay) action
+
+let cancel h = h.cancelled <- true
+
+(* Processes find their engine through a "current engine" slot maintained
+   around every resumption, so model code can call [wait]/[suspend] without
+   threading the engine value everywhere. *)
+let current : t option ref = ref None
+
+let wait delay =
+  match !current with
+  | None -> raise Not_in_process
+  | Some eng -> perform (Wait (eng, delay))
+
+let suspend register =
+  match !current with
+  | None -> raise Not_in_process
+  | Some eng -> perform (Suspend (eng, register))
+
+let make_resolver (schedule_resume : (unit -> unit) -> unit)
+    (k_resolve : 'a -> unit -> unit) (k_reject : exn -> unit -> unit) :
+    'a resolver =
+  let used = ref false in
+  let once f x =
+    if !used then invalid_arg "Engine: resolver used twice";
+    used := true;
+    schedule_resume (f x)
+  in
+  { resolve = (fun v -> once k_resolve v); reject = (fun e -> once k_reject e) }
+
+let rec run_fiber (t : t) (f : unit -> unit) : unit =
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Wait (eng, delay) when eng == t ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  ignore
+                    (schedule_after t ~delay (fun () -> resume t k ())
+                      : handle))
+          | Suspend (eng, register) when eng == t ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let schedule_resume thunk =
+                    ignore (schedule t ~at:t.now thunk : handle)
+                  in
+                  let r =
+                    make_resolver schedule_resume
+                      (fun v () -> resume t k v)
+                      (fun e () -> discontinue_in t k e)
+                  in
+                  register r)
+          | _ -> None);
+    }
+
+and resume : type a. t -> (a, unit) continuation -> a -> unit =
+ fun t k v ->
+  let saved = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := saved) (fun () -> continue k v)
+
+and discontinue_in : type a. t -> (a, unit) continuation -> exn -> unit =
+ fun t k e ->
+  let saved = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := saved) (fun () -> discontinue k e)
+
+let spawn t ?name:_ f =
+  ignore
+    (schedule t ~at:t.now (fun () ->
+         let saved = !current in
+         current := Some t;
+         Fun.protect
+           ~finally:(fun () -> current := saved)
+           (fun () -> run_fiber t f))
+      : handle)
+
+let stop t = t.stop_requested <- true
+
+let events_processed t = t.processed
+
+let run ?until t =
+  t.stop_requested <- false;
+  let continue_ = ref true in
+  while !continue_ && (not t.stop_requested) && not (Heap.is_empty t.events) do
+    match Heap.peek t.events with
+    | None -> continue_ := false
+    | Some ev -> (
+        match until with
+        | Some u when ev.time > u ->
+            t.now <- u;
+            continue_ := false
+        | _ ->
+            ignore (Heap.pop t.events);
+            if not ev.h.cancelled then begin
+              t.now <- ev.time;
+              t.processed <- t.processed + 1;
+              ev.action ()
+            end)
+  done;
+  match until with
+  | Some u when (not t.stop_requested) && t.now < u && Heap.is_empty t.events
+    ->
+      t.now <- u
+  | _ -> ()

@@ -1,0 +1,30 @@
+(** Array-based binary min-heap, specialized for discrete-event scheduling.
+
+    Elements are ordered by a user-supplied total order. Ties must be broken
+    by the caller (the simulation engine uses a monotone sequence number) so
+    that event ordering is deterministic. *)
+
+type 'a t
+
+(** [create ~cmp] is an empty heap ordered by [cmp] (strictly less = negative). *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+(** Number of elements currently stored. *)
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Insert an element. Amortized O(log n). *)
+val push : 'a t -> 'a -> unit
+
+(** Smallest element, or [None] when empty. Does not remove. *)
+val peek : 'a t -> 'a option
+
+(** Remove and return the smallest element, or [None] when empty. *)
+val pop : 'a t -> 'a option
+
+(** Remove all elements. *)
+val clear : 'a t -> unit
+
+(** Fold over elements in arbitrary (heap) order. *)
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b

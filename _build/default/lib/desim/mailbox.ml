@@ -1,0 +1,20 @@
+type 'a t = {
+  msgs : 'a Queue.t;
+  waiters : 'a Engine.resolver Queue.t;
+}
+
+let create () = { msgs = Queue.create (); waiters = Queue.create () }
+
+let send t m =
+  if Queue.is_empty t.waiters then Queue.push m t.msgs
+  else
+    let (r : _ Engine.resolver) = Queue.pop t.waiters in
+    r.resolve m
+
+let recv t =
+  if not (Queue.is_empty t.msgs) then Queue.pop t.msgs
+  else Engine.suspend (fun r -> Queue.push r t.waiters)
+
+let try_recv t = if Queue.is_empty t.msgs then None else Some (Queue.pop t.msgs)
+
+let length t = Queue.length t.msgs

@@ -1,0 +1,20 @@
+(** Unbounded FIFO message queue with blocking receive.
+
+    Multiple senders, multiple (queued) receivers. Used for node message
+    dispatch loops and coordinator/cohort communication. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Enqueue a message; wakes the longest-waiting receiver, if any. *)
+val send : 'a t -> 'a -> unit
+
+(** Dequeue a message, blocking the calling process while empty. *)
+val recv : 'a t -> 'a
+
+(** [try_recv t] is [Some m] without blocking, or [None] when empty. *)
+val try_recv : 'a t -> 'a option
+
+(** Number of queued (undelivered) messages. *)
+val length : 'a t -> int

@@ -1,0 +1,73 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+(* 53 high bits -> float in [0,1) *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. float t)
+
+let exponential t ~mean =
+  assert (mean >= 0.0);
+  if mean = 0.0 then 0.0
+  else
+    let u = float t in
+    (* u is in [0,1); 1-u is in (0,1] so log is finite *)
+    -.mean *. log (1.0 -. u)
+
+let int t n =
+  assert (n > 0);
+  (* Rejection-free for simulation purposes: modulo bias is negligible for
+     the small ranges used here (n << 2^63). *)
+  let v = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem v (Int64.of_int n))
+
+let int_range t ~lo ~hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let bool t ~p = float t < p
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let sample_without_replacement t ~n ~k =
+  assert (0 <= k && k <= n);
+  (* Partial Fisher-Yates over a sparse map: O(k) time and space. *)
+  let tbl = Hashtbl.create (2 * k) in
+  let get i = match Hashtbl.find_opt tbl i with Some v -> v | None -> i in
+  let acc = ref [] in
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let vi = get i and vj = get j in
+    Hashtbl.replace tbl j vi;
+    Hashtbl.replace tbl i vj;
+    acc := vj :: !acc
+  done;
+  !acc

@@ -1,0 +1,207 @@
+module Tally = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable total : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.; m2 = 0.; total = 0.; mn = infinity; mx = neg_infinity }
+
+  let reset t =
+    t.n <- 0;
+    t.mean <- 0.;
+    t.m2 <- 0.;
+    t.total <- 0.;
+    t.mn <- infinity;
+    t.mx <- neg_infinity
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x
+
+  let count t = t.n
+  let total t = t.total
+  let mean t = if t.n = 0 then 0. else t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.mn
+  let max t = t.mx
+
+  let ci95 t =
+    if t.n < 2 then 0.
+    else 1.96 *. stddev t /. sqrt (float_of_int t.n)
+end
+
+module Timeseries = struct
+  type t = {
+    mutable window_start : float;
+    mutable last_time : float;
+    mutable last_value : float;
+    mutable area : float;
+  }
+
+  let create ~now ~value =
+    { window_start = now; last_time = now; last_value = value; area = 0. }
+
+  let flush t ~now =
+    if now > t.last_time then begin
+      t.area <- t.area +. (t.last_value *. (now -. t.last_time));
+      t.last_time <- now
+    end
+
+  let update t ~now ~value =
+    flush t ~now;
+    t.last_value <- value
+
+  let set_window t ~now =
+    flush t ~now;
+    t.window_start <- now;
+    t.area <- 0.
+
+  let value t = t.last_value
+
+  let average t ~now =
+    let span = now -. t.window_start in
+    if span <= 0. then t.last_value
+    else t.area +. (t.last_value *. (now -. t.last_time)) |> fun a -> a /. span
+end
+
+module Utilization = struct
+  type t = Timeseries.t
+
+  let create ~now = Timeseries.create ~now ~value:0.
+
+  let set_busy_level t ~now ~level =
+    assert (level >= 0. && level <= 1.0000001);
+    Timeseries.update t ~now ~value:level
+
+  let set_window = Timeseries.set_window
+  let value t ~now = Timeseries.average t ~now
+end
+
+module Batch_means = struct
+  type t = {
+    batch_size : int;
+    batch_stats : Tally.t;  (** one observation per completed batch *)
+    mutable current_sum : float;
+    mutable current_n : int;
+    mutable total : int;
+  }
+
+  let create ~batch_size =
+    assert (batch_size > 0);
+    {
+      batch_size;
+      batch_stats = Tally.create ();
+      current_sum = 0.;
+      current_n = 0;
+      total = 0;
+    }
+
+  let add t x =
+    t.total <- t.total + 1;
+    t.current_sum <- t.current_sum +. x;
+    t.current_n <- t.current_n + 1;
+    if t.current_n = t.batch_size then begin
+      Tally.add t.batch_stats (t.current_sum /. float_of_int t.batch_size);
+      t.current_sum <- 0.;
+      t.current_n <- 0
+    end
+
+  let count t = t.total
+  let batches t = Tally.count t.batch_stats
+  let mean t = Tally.mean t.batch_stats
+
+  (* two-sided 97.5% t quantiles for small degrees of freedom, then the
+     normal approximation *)
+  let t_quantile df =
+    match df with
+    | 1 -> 12.706
+    | 2 -> 4.303
+    | 3 -> 3.182
+    | 4 -> 2.776
+    | 5 -> 2.571
+    | 6 -> 2.447
+    | 7 -> 2.365
+    | 8 -> 2.306
+    | 9 -> 2.262
+    | 10 -> 2.228
+    | 15 -> 2.131
+    | 20 -> 2.086
+    | df when df <= 12 -> 2.2
+    | df when df <= 17 -> 2.12
+    | df when df <= 25 -> 2.07
+    | df when df <= 40 -> 2.02
+    | _ -> 1.96
+
+  let ci95 t =
+    let n = batches t in
+    if n < 2 then 0.
+    else
+      t_quantile (n - 1) *. Tally.stddev t.batch_stats /. sqrt (float_of_int n)
+
+  let reset t =
+    Tally.reset t.batch_stats;
+    t.current_sum <- 0.;
+    t.current_n <- 0;
+    t.total <- 0
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    counts : int array;
+    mutable n : int;
+  }
+
+  let create ~lo ~hi ~bins =
+    assert (bins > 0 && hi > lo);
+    { lo; hi; counts = Array.make bins 0; n = 0 }
+
+  let nbins t = Array.length t.counts
+
+  let add t x =
+    let w = (t.hi -. t.lo) /. float_of_int (nbins t) in
+    let i = int_of_float ((x -. t.lo) /. w) in
+    let i = if i < 0 then 0 else if i >= nbins t then nbins t - 1 else i in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.n <- t.n + 1
+
+  let count t = t.n
+
+  let quantile t q =
+    if t.n = 0 then nan
+    else begin
+      let target = q *. float_of_int t.n in
+      let w = (t.hi -. t.lo) /. float_of_int (nbins t) in
+      let rec go i acc =
+        if i >= nbins t then t.hi
+        else
+          let acc' = acc +. float_of_int t.counts.(i) in
+          if acc' >= target then
+            let frac =
+              if t.counts.(i) = 0 then 0.
+              else (target -. acc) /. float_of_int t.counts.(i)
+            in
+            t.lo +. (w *. (float_of_int i +. frac))
+          else go (i + 1) acc'
+      in
+      go 0 0.
+    end
+
+  let bins t =
+    let w = (t.hi -. t.lo) /. float_of_int (nbins t) in
+    List.init (nbins t) (fun i ->
+        (t.lo +. (w *. float_of_int i), t.lo +. (w *. float_of_int (i + 1)),
+         t.counts.(i)))
+end

@@ -1,0 +1,109 @@
+(** Statistics collectors for simulation output analysis. *)
+
+(** Welford-style online accumulator for i.i.d.-ish observations
+    (response times, blocking times, ...). *)
+module Tally : sig
+  type t
+
+  val create : unit -> t
+  val reset : t -> unit
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+
+  (** Sample variance (n-1 denominator); 0 for fewer than 2 observations. *)
+  val variance : t -> float
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  (** Half-width of a normal-approximation 95% confidence interval on the
+      mean; 0 for fewer than 2 observations. *)
+  val ci95 : t -> float
+end
+
+(** Time-weighted average of a piecewise-constant signal (queue lengths,
+    number of active transactions, ...). *)
+module Timeseries : sig
+  type t
+
+  (** [create ~now ~value] starts tracking at simulated time [now]. *)
+  val create : now:float -> value:float -> t
+
+  (** [update t ~now ~value] records that the signal changed to [value] at
+      time [now]. Times must be non-decreasing. *)
+  val update : t -> now:float -> value:float -> unit
+
+  (** [set_window t ~now] discards history before [now] (end of warm-up). *)
+  val set_window : t -> now:float -> unit
+
+  (** Current value of the signal. *)
+  val value : t -> float
+
+  (** Time-average over the observation window ending at [now]. *)
+  val average : t -> now:float -> float
+end
+
+(** Busy-time tracker for a single server or a pool: fraction of time the
+    tracked quantity was non-zero, plus accumulated busy area. *)
+module Utilization : sig
+  type t
+
+  val create : now:float -> t
+
+  (** [set_busy_level t ~now ~level] : [level] in [0,1] is the fraction of
+      capacity in use from [now] on (1 server busy = 1.0; for a pool of k
+      servers pass busy/k). *)
+  val set_busy_level : t -> now:float -> level:float -> unit
+
+  val set_window : t -> now:float -> unit
+
+  (** Mean utilization over the observation window ending at [now]. *)
+  val value : t -> now:float -> float
+end
+
+(** Batch-means estimator: autocorrelated steady-state observations (e.g.
+    response times of successive transactions) are grouped into fixed-size
+    batches whose means are approximately independent, giving an honest
+    confidence interval via the t-distribution over batch means. *)
+module Batch_means : sig
+  type t
+
+  (** [create ~batch_size] groups every [batch_size] consecutive
+      observations into one batch. *)
+  val create : batch_size:int -> t
+
+  val add : t -> float -> unit
+
+  (** Total observations seen. *)
+  val count : t -> int
+
+  (** Completed batches. *)
+  val batches : t -> int
+
+  (** Grand mean over completed batches (0 when none). *)
+  val mean : t -> float
+
+  (** Half-width of the 95% confidence interval from the batch means
+      (t-quantile approximation); 0 with fewer than 2 batches. *)
+  val ci95 : t -> float
+
+  val reset : t -> unit
+end
+
+(** Fixed-bin histogram over [lo, hi); out-of-range values are clamped to
+    the edge bins. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  val add : t -> float -> unit
+  val count : t -> int
+
+  (** [quantile t q] for q in [0,1], linear within bins; nan when empty. *)
+  val quantile : t -> float -> float
+
+  val bins : t -> (float * float * int) list
+end

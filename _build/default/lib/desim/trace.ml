@@ -1,0 +1,38 @@
+type event = { time : float; tag : string; message : string }
+
+type t = {
+  eng : Engine.t;
+  capacity : int;
+  ring : event Queue.t;
+  mutable sink : (event -> unit) option;
+  mutable emitted : int;
+}
+
+let create eng ~capacity =
+  assert (capacity > 0);
+  { eng; capacity; ring = Queue.create (); sink = None; emitted = 0 }
+
+let push t ev =
+  t.emitted <- t.emitted + 1;
+  Queue.push ev t.ring;
+  if Queue.length t.ring > t.capacity then ignore (Queue.pop t.ring);
+  match t.sink with Some f -> f ev | None -> ()
+
+let emit t ~tag message =
+  push t { time = Engine.now t.eng; tag; message }
+
+let emitf t ~tag build = emit t ~tag (build ())
+
+let set_sink t sink = t.sink <- sink
+
+let events t = List.of_seq (Queue.to_seq t.ring)
+
+let events_with_tag t tag =
+  List.filter (fun ev -> ev.tag = tag) (events t)
+
+let emitted t = t.emitted
+
+let clear t = Queue.clear t.ring
+
+let format_event ev =
+  Printf.sprintf "t=%.6f [%s] %s" ev.time ev.tag ev.message

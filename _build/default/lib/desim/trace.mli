@@ -1,0 +1,37 @@
+(** Lightweight event tracing for simulations.
+
+    A bounded ring of timestamped, tagged events; optionally mirrored to a
+    live sink (e.g. stderr) as they are emitted. Tracing costs nothing
+    when no trace is attached — model code guards emissions with
+    [Option.iter]. *)
+
+type event = { time : float; tag : string; message : string }
+
+type t
+
+(** [create eng ~capacity] keeps the last [capacity] events. *)
+val create : Engine.t -> capacity:int -> t
+
+(** Record an event at the current simulated time. *)
+val emit : t -> tag:string -> string -> unit
+
+(** Like {!emit} but the message is built lazily (skipped if the ring is
+    disabled). *)
+val emitf : t -> tag:string -> (unit -> string) -> unit
+
+(** Mirror every subsequent event to [f] as it happens. *)
+val set_sink : t -> (event -> unit) option -> unit
+
+(** Events currently retained, oldest first. *)
+val events : t -> event list
+
+(** Events retained for one tag, oldest first. *)
+val events_with_tag : t -> string -> event list
+
+(** Total emitted since creation (including evicted ones). *)
+val emitted : t -> int
+
+val clear : t -> unit
+
+(** "t=12.345678 [tag] message" *)
+val format_event : event -> string

@@ -1,0 +1,1 @@
+lib/mach/catalog.ml: Array Hashtbl Ids List Params

@@ -1,0 +1,1 @@
+lib/mach/catalog.mli: Ids Params

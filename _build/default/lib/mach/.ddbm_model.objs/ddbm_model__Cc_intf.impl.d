@@ -1,0 +1,1 @@
+lib/mach/cc_intf.ml: Desim Ids Params Timestamp Txn

@@ -1,0 +1,1 @@
+lib/mach/ids.ml: Format Hashtbl Int

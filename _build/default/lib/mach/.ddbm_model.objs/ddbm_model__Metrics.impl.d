@@ -1,0 +1,1 @@
+lib/mach/metrics.ml: Desim Engine Float Hashtbl List Option Stats Stdlib Txn

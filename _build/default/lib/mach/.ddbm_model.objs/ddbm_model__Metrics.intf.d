@@ -1,0 +1,1 @@
+lib/mach/metrics.mli: Desim Txn

@@ -1,0 +1,1 @@
+lib/mach/net.ml: Cpu Desim Ids

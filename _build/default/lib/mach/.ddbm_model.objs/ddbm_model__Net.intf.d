@@ -1,0 +1,1 @@
+lib/mach/net.mli: Desim Ids

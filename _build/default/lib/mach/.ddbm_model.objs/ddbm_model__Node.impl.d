@@ -1,0 +1,1 @@
+lib/mach/node.ml: Array Cc_intf Cpu Desim Disk Format Ids Params Rng

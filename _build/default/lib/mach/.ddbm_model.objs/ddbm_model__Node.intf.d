@@ -1,0 +1,1 @@
+lib/mach/node.mli: Cc_intf Desim Ids Params

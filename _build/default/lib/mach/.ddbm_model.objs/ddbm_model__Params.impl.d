@@ -1,0 +1,1 @@
+lib/mach/params.ml: Result String

@@ -1,0 +1,1 @@
+lib/mach/plan.ml: Format Ids List Page

@@ -1,0 +1,1 @@
+lib/mach/timestamp.ml: Float Format Int Stdlib

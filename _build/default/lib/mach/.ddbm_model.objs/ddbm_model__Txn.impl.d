@@ -1,0 +1,1 @@
+lib/mach/txn.ml: Format Plan Timestamp

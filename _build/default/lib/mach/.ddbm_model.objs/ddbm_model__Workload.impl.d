@@ -1,0 +1,1 @@
+lib/mach/workload.ml: Catalog Desim Hashtbl Ids Int List Option Page Params Plan

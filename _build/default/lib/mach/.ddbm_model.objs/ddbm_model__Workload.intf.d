@@ -1,0 +1,1 @@
+lib/mach/workload.mli: Catalog Desim Params Plan

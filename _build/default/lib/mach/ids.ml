@@ -1,0 +1,37 @@
+(** Identifier types shared across the machine model. *)
+
+(** A node of the database machine: the single host node (terminals,
+    coordinators) or one of the processing nodes (data, cohorts). *)
+type node_ref = Host | Proc of int
+
+let node_ref_equal a b =
+  match (a, b) with
+  | Host, Host -> true
+  | Proc i, Proc j -> i = j
+  | Host, Proc _ | Proc _, Host -> false
+
+let pp_node_ref fmt = function
+  | Host -> Format.pp_print_string fmt "host"
+  | Proc i -> Format.fprintf fmt "proc%d" i
+
+(** A page of a file; files model relation partitions. *)
+module Page = struct
+  type t = { file : int; index : int }
+
+  let make ~file ~index = { file; index }
+  let compare a b =
+    let c = Int.compare a.file b.file in
+    if c <> 0 then c else Int.compare a.index b.index
+
+  let equal a b = compare a b = 0
+  let hash t = (t.file * 1_000_003) + t.index
+  let pp fmt t = Format.fprintf fmt "f%d/p%d" t.file t.index
+end
+
+(** Hashtable keyed by pages. *)
+module Page_table = Hashtbl.Make (struct
+  type t = Page.t
+
+  let equal = Page.equal
+  let hash = Page.hash
+end)

@@ -1,0 +1,127 @@
+(** Simulation output collector.
+
+    Counts and tallies are windowed: {!begin_window} is called at the end
+    of the warm-up period and discards everything observed so far. The
+    running (unwindowed) response-time average also feeds the
+    abort-restart delay, per [Agra87a]: a restarted transaction waits one
+    average response time as observed at the coordinator node. *)
+
+open Desim
+
+type t = {
+  eng : Engine.t;
+  restart_delay_floor : float;
+  mutable window_start : float;
+  mutable commits : int;
+  mutable aborts : int;
+  response : Stats.Tally.t;  (** committed transactions, windowed *)
+  response_batches : Stats.Batch_means.t;
+      (** batch-means view of the same observations, for honest CIs *)
+  mutable response_samples : float list;
+      (** windowed raw samples, for exact percentiles *)
+  response_running : Stats.Tally.t;  (** never reset; feeds restart delay *)
+  blocked_time : Stats.Tally.t;  (** aggregated CC blocking times *)
+  mutable active : int;  (** transactions currently in the system *)
+  active_ts : Stats.Timeseries.t;
+  abort_reasons : (string, int) Hashtbl.t;
+}
+
+let create eng ~restart_delay_floor =
+  {
+    eng;
+    restart_delay_floor;
+    window_start = Engine.now eng;
+    commits = 0;
+    aborts = 0;
+    response = Stats.Tally.create ();
+    response_batches = Stats.Batch_means.create ~batch_size:32;
+    response_samples = [];
+    response_running = Stats.Tally.create ();
+    blocked_time = Stats.Tally.create ();
+    active = 0;
+    active_ts = Stats.Timeseries.create ~now:(Engine.now eng) ~value:0.;
+    abort_reasons = Hashtbl.create 8;
+  }
+
+let begin_window t =
+  t.window_start <- Engine.now t.eng;
+  t.commits <- 0;
+  t.aborts <- 0;
+  Stats.Tally.reset t.response;
+  Stats.Batch_means.reset t.response_batches;
+  t.response_samples <- [];
+  Stats.Tally.reset t.blocked_time;
+  Hashtbl.reset t.abort_reasons;
+  Stats.Timeseries.set_window t.active_ts ~now:(Engine.now t.eng)
+
+let record_submit t =
+  t.active <- t.active + 1;
+  Stats.Timeseries.update t.active_ts ~now:(Engine.now t.eng)
+    ~value:(float_of_int t.active)
+
+let record_commit t ~origin_time =
+  let response = Engine.now t.eng -. origin_time in
+  t.commits <- t.commits + 1;
+  Stats.Tally.add t.response response;
+  Stats.Batch_means.add t.response_batches response;
+  t.response_samples <- response :: t.response_samples;
+  Stats.Tally.add t.response_running response;
+  t.active <- t.active - 1;
+  Stats.Timeseries.update t.active_ts ~now:(Engine.now t.eng)
+    ~value:(float_of_int t.active)
+
+let record_abort t ~(reason : Txn.abort_reason) =
+  t.aborts <- t.aborts + 1;
+  let name = Txn.abort_reason_name reason in
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.abort_reasons name) in
+  Hashtbl.replace t.abort_reasons name (prev + 1)
+
+let abort_reason_counts t =
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) t.abort_reasons []
+  |> List.sort compare
+
+let window_duration t = Engine.now t.eng -. t.window_start
+
+(** Transactions committed per second over the measurement window. *)
+let throughput t =
+  let d = window_duration t in
+  if d <= 0. then 0. else float_of_int t.commits /. d
+
+let mean_response t = Stats.Tally.mean t.response
+
+(* Successive response times are autocorrelated, so the confidence
+   interval comes from batch means; with fewer than two complete batches,
+   fall back to the (optimistic) iid interval. *)
+let response_ci95 t =
+  if Stats.Batch_means.batches t.response_batches >= 2 then
+    Stats.Batch_means.ci95 t.response_batches
+  else Stats.Tally.ci95 t.response
+(* Exact percentile over the windowed samples (0 when empty). *)
+let response_percentile t q =
+  match t.response_samples with
+  | [] -> 0.
+  | samples ->
+      let sorted = List.sort Float.compare samples in
+      let n = List.length sorted in
+      let idx =
+        Stdlib.min (n - 1)
+          (int_of_float (Float.of_int n *. q))
+      in
+      List.nth sorted idx
+
+let commits t = t.commits
+let aborts t = t.aborts
+
+(** Aborts per commit (the paper's abort ratio). *)
+let abort_ratio t =
+  if t.commits = 0 then 0.
+  else float_of_int t.aborts /. float_of_int t.commits
+
+(** Delay imposed on a restarting transaction: the running mean response
+    time, or the configured floor before any commit has been observed. *)
+let restart_delay t =
+  if Stats.Tally.count t.response_running = 0 then t.restart_delay_floor
+  else Stats.Tally.mean t.response_running
+
+let mean_active t = Stats.Timeseries.average t.active_ts ~now:(Engine.now t.eng)
+let blocked_time t = t.blocked_time

@@ -1,0 +1,56 @@
+(** Simulation output collector for the paper's metrics (Section 4.1).
+
+    Counts and tallies are windowed: {!begin_window} is called at the end
+    of warm-up and discards everything observed so far. The running
+    (unwindowed) response-time average feeds the abort-restart delay: a
+    restarted transaction waits one average response time as observed at
+    the coordinator node [Agra87a]. *)
+
+type t
+
+val create : Desim.Engine.t -> restart_delay_floor:float -> t
+
+(** Discard all observations so far; start the measurement window now. *)
+val begin_window : t -> unit
+
+(** A terminal submitted a new transaction. *)
+val record_submit : t -> unit
+
+(** A transaction committed; response time is measured from its first
+    submission, spanning any restarts. *)
+val record_commit : t -> origin_time:float -> unit
+
+(** A transaction attempt aborted. *)
+val record_abort : t -> reason:Txn.abort_reason -> unit
+
+val window_duration : t -> float
+
+(** Committed transactions per second over the measurement window. *)
+val throughput : t -> float
+
+val mean_response : t -> float
+
+(** Batch-means 95% CI on the mean response time (falls back to the iid
+    interval before two batches complete). *)
+val response_ci95 : t -> float
+
+(** Exact percentile (e.g. [0.95]) of windowed response times. *)
+val response_percentile : t -> float -> float
+val commits : t -> int
+val aborts : t -> int
+
+(** Aborts per commit (the paper's abort ratio). *)
+val abort_ratio : t -> float
+
+(** Abort counts by reason name, sorted. *)
+val abort_reason_counts : t -> (string * int) list
+
+(** Delay imposed on a restarting transaction: the running mean response
+    time, or the configured floor before any commit has been observed. *)
+val restart_delay : t -> float
+
+(** Time-average number of in-flight transactions. *)
+val mean_active : t -> float
+
+(** Aggregated CC blocking-time tally (owned by callers). *)
+val blocked_time : t -> Desim.Stats.Tally.t

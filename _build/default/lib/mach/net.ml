@@ -1,0 +1,40 @@
+(** The network manager (Section 3.5).
+
+    A switch with negligible wire time: a message costs [inst_per_msg] CPU
+    instructions at the sending node and again at the receiving node, both
+    served in the CPU's high-priority FCFS message class. Local deliveries
+    (src = dst) are free procedure calls. *)
+
+open Desim
+
+type t = {
+  inst_per_msg : float;
+  cpu_of : Ids.node_ref -> Cpu.t;
+  mutable messages_sent : int;
+}
+
+let create ~inst_per_msg ~cpu_of = { inst_per_msg; cpu_of; messages_sent = 0 }
+
+(** [send t ~src ~dst deliver]: blocks the calling process for the sender-
+    side CPU cost, then (asynchronously) charges the receiver-side cost and
+    invokes [deliver] at the destination. *)
+let send t ~src ~dst deliver =
+  if Ids.node_ref_equal src dst then deliver ()
+  else begin
+    t.messages_sent <- t.messages_sent + 1;
+    Cpu.consume_priority (t.cpu_of src) ~instructions:t.inst_per_msg;
+    Cpu.submit_priority (t.cpu_of dst) ~instructions:t.inst_per_msg deliver
+  end
+
+(** Like {!send} but fully asynchronous: usable outside process context
+    (e.g. from an event callback); the sender-side cost is still charged
+    to the sender's CPU. *)
+let send_async t ~src ~dst deliver =
+  if Ids.node_ref_equal src dst then deliver ()
+  else begin
+    t.messages_sent <- t.messages_sent + 1;
+    Cpu.submit_priority (t.cpu_of src) ~instructions:t.inst_per_msg (fun () ->
+        Cpu.submit_priority (t.cpu_of dst) ~instructions:t.inst_per_msg deliver)
+  end
+
+let messages_sent t = t.messages_sent

@@ -1,0 +1,25 @@
+(** The network manager (Section 3.5): a switch with negligible wire time.
+    A message costs [inst_per_msg] CPU instructions at the sending node
+    and again at the receiving node, both served in the CPU's
+    high-priority FCFS message class. Local deliveries (src = dst) are
+    free procedure calls. *)
+
+type t
+
+val create :
+  inst_per_msg:float -> cpu_of:(Ids.node_ref -> Desim.Cpu.t) -> t
+
+(** [send t ~src ~dst deliver] blocks the calling process for the
+    sender-side CPU cost, then asynchronously charges the receiver-side
+    cost and runs [deliver] at the destination. *)
+val send :
+  t -> src:Ids.node_ref -> dst:Ids.node_ref -> (unit -> unit) -> unit
+
+(** Fully asynchronous variant, usable outside process context; the
+    sender-side cost is still charged to the sender's CPU. With a zero
+    per-message cost, delivery happens synchronously inside the call. *)
+val send_async :
+  t -> src:Ids.node_ref -> dst:Ids.node_ref -> (unit -> unit) -> unit
+
+(** Total messages sent (excluding free local deliveries). *)
+val messages_sent : t -> int

@@ -1,0 +1,54 @@
+(** A node of the machine: one CPU, its disks, and (for processing nodes)
+    a concurrency control manager installed by the machine assembly. *)
+
+open Desim
+
+type t = {
+  node_ref : Ids.node_ref;
+  cpu : Cpu.t;
+  disks : Disk.t array;
+  disk_rng : Rng.t;
+  mutable cc : Cc_intf.node_cc option;
+}
+
+let create eng rng ~node_ref ~mips ~(resources : Params.resources) =
+  let rate = mips *. 1_000_000. in
+  let disks =
+    Array.init resources.Params.disks_per_node (fun _ ->
+        Disk.create eng (Rng.split rng) ~min_time:resources.Params.min_disk_time
+          ~max_time:resources.Params.max_disk_time)
+  in
+  {
+    node_ref;
+    cpu = Cpu.create eng ~rate;
+    disks;
+    disk_rng = Rng.split rng;
+    cc = None;
+  }
+
+(** Random uniform disk choice: the model assumes files are spread evenly
+    over a node's disks (Section 3.4). *)
+let random_disk t = t.disks.(Rng.int t.disk_rng (Array.length t.disks))
+
+let install_cc t cc = t.cc <- Some cc
+
+let cc t =
+  match t.cc with
+  | Some cc -> cc
+  | None ->
+      invalid_arg
+        (Format.asprintf "Node %a has no concurrency control manager"
+           Ids.pp_node_ref t.node_ref)
+
+let cpu_utilization t = Cpu.utilization t.cpu
+
+let disk_utilization t =
+  let n = Array.length t.disks in
+  let total =
+    Array.fold_left (fun acc d -> acc +. Disk.utilization d) 0. t.disks
+  in
+  total /. float_of_int n
+
+let reset_windows t =
+  Cpu.reset_window t.cpu;
+  Array.iter Disk.reset_window t.disks

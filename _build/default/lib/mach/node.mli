@@ -1,0 +1,35 @@
+(** A node of the machine: one CPU, its disks, and (for processing nodes)
+    a concurrency control manager installed by the machine assembly. *)
+
+type t = {
+  node_ref : Ids.node_ref;
+  cpu : Desim.Cpu.t;
+  disks : Desim.Disk.t array;
+  disk_rng : Desim.Rng.t;
+  mutable cc : Cc_intf.node_cc option;
+}
+
+val create :
+  Desim.Engine.t ->
+  Desim.Rng.t ->
+  node_ref:Ids.node_ref ->
+  mips:float ->
+  resources:Params.resources ->
+  t
+
+(** Uniform random disk choice: the model assumes a node's files are
+    spread evenly over its disks (Section 3.4). *)
+val random_disk : t -> Desim.Disk.t
+
+val install_cc : t -> Cc_intf.node_cc -> unit
+
+(** The node's CC manager. Raises [Invalid_argument] if not installed. *)
+val cc : t -> Cc_intf.node_cc
+
+val cpu_utilization : t -> float
+
+(** Mean utilization over the node's disks. *)
+val disk_utilization : t -> float
+
+(** Reset CPU and disk observation windows (end of warm-up). *)
+val reset_windows : t -> unit

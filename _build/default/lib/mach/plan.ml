@@ -1,0 +1,41 @@
+(** Static access plan of a transaction, chosen by the source at submission
+    time and reused verbatim on every restart (the paper "reruns the
+    transaction"). *)
+
+open Ids
+
+type page_op = { page : Page.t; update : bool }
+
+type cohort_plan = {
+  node : int;  (** processing node index *)
+  ops : page_op list;  (** primary-copy page accesses in execution order *)
+  apply_ops : Ids.Page.t list;
+      (** replica copies of pages updated by other cohorts that live at
+          this node: this cohort must obtain write permission for them
+          (at access time or at prepare time, depending on the algorithm)
+          and install them at commit. Empty without replication. *)
+}
+
+type t = {
+  relation : int;
+  cohorts : cohort_plan list;  (** in activation order (for sequential) *)
+}
+
+let num_cohorts t = List.length t.cohorts
+
+let total_reads t =
+  List.fold_left (fun acc c -> acc + List.length c.ops) 0 t.cohorts
+
+let total_writes t =
+  List.fold_left
+    (fun acc c ->
+      acc + List.length (List.filter (fun op -> op.update) c.ops))
+    0 t.cohorts
+
+(** Replica applications across all cohorts (0 without replication). *)
+let total_replica_applies t =
+  List.fold_left (fun acc c -> acc + List.length c.apply_ops) 0 t.cohorts
+
+let pp fmt t =
+  Format.fprintf fmt "relation %d: %d cohorts, %d reads, %d writes" t.relation
+    (num_cohorts t) (total_reads t) (total_writes t)

@@ -1,0 +1,116 @@
+(** The source component: generates transaction access plans (Section 3.2).
+
+    Each terminal belongs to a class determined by its index: the
+    [num_terminals] terminals are split evenly into [num_relations] groups
+    and group [i] generates transactions that access every partition of
+    relation [i]. *)
+
+open Ids
+
+type t = {
+  params : Params.t;
+  catalog : Catalog.t;
+  rng : Desim.Rng.t;
+}
+
+let create params catalog rng = { params; catalog; rng }
+
+(** Relation accessed by transactions from [terminal]. *)
+let relation_of_terminal t ~terminal =
+  let w = t.params.Params.workload and d = t.params.Params.database in
+  terminal * d.Params.num_relations / w.Params.num_terminals
+
+(** Mean think time, exposed for the terminal loop. *)
+let think_time t = t.params.Params.workload.Params.think_time
+
+(** Draw the number of pages accessed in one partition: uniform integer in
+    [mean/2, 3*mean/2], capped by the file size (footnote 12). *)
+let draw_page_count t =
+  let w = t.params.Params.workload in
+  let mean = w.Params.pages_per_partition in
+  let lo = Int.max 1 (mean / 2) and hi = 3 * mean / 2 in
+  let hi = Int.min hi t.params.Params.database.Params.file_size in
+  Desim.Rng.int_range t.rng ~lo ~hi
+
+let draw_partition_ops t ~file =
+  let d = t.params.Params.database and w = t.params.Params.workload in
+  let k = draw_page_count t in
+  let pages =
+    Desim.Rng.sample_without_replacement t.rng ~n:d.Params.file_size ~k
+  in
+  (* Pages are accessed in ascending page order, as a partition scan
+     would: this gives the approximate global lock-ordering discipline
+     that keeps 2PL's deadlock rate at the modest levels the paper
+     reports (see DESIGN.md). *)
+  let pages = List.sort compare pages in
+  List.map
+    (fun index ->
+      {
+        Plan.page = Page.make ~file ~index;
+        update = Desim.Rng.bool t.rng ~p:w.Params.write_prob;
+      })
+    pages
+
+(** Generate a fresh access plan for a transaction from [terminal]: one
+    cohort per node holding a primary of the terminal's relation, plus
+    (under replication) update-application duties at every node holding a
+    copy of an updated page — update-only cohorts are appended when such
+    a node runs no primary accesses. *)
+let generate_plan t ~terminal =
+  let relation = relation_of_terminal t ~terminal in
+  let nodes = Catalog.nodes_of_relation t.catalog ~relation in
+  let primary_cohorts =
+    List.map
+      (fun node_ref ->
+        let node =
+          match node_ref with
+          | Proc n -> n
+          | Host -> invalid_arg "Workload: data stored at host"
+        in
+        let files = Catalog.files_at t.catalog ~relation ~node in
+        let ops =
+          List.concat_map (fun file -> draw_partition_ops t ~file) files
+        in
+        (node, ops))
+      nodes
+  in
+  (* replica application sites for every updated page *)
+  let applies : (int, Ids.Page.t list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (primary_node, ops) ->
+      List.iter
+        (fun (op : Plan.page_op) ->
+          if op.Plan.update then
+            List.iter
+              (fun copy_node ->
+                if copy_node <> primary_node then
+                  Hashtbl.replace applies copy_node
+                    (op.Plan.page
+                    :: Option.value ~default:[]
+                         (Hashtbl.find_opt applies copy_node)))
+              (Catalog.copy_nodes t.catalog ~file:op.Plan.page.Page.file))
+        ops)
+    primary_cohorts;
+  let cohorts =
+    List.map
+      (fun (node, ops) ->
+        let apply_ops =
+          Option.value ~default:[] (Hashtbl.find_opt applies node)
+        in
+        Hashtbl.remove applies node;
+        { Plan.node; ops; apply_ops })
+      primary_cohorts
+  in
+  let update_only =
+    Hashtbl.fold
+      (fun node apply_ops acc ->
+        { Plan.node; ops = []; apply_ops } :: acc)
+      applies []
+    |> List.sort (fun a b -> Int.compare a.Plan.node b.Plan.node)
+  in
+  { Plan.relation; cohorts = cohorts @ update_only }
+
+(** Per-page processing cost draw (exponential, mean InstPerPage). *)
+let draw_page_instructions t =
+  Desim.Rng.exponential t.rng
+    ~mean:t.params.Params.workload.Params.inst_per_page

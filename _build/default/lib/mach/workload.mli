@@ -1,0 +1,29 @@
+(** The source component (Section 3.2): generates transaction access
+    plans for terminals.
+
+    Terminals are split evenly into [num_relations] groups; group [i]
+    generates transactions that access every partition of relation [i]
+    (the paper's 128 terminals in 8 groups of 16). *)
+
+type t
+
+val create : Params.t -> Catalog.t -> Desim.Rng.t -> t
+
+(** Relation accessed by transactions from [terminal]. *)
+val relation_of_terminal : t -> terminal:int -> int
+
+(** Mean think time (exposed for the terminal loop). *)
+val think_time : t -> float
+
+(** Number of pages accessed in one partition: uniform integer in
+    [mean/2, 3*mean/2] (footnote 12 of the paper), capped by file size. *)
+val draw_page_count : t -> int
+
+(** Fresh access plan for a transaction submitted by [terminal]: one
+    cohort per node holding partitions of the terminal's relation, pages
+    sampled without replacement and visited in ascending order, each
+    updated with probability WriteProb. *)
+val generate_plan : t -> terminal:int -> Plan.t
+
+(** Per-page CPU demand draw: exponential with mean InstPerPage. *)
+val draw_page_instructions : t -> float

@@ -1,0 +1,1 @@
+test/cc_harness.ml: Cc_intf Ddbm_model Desim Engine Ids List Plan Timestamp Txn

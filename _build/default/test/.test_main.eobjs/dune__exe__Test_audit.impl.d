@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Array Cc_harness Ddbm Ddbm_model Ids Params

@@ -1,0 +1,1 @@
+test/test_bto.ml: Alcotest Array Bto Cc_harness Cc_intf Ddbm_cc Ddbm_model Desim Engine Gen List Printf QCheck QCheck_alcotest Txn

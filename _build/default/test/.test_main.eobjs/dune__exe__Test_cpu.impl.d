@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Cpu Desim Engine Float Gen List QCheck QCheck_alcotest

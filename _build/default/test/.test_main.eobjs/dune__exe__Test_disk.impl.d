@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Desim Disk Engine List Printf Rng

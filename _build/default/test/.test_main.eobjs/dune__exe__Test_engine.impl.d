@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Desim Engine Ivar List

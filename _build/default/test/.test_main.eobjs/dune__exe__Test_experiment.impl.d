@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Astring_contains Ddbm Ddbm_model List Option Params Printf String

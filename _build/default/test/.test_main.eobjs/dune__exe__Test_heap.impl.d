@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Desim Heap List QCheck QCheck_alcotest

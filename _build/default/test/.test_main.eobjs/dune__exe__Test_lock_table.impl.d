@@ -1,0 +1,1 @@
+test/test_lock_table.ml: Alcotest Array Cc_harness Cc_intf Ddbm_cc Ddbm_model Desim Engine Gen List Lock_table Printf QCheck QCheck_alcotest Stats Txn

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Ddbm Ddbm_model List Params Printf String

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Catalog Ddbm_model Desim Ids List Params Plan Printf QCheck QCheck_alcotest Stdlib Timestamp Txn Workload

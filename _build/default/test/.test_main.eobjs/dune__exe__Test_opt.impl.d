@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Cc_harness Cc_intf Ddbm_cc Ddbm_model Desim Engine Opt_cert QCheck QCheck_alcotest Txn

@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Cpu Ddbm Ddbm_model Desim Disk Engine Params Printf Rng Stats

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Catalog Ddbm Ddbm_model Desim Ids List Params Plan Printf Workload

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Desim Float Fun List Printf QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_snoop.ml: Alcotest Array Cc_harness Cc_intf Cpu Ddbm_cc Ddbm_model Desim Engine Ids List Net Printf Snoop Txn

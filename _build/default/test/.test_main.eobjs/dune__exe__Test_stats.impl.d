@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Desim Gen List Printf QCheck QCheck_alcotest Rng Stats

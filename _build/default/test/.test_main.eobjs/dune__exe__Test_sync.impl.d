@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Desim Engine Ivar List Mailbox

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Ddbm Ddbm_model Desim Engine List Params Printf Stdlib Trace

@@ -1,0 +1,1 @@
+test/test_wait_die.ml: Alcotest Cc_harness Cc_intf Ddbm_cc Ddbm_model Desim Engine Txn Wait_die

@@ -1,0 +1,1 @@
+test/test_wfg.ml: Alcotest Array Cc_harness Cc_intf Ddbm_cc Ddbm_model Gen Hashtbl List QCheck QCheck_alcotest Txn Wfg

@@ -1,0 +1,1 @@
+test/test_wound_wait.ml: Alcotest Array Cc_harness Cc_intf Ddbm_cc Ddbm_model Desim Engine Gen List QCheck QCheck_alcotest Random Txn Wound_wait

@@ -1,0 +1,14 @@
+(* Tiny substring-search helper for tests (avoids a regex dependency). *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  if nl = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i <= hl - nl do
+      if String.sub haystack !i nl = needle then found := true;
+      incr i
+    done;
+    !found
+  end

@@ -1,0 +1,64 @@
+(* Shared scaffolding for concurrency-control unit tests: a mini engine,
+   hooks that record abort requests (mimicking the machine's doomed-flag
+   behaviour), and transaction-instance builders. *)
+
+open Desim
+open Ddbm_model
+
+type t = {
+  eng : Engine.t;
+  clock : Timestamp.Clock.t;
+  abort_requests : (Txn.t * Txn.abort_reason) list ref;
+  hooks : Cc_intf.hooks;
+}
+
+let make () =
+  let eng = Engine.create () in
+  let clock = Timestamp.Clock.create () in
+  let abort_requests = ref [] in
+  let hooks =
+    {
+      Cc_intf.eng;
+      clock;
+      charge_cc_request = (fun () -> ());
+      request_abort =
+        (fun txn reason ->
+          if (not txn.Txn.doomed) && not (Txn.in_second_phase txn) then begin
+            txn.Txn.doomed <- true;
+            abort_requests := (txn, reason) :: !abort_requests
+          end);
+    }
+  in
+  { eng; clock; abort_requests; hooks }
+
+let empty_plan = { Plan.relation = 0; cohorts = [] }
+
+(* Transactions with increasing [time] are increasingly "young". *)
+let txn t ?(tid = 0) ?(attempt = 1) ~time () =
+  let ts = Timestamp.Clock.make t.clock ~time in
+  {
+    Txn.tid;
+    attempt;
+    origin_time = time;
+    attempt_time = time;
+    startup_ts = ts;
+    cc_ts = ts;
+    commit_ts = None;
+    plan = empty_plan;
+    phase = Txn.Working;
+    doomed = false;
+  }
+
+let page ?(file = 0) index = Ids.Page.make ~file ~index
+
+let give_commit_ts t txn =
+  txn.Txn.commit_ts <-
+    Some (Timestamp.Clock.make t.clock ~time:(Engine.now t.eng))
+
+(* Run the engine until quiescent. *)
+let settle t = Engine.run t.eng
+
+let requested_aborts t = List.rev !(t.abort_requests)
+
+let abort_requested_for t victim =
+  List.exists (fun (v, _) -> Txn.same_attempt v victim) !(t.abort_requests)

@@ -1,0 +1,234 @@
+(* Basic timestamp ordering tests: timestamp-order enforcement, the Thomas
+   write rule, pending-write queues and blocked readers. *)
+
+open Desim
+open Ddbm_cc
+open Ddbm_model
+
+let mk () =
+  let h = Cc_harness.make () in
+  (h, Bto.make h.Cc_harness.hooks)
+
+let spawn_status h f =
+  let state = ref `Waiting in
+  Engine.spawn h.Cc_harness.eng (fun () ->
+      try
+        f ();
+        state := `Granted
+      with Txn.Aborted Txn.Bto_conflict -> state := `Conflict
+         | Txn.Aborted _ -> state := `Rejected);
+  state
+
+let run_now h f = Engine.spawn h.Cc_harness.eng f
+
+let test_in_order_access () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  let s0 = spawn_status h (fun () -> cc.Cc_intf.cc_read t0 p) in
+  Cc_harness.settle h;
+  let s1 = spawn_status h (fun () -> cc.Cc_intf.cc_read t1 p) in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "reads in order fine" true
+    (!s0 = `Granted && !s1 = `Granted)
+
+let test_late_write_after_read_aborts () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  (* the younger reads first, bumping rts; the older write must abort *)
+  ignore (spawn_status h (fun () -> cc.Cc_intf.cc_read t1 p));
+  Cc_harness.settle h;
+  let s0 = spawn_status h (fun () -> cc.Cc_intf.cc_write t0 p) in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "older write rejected" true (!s0 = `Conflict)
+
+let test_late_read_after_write_aborts () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  (* the younger writes and commits (wts = ts1); the older read aborts *)
+  run_now h (fun () ->
+      cc.Cc_intf.cc_write t1 p;
+      cc.Cc_intf.cc_commit t1);
+  Cc_harness.settle h;
+  let s0 = spawn_status h (fun () -> cc.Cc_intf.cc_read t0 p) in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "older read rejected" true (!s0 = `Conflict)
+
+let test_thomas_write_rule () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  run_now h (fun () ->
+      cc.Cc_intf.cc_write t1 p;
+      cc.Cc_intf.cc_commit t1);
+  Cc_harness.settle h;
+  (* write-write out of order: ignored, not aborted *)
+  let s0 = spawn_status h (fun () -> cc.Cc_intf.cc_write t0 p) in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "older write silently dropped" true (!s0 = `Granted)
+
+let test_reader_blocks_behind_pending_write () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  (* older writer leaves a pending (uncommitted) write *)
+  run_now h (fun () -> cc.Cc_intf.cc_write t0 p);
+  Cc_harness.settle h;
+  let s1 = spawn_status h (fun () -> cc.Cc_intf.cc_read t1 p) in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "younger reader blocks" true (!s1 = `Waiting);
+  run_now h (fun () -> cc.Cc_intf.cc_commit t0);
+  Cc_harness.settle h;
+  Alcotest.(check bool) "reader granted at writer commit" true (!s1 = `Granted)
+
+let test_reader_passes_newer_pending_write () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  (* younger writer pending; an older reader does not wait for it *)
+  run_now h (fun () -> cc.Cc_intf.cc_write t1 p);
+  Cc_harness.settle h;
+  let s0 = spawn_status h (fun () -> cc.Cc_intf.cc_read t0 p) in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "older reader unimpeded" true (!s0 = `Granted)
+
+let test_abort_unblocks_reader () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  run_now h (fun () -> cc.Cc_intf.cc_write t0 p);
+  Cc_harness.settle h;
+  let s1 = spawn_status h (fun () -> cc.Cc_intf.cc_read t1 p) in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "reader blocked" true (!s1 = `Waiting);
+  run_now h (fun () -> cc.Cc_intf.cc_abort t0);
+  Cc_harness.settle h;
+  Alcotest.(check bool) "reader granted on writer abort" true (!s1 = `Granted)
+
+let test_blocked_reader_rejected_on_own_abort () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  run_now h (fun () -> cc.Cc_intf.cc_write t0 p);
+  Cc_harness.settle h;
+  let s1 = spawn_status h (fun () -> cc.Cc_intf.cc_read t1 p) in
+  Cc_harness.settle h;
+  run_now h (fun () -> cc.Cc_intf.cc_abort t1);
+  Cc_harness.settle h;
+  Alcotest.(check bool) "blocked reader rejected" true (!s1 = `Rejected)
+
+let test_multiple_pending_install_in_order () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let t2 = Cc_harness.txn h ~tid:2 ~time:2. () in
+  let p = Cc_harness.page 1 in
+  run_now h (fun () -> cc.Cc_intf.cc_write t0 p);
+  run_now h (fun () -> cc.Cc_intf.cc_write t1 p);
+  Cc_harness.settle h;
+  (* reader at ts2 must wait for both *)
+  let s2 = spawn_status h (fun () -> cc.Cc_intf.cc_read t2 p) in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "waits" true (!s2 = `Waiting);
+  (* the newer writer commits first: still blocked by the older pending *)
+  run_now h (fun () -> cc.Cc_intf.cc_commit t1);
+  Cc_harness.settle h;
+  Alcotest.(check bool) "still waits for older pending" true (!s2 = `Waiting);
+  run_now h (fun () -> cc.Cc_intf.cc_commit t0);
+  Cc_harness.settle h;
+  Alcotest.(check bool) "released once both visible" true (!s2 = `Granted)
+
+let test_waits_for_edges () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  run_now h (fun () -> cc.Cc_intf.cc_write t0 p);
+  Cc_harness.settle h;
+  ignore (spawn_status h (fun () -> cc.Cc_intf.cc_read t1 p));
+  Cc_harness.settle h;
+  match cc.Cc_intf.cc_edges () with
+  | [ { Cc_intf.waiter; holder } ] ->
+      Alcotest.(check (pair int int))
+        "reader waits for writer" (1, 0)
+        (waiter.Txn.tid, holder.Txn.tid)
+  | edges ->
+      Alcotest.fail
+        (Printf.sprintf "expected one edge, got %d" (List.length edges))
+
+(* Timestamp-order invariant: for any interleaving of reads/writes/commits
+   the installed write timestamp never decreases. *)
+let prop_wts_monotonic =
+  QCheck.Test.make ~name:"BTO installed versions are monotonic" ~count:80
+    QCheck.(
+      list_of_size Gen.(int_range 1 30) (pair (int_range 0 9) bool))
+    (fun ops ->
+      let h, cc = mk () in
+      let txns =
+        Array.init 10 (fun i ->
+            Cc_harness.txn h ~tid:i ~time:(float_of_int i) ())
+      in
+      let p = Cc_harness.page 0 in
+      let seen = Array.make 10 false in
+      List.iter
+        (fun (tid, commit) ->
+          Engine.spawn h.Cc_harness.eng (fun () ->
+              let t = txns.(tid) in
+              try
+                if not seen.(tid) then begin
+                  seen.(tid) <- true;
+                  cc.Cc_intf.cc_write t p;
+                  if commit then cc.Cc_intf.cc_commit t
+                  else cc.Cc_intf.cc_abort t
+                end
+              with Txn.Aborted _ -> cc.Cc_intf.cc_abort t))
+        ops;
+      Cc_harness.settle h;
+      (* survivor readers with the largest timestamp must not be blocked
+         by anything and must succeed or conflict-abort cleanly *)
+      let t_late =
+        Cc_harness.txn h ~tid:99 ~time:1000. ()
+      in
+      let ok = ref false in
+      Engine.spawn h.Cc_harness.eng (fun () ->
+          try
+            cc.Cc_intf.cc_read t_late p;
+            ok := true
+          with Txn.Aborted _ -> ());
+      (* abort any writer still pending so the late reader can proceed *)
+      Array.iter
+        (fun t -> Engine.spawn h.Cc_harness.eng (fun () -> cc.Cc_intf.cc_abort t))
+        txns;
+      Cc_harness.settle h;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "in-order access" `Quick test_in_order_access;
+    Alcotest.test_case "late write aborts" `Quick
+      test_late_write_after_read_aborts;
+    Alcotest.test_case "late read aborts" `Quick
+      test_late_read_after_write_aborts;
+    Alcotest.test_case "thomas write rule" `Quick test_thomas_write_rule;
+    Alcotest.test_case "reader blocks behind pending" `Quick
+      test_reader_blocks_behind_pending_write;
+    Alcotest.test_case "reader passes newer pending" `Quick
+      test_reader_passes_newer_pending_write;
+    Alcotest.test_case "abort unblocks reader" `Quick test_abort_unblocks_reader;
+    Alcotest.test_case "blocked reader rejected on own abort" `Quick
+      test_blocked_reader_rejected_on_own_abort;
+    Alcotest.test_case "pending installs in order" `Quick
+      test_multiple_pending_install_in_order;
+    Alcotest.test_case "waits-for edges" `Quick test_waits_for_edges;
+    QCheck_alcotest.to_alcotest prop_wts_monotonic;
+  ]

@@ -1,0 +1,143 @@
+open Desim
+
+let feq ?(eps = 1e-6) a b = abs_float (a -. b) < eps
+
+(* One PS job on an idle 1000-instr/s CPU: 500 instructions take 0.5 s. *)
+let test_single_job_latency () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~rate:1000. in
+  let finished = ref nan in
+  Engine.spawn eng (fun () ->
+      Cpu.consume cpu ~instructions:500.;
+      finished := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check bool) "0.5s" true (feq !finished 0.5)
+
+(* Two equal PS jobs share the CPU: both finish at 2 * work/rate. *)
+let test_ps_sharing () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~rate:1000. in
+  let t1 = ref nan and t2 = ref nan in
+  Engine.spawn eng (fun () ->
+      Cpu.consume cpu ~instructions:500.;
+      t1 := Engine.now eng);
+  Engine.spawn eng (fun () ->
+      Cpu.consume cpu ~instructions:500.;
+      t2 := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check bool) "job1 at 1.0" true (feq !t1 1.0);
+  Alcotest.(check bool) "job2 at 1.0" true (feq !t2 1.0)
+
+(* Unequal jobs: 300 and 600 instr. Shared until 0.6s (300 each), then the
+   long job alone finishes its remaining 300 at 0.9s. *)
+let test_ps_unequal () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~rate:1000. in
+  let t_short = ref nan and t_long = ref nan in
+  Engine.spawn eng (fun () ->
+      Cpu.consume cpu ~instructions:300.;
+      t_short := Engine.now eng);
+  Engine.spawn eng (fun () ->
+      Cpu.consume cpu ~instructions:600.;
+      t_long := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check bool) "short at 0.6" true (feq !t_short 0.6);
+  Alcotest.(check bool) "long at 0.9" true (feq !t_long 0.9)
+
+(* Late arrival: job A (600) alone for 0.3s (300 done), then B (150)
+   arrives; they share until B done at 0.3+0.3=0.6, A finishes remaining
+   150 at 0.75. *)
+let test_ps_late_arrival () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~rate:1000. in
+  let ta = ref nan and tb = ref nan in
+  Engine.spawn eng (fun () ->
+      Cpu.consume cpu ~instructions:600.;
+      ta := Engine.now eng);
+  Engine.spawn eng (fun () ->
+      Engine.wait 0.3;
+      Cpu.consume cpu ~instructions:150.;
+      tb := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check bool) "B at 0.6" true (feq !tb 0.6);
+  Alcotest.(check bool) "A at 0.75" true (feq !ta 0.75)
+
+(* Priority (message) work preempts PS work entirely. PS job of 500 would
+   finish at 0.5, but a 200-instr message arriving at 0.1 stalls it for
+   0.2s -> PS finishes at 0.7. *)
+let test_priority_preempts_ps () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~rate:1000. in
+  let t_ps = ref nan and t_msg = ref nan in
+  Engine.spawn eng (fun () ->
+      Cpu.consume cpu ~instructions:500.;
+      t_ps := Engine.now eng);
+  Engine.spawn eng (fun () ->
+      Engine.wait 0.1;
+      Cpu.consume_priority cpu ~instructions:200.;
+      t_msg := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check bool) "msg at 0.3" true (feq !t_msg 0.3);
+  Alcotest.(check bool) "ps delayed to 0.7" true (feq !t_ps 0.7)
+
+(* Messages are FCFS among themselves. *)
+let test_priority_fcfs () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~rate:1000. in
+  let log = ref [] in
+  Cpu.submit_priority cpu ~instructions:100. (fun () -> log := 1 :: !log);
+  Cpu.submit_priority cpu ~instructions:100. (fun () -> log := 2 :: !log);
+  Cpu.submit_priority cpu ~instructions:100. (fun () -> log := 3 :: !log);
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check bool) "total 0.3s" true (feq (Engine.now eng) 0.3)
+
+let test_zero_work_immediate () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~rate:1000. in
+  let ran = ref false in
+  Cpu.submit cpu ~instructions:0. (fun () -> ran := true);
+  Alcotest.(check bool) "immediate" true !ran
+
+let test_utilization () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~rate:1000. in
+  Engine.spawn eng (fun () ->
+      Cpu.consume cpu ~instructions:500.;
+      (* busy 0..0.5, idle 0.5..1.0 *)
+      Engine.wait 0.5);
+  Engine.run eng;
+  Alcotest.(check bool) "util 0.5" true
+    (abs_float (Cpu.utilization cpu -. 0.5) < 1e-6)
+
+(* Work conservation: total completion time of a batch equals total
+   instructions / rate regardless of arrival interleaving. *)
+let prop_work_conservation =
+  QCheck.Test.make ~name:"cpu PS work conservation" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 10) (int_range 1 1000))
+    (fun works ->
+      let eng = Engine.create () in
+      let cpu = Cpu.create eng ~rate:1000. in
+      let last = ref 0. in
+      List.iter
+        (fun w ->
+          Engine.spawn eng (fun () ->
+              Cpu.consume cpu ~instructions:(float_of_int w);
+              last := Float.max !last (Engine.now eng)))
+        works;
+      Engine.run eng;
+      let total = List.fold_left ( + ) 0 works in
+      abs_float (!last -. (float_of_int total /. 1000.)) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "single job latency" `Quick test_single_job_latency;
+    Alcotest.test_case "ps equal sharing" `Quick test_ps_sharing;
+    Alcotest.test_case "ps unequal jobs" `Quick test_ps_unequal;
+    Alcotest.test_case "ps late arrival" `Quick test_ps_late_arrival;
+    Alcotest.test_case "priority preempts ps" `Quick test_priority_preempts_ps;
+    Alcotest.test_case "priority fcfs" `Quick test_priority_fcfs;
+    Alcotest.test_case "zero work immediate" `Quick test_zero_work_immediate;
+    Alcotest.test_case "utilization" `Quick test_utilization;
+    QCheck_alcotest.to_alcotest prop_work_conservation;
+  ]

@@ -1,0 +1,110 @@
+open Desim
+
+let mk ?(lo = 0.01) ?(hi = 0.03) () =
+  let eng = Engine.create () in
+  let rng = Rng.create 123 in
+  (eng, Disk.create eng rng ~min_time:lo ~max_time:hi)
+
+let test_single_read_time () =
+  let eng, d = mk ~lo:0.02 ~hi:0.02 () in
+  let t = ref nan in
+  Engine.spawn eng (fun () ->
+      Disk.read d;
+      t := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check (float 1e-9)) "deterministic service" 0.02 !t
+
+let test_fcfs_reads () =
+  let eng, d = mk ~lo:0.02 ~hi:0.02 () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Disk.submit_read d (fun () -> log := (i, Engine.now eng) :: !log)
+  done;
+  Engine.run eng;
+  let order = List.rev_map fst !log in
+  Alcotest.(check (list int)) "fcfs" [ 1; 2; 3 ] order;
+  let times = List.rev_map snd !log in
+  Alcotest.(check (list (float 1e-9))) "sequential" [ 0.02; 0.04; 0.06 ] times
+
+(* A write arriving while reads are queued jumps the read queue (but does
+   not preempt the in-service read). *)
+let test_write_priority () =
+  let eng, d = mk ~lo:0.02 ~hi:0.02 () in
+  let log = ref [] in
+  Disk.submit_read d (fun () -> log := `R1 :: !log);
+  Disk.submit_read d (fun () -> log := `R2 :: !log);
+  ignore
+    (Engine.schedule eng ~at:0.01 (fun () ->
+         Disk.submit_write d (fun () -> log := `W :: !log)));
+  Engine.run eng;
+  let to_s = function `R1 -> "r1" | `R2 -> "r2" | `W -> "w" in
+  Alcotest.(check (list string))
+    "write jumps queue" [ "r1"; "w"; "r2" ]
+    (List.rev_map to_s !log)
+
+let test_service_time_bounds () =
+  let eng, d = mk ~lo:0.01 ~hi:0.03 () in
+  let prev = ref 0. in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 200 do
+        Disk.read d;
+        let service = Engine.now eng -. !prev in
+        prev := Engine.now eng;
+        if service < 0.01 -. 1e-12 || service > 0.03 +. 1e-12 then
+          Alcotest.fail "service time out of bounds"
+      done);
+  Engine.run eng
+
+let test_mean_service_time () =
+  let eng, d = mk ~lo:0.01 ~hi:0.03 () in
+  let n = 2000 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to n do
+        Disk.read d
+      done);
+  Engine.run eng;
+  let mean = Engine.now eng /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.4f near 0.02" mean)
+    true
+    (abs_float (mean -. 0.02) < 0.001)
+
+let test_op_counts () =
+  let eng, d = mk () in
+  Disk.submit_read d ignore;
+  Disk.submit_write d ignore;
+  Disk.submit_write d ignore;
+  Engine.run eng;
+  let r, w = Disk.op_counts d in
+  Alcotest.(check (pair int int)) "counts" (1, 2) (r, w)
+
+let test_utilization_full () =
+  let eng, d = mk ~lo:0.02 ~hi:0.02 () in
+  Engine.spawn eng (fun () ->
+      Disk.read d;
+      Disk.read d);
+  Engine.run eng;
+  Alcotest.(check bool) "fully busy" true
+    (abs_float (Disk.utilization d -. 1.0) < 1e-9)
+
+let test_queue_length () =
+  let eng, d = mk ~lo:0.02 ~hi:0.02 () in
+  Disk.submit_read d ignore;
+  Disk.submit_read d ignore;
+  Disk.submit_write d ignore;
+  (* before running: one in service, two queued *)
+  Alcotest.(check int) "queue length" 3 (Disk.queue_length d);
+  Engine.run eng;
+  Alcotest.(check int) "drained" 0 (Disk.queue_length d)
+
+let suite =
+  [
+    Alcotest.test_case "single read time" `Quick test_single_read_time;
+    Alcotest.test_case "fcfs reads" `Quick test_fcfs_reads;
+    Alcotest.test_case "write priority" `Quick test_write_priority;
+    Alcotest.test_case "service bounds" `Quick test_service_time_bounds;
+    Alcotest.test_case "mean service time" `Slow test_mean_service_time;
+    Alcotest.test_case "op counts" `Quick test_op_counts;
+    Alcotest.test_case "utilization" `Quick test_utilization_full;
+    Alcotest.test_case "queue length" `Quick test_queue_length;
+  ]

@@ -1,0 +1,221 @@
+open Desim
+
+let test_schedule_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule eng ~at:2. (fun () -> log := 2 :: !log));
+  ignore (Engine.schedule eng ~at:1. (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule eng ~at:3. (fun () -> log := 3 :: !log));
+  Engine.run eng;
+  Alcotest.(check (list int)) "in time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 0.)) "final time" 3. (Engine.now eng)
+
+let test_same_time_fifo () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule eng ~at:1. (fun () -> log := i :: !log))
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo at equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_cancel () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule eng ~at:1. (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run eng;
+  Alcotest.(check bool) "cancelled event does not fire" false !fired
+
+let test_until () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.schedule eng ~at:10. (fun () -> fired := true));
+  Engine.run ~until:5. eng;
+  Alcotest.(check bool) "later event pending" false !fired;
+  Alcotest.(check (float 0.)) "clock at until" 5. (Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check bool) "fires on resume" true !fired
+
+let test_process_wait () =
+  let eng = Engine.create () in
+  let times = ref [] in
+  Engine.spawn eng (fun () ->
+      times := Engine.now eng :: !times;
+      Engine.wait 1.5;
+      times := Engine.now eng :: !times;
+      Engine.wait 2.5;
+      times := Engine.now eng :: !times);
+  Engine.run eng;
+  Alcotest.(check (list (float 1e-9))) "wait advances time" [ 0.; 1.5; 4. ]
+    (List.rev !times)
+
+let test_suspend_resolve () =
+  let eng = Engine.create () in
+  let slot = ref None in
+  let got = ref 0 in
+  Engine.spawn eng (fun () ->
+      let v = Engine.suspend (fun r -> slot := Some r) in
+      got := v);
+  ignore
+    (Engine.schedule eng ~at:7. (fun () ->
+         match !slot with
+         | Some r -> r.Engine.resolve 42
+         | None -> Alcotest.fail "resolver not registered"));
+  Engine.run eng;
+  Alcotest.(check int) "resolved value" 42 !got;
+  Alcotest.(check (float 0.)) "resumed at resolver time" 7. (Engine.now eng)
+
+exception Test_abort
+
+let test_suspend_reject () =
+  let eng = Engine.create () in
+  let slot = ref None in
+  let caught = ref false in
+  Engine.spawn eng (fun () ->
+      try
+        let (_ : int) = Engine.suspend (fun r -> slot := Some r) in
+        ()
+      with Test_abort -> caught := true);
+  ignore
+    (Engine.schedule eng ~at:1. (fun () ->
+         match !slot with
+         | Some r -> r.Engine.reject Test_abort
+         | None -> ()));
+  Engine.run eng;
+  Alcotest.(check bool) "rejection raised in process" true !caught
+
+let test_resolver_single_use () =
+  let eng = Engine.create () in
+  let slot = ref None in
+  Engine.spawn eng (fun () ->
+      let (_ : int) = Engine.suspend (fun r -> slot := Some r) in
+      ());
+  ignore
+    (Engine.schedule eng ~at:1. (fun () ->
+         match !slot with
+         | Some r ->
+             r.Engine.resolve 1;
+             Alcotest.check_raises "second use rejected"
+               (Invalid_argument "Engine: resolver used twice") (fun () ->
+                 r.Engine.resolve 2)
+         | None -> ()));
+  Engine.run eng
+
+let test_nested_spawn () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.spawn eng (fun () ->
+      log := "parent" :: !log;
+      Engine.spawn eng (fun () ->
+          Engine.wait 1.;
+          log := "child" :: !log);
+      Engine.wait 2.;
+      log := "parent-done" :: !log);
+  Engine.run eng;
+  Alcotest.(check (list string))
+    "interleaving" [ "parent"; "child"; "parent-done" ]
+    (List.rev !log)
+
+let test_wait_outside_process () =
+  Alcotest.check_raises "not in process" Engine.Not_in_process (fun () ->
+      Engine.wait 1.)
+
+let test_stop () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 100 do
+        incr count;
+        if !count = 10 then Engine.stop eng;
+        Engine.wait 1.
+      done);
+  Engine.run eng;
+  Alcotest.(check int) "stopped early" 10 !count
+
+let test_ivar_between_processes () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  let sum = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn eng (fun () -> sum := !sum + Ivar.read iv)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.wait 5.;
+      Ivar.fill iv 7);
+  Engine.run eng;
+  Alcotest.(check int) "all readers woke" 21 !sum
+
+let test_events_processed () =
+  let eng = Engine.create () in
+  for i = 1 to 5 do
+    ignore (Engine.schedule eng ~at:(float_of_int i) ignore)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "counted" 5 (Engine.events_processed eng)
+
+let test_schedule_in_past_rejected () =
+  let eng = Engine.create () in
+  ignore (Engine.schedule eng ~at:5. ignore);
+  Engine.run eng;
+  Alcotest.(check bool) "past schedule raises" true
+    (try
+       ignore (Engine.schedule eng ~at:1. ignore);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cancel_after_fire_harmless () =
+  let eng = Engine.create () in
+  let h = Engine.schedule eng ~at:1. ignore in
+  Engine.run eng;
+  Engine.cancel h;
+  Alcotest.(check pass) "no effect" () ()
+
+let test_zero_delay_wait_keeps_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.spawn eng (fun () ->
+      log := "a1" :: !log;
+      Engine.wait 0.;
+      log := "a2" :: !log);
+  Engine.spawn eng (fun () -> log := "b" :: !log);
+  Engine.run eng;
+  (* the zero-delay wait yields to the already-scheduled process *)
+  Alcotest.(check (list string)) "yield order" [ "a1"; "b"; "a2" ]
+    (List.rev !log)
+
+let test_many_processes () =
+  let eng = Engine.create () in
+  let done_ = ref 0 in
+  for i = 1 to 1000 do
+    Engine.spawn eng (fun () ->
+        Engine.wait (float_of_int (i mod 7));
+        incr done_)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "all processes ran" 1000 !done_
+
+let suite =
+  [
+    Alcotest.test_case "schedule order" `Quick test_schedule_order;
+    Alcotest.test_case "past schedule rejected" `Quick
+      test_schedule_in_past_rejected;
+    Alcotest.test_case "cancel after fire" `Quick test_cancel_after_fire_harmless;
+    Alcotest.test_case "zero-delay wait yields" `Quick
+      test_zero_delay_wait_keeps_order;
+    Alcotest.test_case "many processes" `Quick test_many_processes;
+    Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "run until" `Quick test_until;
+    Alcotest.test_case "process wait" `Quick test_process_wait;
+    Alcotest.test_case "suspend/resolve" `Quick test_suspend_resolve;
+    Alcotest.test_case "suspend/reject" `Quick test_suspend_reject;
+    Alcotest.test_case "resolver single-use" `Quick test_resolver_single_use;
+    Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+    Alcotest.test_case "wait outside process" `Quick test_wait_outside_process;
+    Alcotest.test_case "stop" `Quick test_stop;
+    Alcotest.test_case "ivar between processes" `Quick
+      test_ivar_between_processes;
+    Alcotest.test_case "events processed" `Quick test_events_processed;
+  ]

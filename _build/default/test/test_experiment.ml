@@ -1,0 +1,180 @@
+(* Tests for the experiment driver and figure plumbing: config-to-params
+   mapping, run caching, window scaling, and table/CSV rendering. *)
+
+open Ddbm_model
+
+let test_params_of_config_mapping () =
+  let c =
+    {
+      Ddbm.Experiment.algorithm = Params.Bto;
+      nodes = 4;
+      degree = 2;
+      file_size = 1200;
+      think = 12.;
+      inst_per_startup = 0.;
+      inst_per_msg = 4000.;
+      exec_pattern = Params.Sequential;
+      terminals = 64;
+      pages_per_partition = 4;
+      replication = 2;
+      write_prob = 0.5;
+      detection_interval = 2.0;
+    }
+  in
+  let p = Ddbm.Experiment.params_of_config ~profile:Ddbm.Experiment.Quick c in
+  Alcotest.(check bool) "algorithm" true (p.Params.cc.Params.algorithm = Params.Bto);
+  Alcotest.(check int) "nodes" 4 p.Params.database.Params.num_proc_nodes;
+  Alcotest.(check int) "degree" 2 p.Params.database.Params.partitioning_degree;
+  Alcotest.(check int) "file size" 1200 p.Params.database.Params.file_size;
+  Alcotest.(check (float 0.)) "think" 12. p.Params.workload.Params.think_time;
+  Alcotest.(check (float 0.)) "startup" 0.
+    p.Params.resources.Params.inst_per_startup;
+  Alcotest.(check (float 0.)) "msg" 4000. p.Params.resources.Params.inst_per_msg;
+  Alcotest.(check int) "terminals" 64 p.Params.workload.Params.num_terminals;
+  Alcotest.(check int) "pages" 4 p.Params.workload.Params.pages_per_partition;
+  Alcotest.(check int) "replication" 2 p.Params.database.Params.replication;
+  Alcotest.(check (float 0.)) "write prob" 0.5
+    p.Params.workload.Params.write_prob;
+  Alcotest.(check (float 0.)) "detection interval" 2.0
+    p.Params.cc.Params.detection_interval;
+  Alcotest.(check bool) "sequential" true
+    (p.Params.workload.Params.exec_pattern = Params.Sequential);
+  match Params.validate p with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_window_scaling_with_machine_size () =
+  let p_of nodes =
+    Ddbm.Experiment.params_of_config ~profile:Ddbm.Experiment.Quick
+      { Ddbm.Experiment.base_config with Ddbm.Experiment.nodes; degree = 1 }
+  in
+  let small = p_of 1 and big = p_of 8 in
+  Alcotest.(check bool) "1-node windows ~8x longer" true
+    (small.Params.run.Params.measure > 7. *. big.Params.run.Params.measure)
+
+let test_profiles_ordered () =
+  let measure profile =
+    (Ddbm.Experiment.params_of_config ~profile Ddbm.Experiment.base_config)
+      .Params.run.Params.measure
+  in
+  Alcotest.(check bool) "quick < standard < full" true
+    (measure Ddbm.Experiment.Quick < measure Ddbm.Experiment.Standard
+    && measure Ddbm.Experiment.Standard < measure Ddbm.Experiment.Full)
+
+let tiny_config =
+  {
+    Ddbm.Experiment.base_config with
+    Ddbm.Experiment.algorithm = Params.No_dc;
+    nodes = 2;
+    degree = 2;
+    terminals = 8;
+    think = 1.;
+  }
+
+let tiny_params =
+  let p =
+    Ddbm.Experiment.params_of_config ~profile:Ddbm.Experiment.Quick tiny_config
+  in
+  { p with Params.run = { p.Params.run with Params.warmup = 5.; measure = 20. } }
+
+let test_cache_reuses_runs () =
+  let cache = Ddbm.Experiment.create_cache () in
+  let a = Ddbm.Experiment.run cache tiny_params in
+  let b = Ddbm.Experiment.run cache tiny_params in
+  Alcotest.(check int) "one run" 1 cache.Ddbm.Experiment.runs;
+  Alcotest.(check int) "one hit" 1 cache.Ddbm.Experiment.hits;
+  Alcotest.(check bool) "identical result" true (a == b)
+
+let test_cache_distinguishes_configs () =
+  let cache = Ddbm.Experiment.create_cache () in
+  let p2 =
+    { tiny_params with
+      Params.workload =
+        { tiny_params.Params.workload with Params.think_time = 2. } }
+  in
+  ignore (Ddbm.Experiment.run cache tiny_params);
+  ignore (Ddbm.Experiment.run cache p2);
+  Alcotest.(check int) "two distinct runs" 2 cache.Ddbm.Experiment.runs
+
+let test_replicate_summary () =
+  let cache = Ddbm.Experiment.create_cache () in
+  let s =
+    Ddbm.Experiment.replicate cache ~profile:Ddbm.Experiment.Quick
+      ~seeds:[ 1; 2; 3 ] tiny_config
+  in
+  Alcotest.(check int) "replicates" 3 s.Ddbm.Experiment.replicates;
+  Alcotest.(check bool) "throughput positive" true
+    (s.Ddbm.Experiment.mean_throughput > 0.);
+  Alcotest.(check bool) "ci nonnegative" true
+    (s.Ddbm.Experiment.ci_throughput >= 0.);
+  Alcotest.(check int) "three runs" 3 cache.Ddbm.Experiment.runs
+
+let sample_figure =
+  {
+    Ddbm.Figure.id = "figX";
+    title = "sample";
+    xlabel = "x";
+    ylabel = "y";
+    series =
+      [
+        {
+          Ddbm.Figure.label = "a";
+          points =
+            [ { Ddbm.Figure.x = 0.; y = 1.5 }; { Ddbm.Figure.x = 1.; y = 2.5 } ];
+        };
+        {
+          Ddbm.Figure.label = "b";
+          points =
+            [ { Ddbm.Figure.x = 0.; y = 10. }; { Ddbm.Figure.x = 1.; y = 20. } ];
+        };
+      ];
+  }
+
+let test_figure_table_renders () =
+  let table = Ddbm.Figure.to_table sample_figure in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "table contains %S" needle)
+        true
+        (Astring_contains.contains table needle))
+    [ "figX"; "a"; "b"; "1.5"; "20" ]
+
+let test_figure_csv_shape () =
+  let csv = Ddbm.Figure.to_csv sample_figure in
+  let lines =
+    String.split_on_char '\n' (String.trim csv)
+  in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check string) "header" "x,a,b" (List.hd lines);
+  Alcotest.(check string) "row 0" "0,1.5,10" (List.nth lines 1)
+
+let test_figures_registry_complete () =
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " registered") true
+        (Ddbm.Figures.find id <> None))
+    [
+      "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
+      "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "fig17";
+      "fig4n"; "fig5n"; "fig16s"; "fig17s"; "abl-exec"; "abl-snoop";
+      "abl-txsize"; "abl-writeprob"; "abl-mpl"; "abl-restart"; "ext-algos"; "fig16n"; "ext-repl";
+      "abl-logging";
+    ];
+  Alcotest.(check (option Alcotest.reject)) "unknown id" None
+    (Option.map ignore (Ddbm.Figures.find "fig99"))
+
+let suite =
+  [
+    Alcotest.test_case "config mapping" `Quick test_params_of_config_mapping;
+    Alcotest.test_case "window scaling" `Quick
+      test_window_scaling_with_machine_size;
+    Alcotest.test_case "profiles ordered" `Quick test_profiles_ordered;
+    Alcotest.test_case "cache reuses runs" `Slow test_cache_reuses_runs;
+    Alcotest.test_case "cache distinguishes configs" `Slow
+      test_cache_distinguishes_configs;
+    Alcotest.test_case "replicate summary" `Slow test_replicate_summary;
+    Alcotest.test_case "figure table renders" `Quick test_figure_table_renders;
+    Alcotest.test_case "figure csv shape" `Quick test_figure_csv_shape;
+    Alcotest.test_case "figures registry" `Quick test_figures_registry_complete;
+  ]

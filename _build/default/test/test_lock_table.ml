@@ -1,0 +1,264 @@
+open Desim
+open Ddbm_cc
+open Ddbm_model
+
+exception Rejected
+
+let mk () =
+  let h = Cc_harness.make () in
+  let blocking = Stats.Tally.create () in
+  (h, Lock_table.create h.Cc_harness.eng ~blocking, blocking)
+
+(* Acquire in a spawned process; returns a ref set to `Granted/`Rejected. *)
+let async_request h locks txn page mode =
+  let state = ref `Waiting in
+  Engine.spawn h.Cc_harness.eng (fun () ->
+      try
+        Lock_table.request locks txn page mode ~on_block:(fun _ -> ());
+        state := `Granted
+      with Txn.Aborted _ -> state := `Rejected);
+  state
+
+let test_shared_compatible () =
+  let h, locks, _ = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  let s0 = async_request h locks t0 p Lock_table.S in
+  let s1 = async_request h locks t1 p Lock_table.S in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "both granted" true (!s0 = `Granted && !s1 = `Granted)
+
+let test_exclusive_blocks () =
+  let h, locks, _ = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  let s0 = async_request h locks t0 p Lock_table.X in
+  let s1 = async_request h locks t1 p Lock_table.S in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "holder granted" true (!s0 = `Granted);
+  Alcotest.(check bool) "reader blocked" true (!s1 = `Waiting);
+  (* release on commit: waiter granted *)
+  Lock_table.release_all locks t0 ~reject:Rejected;
+  Cc_harness.settle h;
+  Alcotest.(check bool) "waiter granted after release" true (!s1 = `Granted)
+
+let test_fcfs_no_queue_jump () =
+  let h, locks, _ = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let t2 = Cc_harness.txn h ~tid:2 ~time:2. () in
+  let p = Cc_harness.page 1 in
+  let s0 = async_request h locks t0 p Lock_table.S in
+  Cc_harness.settle h;
+  let s1 = async_request h locks t1 p Lock_table.X in
+  (* t2's S is compatible with t0's S but must not jump t1's X *)
+  let s2 = async_request h locks t2 p Lock_table.S in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "t0 granted" true (!s0 = `Granted);
+  Alcotest.(check bool) "t1 waits" true (!s1 = `Waiting);
+  Alcotest.(check bool) "t2 does not jump" true (!s2 = `Waiting);
+  Lock_table.release_all locks t0 ~reject:Rejected;
+  Cc_harness.settle h;
+  Alcotest.(check bool) "t1 granted next" true (!s1 = `Granted);
+  Alcotest.(check bool) "t2 still waits" true (!s2 = `Waiting);
+  Lock_table.release_all locks t1 ~reject:Rejected;
+  Cc_harness.settle h;
+  Alcotest.(check bool) "t2 finally granted" true (!s2 = `Granted)
+
+let test_upgrade_sole_holder () =
+  let h, locks, _ = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let p = Cc_harness.page 1 in
+  let s = async_request h locks t0 p Lock_table.S in
+  Cc_harness.settle h;
+  let x = async_request h locks t0 p Lock_table.X in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "upgrade immediate" true (!s = `Granted && !x = `Granted);
+  Alcotest.(check bool) "held in X" true
+    (Lock_table.held locks t0 p = Some Lock_table.X)
+
+let test_upgrade_waits_for_other_reader () =
+  let h, locks, _ = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  ignore (async_request h locks t0 p Lock_table.S);
+  ignore (async_request h locks t1 p Lock_table.S);
+  Cc_harness.settle h;
+  let up = async_request h locks t0 p Lock_table.X in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "conversion waits" true (!up = `Waiting);
+  Lock_table.release_all locks t1 ~reject:Rejected;
+  Cc_harness.settle h;
+  Alcotest.(check bool) "conversion granted after release" true (!up = `Granted)
+
+let test_conversion_jumps_queue () =
+  let h, locks, _ = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let t2 = Cc_harness.txn h ~tid:2 ~time:2. () in
+  let p = Cc_harness.page 1 in
+  ignore (async_request h locks t0 p Lock_table.S);
+  ignore (async_request h locks t1 p Lock_table.S);
+  Cc_harness.settle h;
+  (* t2 queues an X; then t1 converts: the conversion goes ahead of t2 *)
+  let x2 = async_request h locks t2 p Lock_table.X in
+  Cc_harness.settle h;
+  let up1 = async_request h locks t1 p Lock_table.X in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "both waiting" true (!x2 = `Waiting && !up1 = `Waiting);
+  Lock_table.release_all locks t0 ~reject:Rejected;
+  Cc_harness.settle h;
+  Alcotest.(check bool) "conversion wins" true (!up1 = `Granted);
+  Alcotest.(check bool) "plain X still waits" true (!x2 = `Waiting)
+
+let test_release_rejects_waiters () =
+  let h, locks, _ = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  ignore (async_request h locks t0 p Lock_table.X);
+  Cc_harness.settle h;
+  let s1 = async_request h locks t1 p Lock_table.S in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "t1 waiting" true (!s1 = `Waiting);
+  (* aborting t1 rejects its blocked request *)
+  Lock_table.release_all locks t1 ~reject:(Txn.Aborted Txn.Peer_abort);
+  Cc_harness.settle h;
+  Alcotest.(check bool) "t1 rejected" true (!s1 = `Rejected);
+  (* the holder is untouched *)
+  Alcotest.(check bool) "t0 still holds" true
+    (Lock_table.held locks t0 p = Some Lock_table.X)
+
+let test_blockers_reported () =
+  let h, locks, _ = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  ignore (async_request h locks t0 p Lock_table.X);
+  Cc_harness.settle h;
+  let seen = ref [] in
+  Engine.spawn h.Cc_harness.eng (fun () ->
+      try
+        Lock_table.request locks t1 p Lock_table.S ~on_block:(fun blockers ->
+            seen := blockers)
+      with Txn.Aborted _ -> ());
+  Cc_harness.settle h;
+  (match !seen with
+  | [ b ] -> Alcotest.(check int) "blocker is t0" 0 b.Txn.tid
+  | other ->
+      Alcotest.fail (Printf.sprintf "expected 1 blocker, got %d" (List.length other)));
+  Lock_table.release_all locks t1 ~reject:Rejected
+
+let test_edges () =
+  let h, locks, _ = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  ignore (async_request h locks t0 p Lock_table.X);
+  Cc_harness.settle h;
+  ignore (async_request h locks t1 p Lock_table.X);
+  Cc_harness.settle h;
+  match Lock_table.edges locks with
+  | [ { Cc_intf.waiter; holder } ] ->
+      Alcotest.(check (pair int int))
+        "edge t1 -> t0" (1, 0)
+        (waiter.Txn.tid, holder.Txn.tid)
+  | edges ->
+      Alcotest.fail (Printf.sprintf "expected 1 edge, got %d" (List.length edges))
+
+let test_blocking_tally () =
+  let h, locks, blocking = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  ignore (async_request h locks t0 p Lock_table.X);
+  Cc_harness.settle h;
+  ignore (async_request h locks t1 p Lock_table.S);
+  (* release at t=5: blocked duration recorded *)
+  ignore
+    (Engine.schedule h.Cc_harness.eng ~at:5. (fun () ->
+         Lock_table.release_all locks t0 ~reject:Rejected));
+  Cc_harness.settle h;
+  Alcotest.(check int) "one block recorded" 1 (Stats.Tally.count blocking);
+  Alcotest.(check bool) "blocked ~5s" true
+    (abs_float (Stats.Tally.mean blocking -. 5.) < 1e-9)
+
+let test_reacquire_held () =
+  let h, locks, _ = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let p = Cc_harness.page 1 in
+  ignore (async_request h locks t0 p Lock_table.X);
+  Cc_harness.settle h;
+  (* S and X under an existing X are both immediate no-ops *)
+  let s = async_request h locks t0 p Lock_table.S in
+  let x = async_request h locks t0 p Lock_table.X in
+  Cc_harness.settle h;
+  Alcotest.(check bool) "covered requests granted" true
+    (!s = `Granted && !x = `Granted)
+
+(* Invariant: at any quiescent point, a page has either one X holder and
+   nothing else, or only S holders. *)
+let prop_no_conflicting_holders =
+  QCheck.Test.make ~name:"lock table never grants conflicting holders"
+    ~count:60
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 40)
+        (triple (int_range 0 5) (int_range 0 3) bool))
+    (fun ops ->
+      let h, locks, _ = mk () in
+      let txns =
+        Array.init 6 (fun i -> Cc_harness.txn h ~tid:i ~time:(float_of_int i) ())
+      in
+      List.iter
+        (fun (tid, page_idx, exclusive) ->
+          let mode = if exclusive then Lock_table.X else Lock_table.S in
+          let p = Cc_harness.page page_idx in
+          Engine.spawn h.Cc_harness.eng (fun () ->
+              try
+                Lock_table.request locks txns.(tid) p mode ~on_block:(fun _ ->
+                    ())
+              with Txn.Aborted _ -> ()))
+        ops;
+      Cc_harness.settle h;
+      (* check pairwise compatibility of the locks actually held per page
+         (cyclic waits may remain outstanding; that is fine here) *)
+      let ok = ref true in
+      for page_idx = 0 to 3 do
+        let p = Cc_harness.page page_idx in
+        let modes =
+          Array.to_list txns
+          |> List.filter_map (fun t -> Lock_table.held locks t p)
+        in
+        let xs = List.length (List.filter (fun m -> m = Lock_table.X) modes) in
+        if xs > 1 || (xs = 1 && List.length modes > 1) then ok := false
+      done;
+      (* cleanup: release every txn, rejecting any stuck waiter *)
+      Array.iter
+        (fun t ->
+          Lock_table.release_all locks t ~reject:(Txn.Aborted Txn.Peer_abort))
+        txns;
+      Cc_harness.settle h;
+      !ok && Lock_table.num_waiting locks = 0)
+
+let suite =
+  [
+    Alcotest.test_case "shared compatible" `Quick test_shared_compatible;
+    Alcotest.test_case "exclusive blocks" `Quick test_exclusive_blocks;
+    Alcotest.test_case "fcfs no queue jump" `Quick test_fcfs_no_queue_jump;
+    Alcotest.test_case "upgrade sole holder" `Quick test_upgrade_sole_holder;
+    Alcotest.test_case "upgrade waits for reader" `Quick
+      test_upgrade_waits_for_other_reader;
+    Alcotest.test_case "conversion jumps queue" `Quick
+      test_conversion_jumps_queue;
+    Alcotest.test_case "release rejects waiters" `Quick
+      test_release_rejects_waiters;
+    Alcotest.test_case "blockers reported" `Quick test_blockers_reported;
+    Alcotest.test_case "waits-for edges" `Quick test_edges;
+    Alcotest.test_case "blocking tally" `Quick test_blocking_tally;
+    Alcotest.test_case "re-acquire held lock" `Quick test_reacquire_held;
+    QCheck_alcotest.to_alcotest prop_no_conflicting_holders;
+  ]

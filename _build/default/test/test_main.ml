@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "ddbm"
+    [
+      ("heap", Test_heap.suite);
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("engine", Test_engine.suite);
+      ("cpu", Test_cpu.suite);
+      ("disk", Test_disk.suite);
+      ("sync", Test_sync.suite);
+      ("model", Test_model.suite);
+      ("wfg", Test_wfg.suite);
+      ("lock-table", Test_lock_table.suite);
+      ("2pl", Test_twopl.suite);
+      ("wound-wait", Test_wound_wait.suite);
+      ("bto", Test_bto.suite);
+      ("opt", Test_opt.suite);
+      ("snoop", Test_snoop.suite);
+      ("machine", Test_machine.suite);
+      ("experiment", Test_experiment.suite);
+      ("audit", Test_audit.suite);
+      ("wait-die", Test_wait_die.suite);
+      ("replication", Test_replication.suite);
+      ("queueing", Test_queueing.suite);
+      ("trace", Test_trace.suite);
+    ]

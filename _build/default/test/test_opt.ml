@@ -1,0 +1,240 @@
+(* Distributed certification (OPT) tests: reads/writes never block,
+   certification accepts/rejects per [Sinh85]'s rules, commit installs
+   versions. *)
+
+open Desim
+open Ddbm_cc
+open Ddbm_model
+
+let mk () =
+  let h = Cc_harness.make () in
+  (h, Opt_cert.make h.Cc_harness.hooks)
+
+let run_now h f = Engine.spawn h.Cc_harness.eng f
+
+(* All OPT operations are non-blocking, so a helper that runs a sequence
+   inside the engine and returns the result. *)
+let eval h f =
+  let slot = ref None in
+  Engine.spawn h.Cc_harness.eng (fun () -> slot := Some (f ()));
+  Cc_harness.settle h;
+  match !slot with Some v -> v | None -> Alcotest.fail "process did not run"
+
+let test_reads_never_block () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  let done_ = eval h (fun () ->
+      cc.Cc_intf.cc_read t0 p;
+      cc.Cc_intf.cc_write t0 p;
+      (* a concurrent reader is never delayed *)
+      cc.Cc_intf.cc_read t1 p;
+      true)
+  in
+  Alcotest.(check bool) "no blocking" true done_
+
+let test_disjoint_transactions_certify () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  run_now h (fun () ->
+      cc.Cc_intf.cc_read t0 (Cc_harness.page 1);
+      cc.Cc_intf.cc_write t0 (Cc_harness.page 1);
+      cc.Cc_intf.cc_read t1 (Cc_harness.page 2));
+  Cc_harness.settle h;
+  Cc_harness.give_commit_ts h t0;
+  Cc_harness.give_commit_ts h t1;
+  let v0 = eval h (fun () -> cc.Cc_intf.cc_prepare t0) in
+  let v1 = eval h (fun () -> cc.Cc_intf.cc_prepare t1) in
+  Alcotest.(check bool) "both certify" true (v0 && v1);
+  run_now h (fun () ->
+      cc.Cc_intf.cc_commit t0;
+      cc.Cc_intf.cc_commit t1);
+  Cc_harness.settle h
+
+let test_stale_read_fails_certification () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  run_now h (fun () ->
+      (* t1 reads the initial version; t0 writes and commits first *)
+      cc.Cc_intf.cc_read t1 p;
+      cc.Cc_intf.cc_read t0 p;
+      cc.Cc_intf.cc_write t0 p);
+  Cc_harness.settle h;
+  Cc_harness.give_commit_ts h t0;
+  let v0 = eval h (fun () -> cc.Cc_intf.cc_prepare t0) in
+  Alcotest.(check bool) "writer certifies" true v0;
+  run_now h (fun () -> cc.Cc_intf.cc_commit t0);
+  Cc_harness.settle h;
+  Cc_harness.give_commit_ts h t1;
+  let v1 = eval h (fun () -> cc.Cc_intf.cc_prepare t1) in
+  Alcotest.(check bool) "stale reader rejected" false v1;
+  run_now h (fun () -> cc.Cc_intf.cc_abort t1);
+  Cc_harness.settle h
+
+let test_certified_uncommitted_write_blocks_read_cert () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  run_now h (fun () ->
+      cc.Cc_intf.cc_read t1 p;
+      cc.Cc_intf.cc_write t0 p);
+  Cc_harness.settle h;
+  (* t0 certifies (uncommitted) with an earlier timestamp than t1 *)
+  Cc_harness.give_commit_ts h t0;
+  let v0 = eval h (fun () -> cc.Cc_intf.cc_prepare t0) in
+  Alcotest.(check bool) "writer certifies" true v0;
+  Cc_harness.give_commit_ts h t1;
+  let v1 = eval h (fun () -> cc.Cc_intf.cc_prepare t1) in
+  Alcotest.(check bool)
+    "read certification fails against certified earlier write" false v1;
+  run_now h (fun () ->
+      cc.Cc_intf.cc_commit t0;
+      cc.Cc_intf.cc_abort t1);
+  Cc_harness.settle h
+
+let test_write_rejected_by_committed_later_read () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  run_now h (fun () ->
+      cc.Cc_intf.cc_read t1 p;
+      cc.Cc_intf.cc_write t0 p);
+  Cc_harness.settle h;
+  (* t1 certifies and commits its read first (later timestamp) *)
+  Cc_harness.give_commit_ts h t1;
+  let v1 = eval h (fun () -> cc.Cc_intf.cc_prepare t1) in
+  Alcotest.(check bool) "reader certifies" true v1;
+  run_now h (fun () -> cc.Cc_intf.cc_commit t1);
+  Cc_harness.settle h;
+  (* now t0's write would invalidate the committed later read *)
+  Cc_harness.give_commit_ts h t0;
+  (* force an EARLIER certification timestamp than t1's: build it from the
+     transaction's own startup time *)
+  t0.Txn.commit_ts <- Some t0.Txn.startup_ts;
+  let v0 = eval h (fun () -> cc.Cc_intf.cc_prepare t0) in
+  Alcotest.(check bool) "write rejected by later committed read" false v0;
+  run_now h (fun () -> cc.Cc_intf.cc_abort t0);
+  Cc_harness.settle h
+
+let test_write_rejected_by_certified_later_read () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  run_now h (fun () ->
+      cc.Cc_intf.cc_read t1 p;
+      cc.Cc_intf.cc_write t0 p);
+  Cc_harness.settle h;
+  Cc_harness.give_commit_ts h t1;
+  let v1 = eval h (fun () -> cc.Cc_intf.cc_prepare t1) in
+  Alcotest.(check bool) "reader locally certified" true v1;
+  (* t1 not yet committed; t0's earlier write must still be rejected *)
+  t0.Txn.commit_ts <- Some t0.Txn.startup_ts;
+  let v0 = eval h (fun () -> cc.Cc_intf.cc_prepare t0) in
+  Alcotest.(check bool) "write rejected by certified later read" false v0;
+  run_now h (fun () ->
+      cc.Cc_intf.cc_commit t1;
+      cc.Cc_intf.cc_abort t0);
+  Cc_harness.settle h
+
+let test_abort_clears_certificates () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+  let p = Cc_harness.page 1 in
+  run_now h (fun () ->
+      cc.Cc_intf.cc_write t0 p;
+      cc.Cc_intf.cc_read t1 p);
+  Cc_harness.settle h;
+  Cc_harness.give_commit_ts h t0;
+  Alcotest.(check bool) "writer certifies" true
+    (eval h (fun () -> cc.Cc_intf.cc_prepare t0));
+  (* the writer aborts after certification (e.g. another cohort voted no):
+     its certificate must not keep blocking the reader *)
+  run_now h (fun () -> cc.Cc_intf.cc_abort t0);
+  Cc_harness.settle h;
+  Cc_harness.give_commit_ts h t1;
+  Alcotest.(check bool) "reader certifies after writer abort" true
+    (eval h (fun () -> cc.Cc_intf.cc_prepare t1))
+
+let test_commit_installs_version () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  let t2 = Cc_harness.txn h ~tid:2 ~time:2. () in
+  let p = Cc_harness.page 1 in
+  run_now h (fun () ->
+      cc.Cc_intf.cc_write t0 p);
+  Cc_harness.settle h;
+  Cc_harness.give_commit_ts h t0;
+  Alcotest.(check bool) "certify" true (eval h (fun () -> cc.Cc_intf.cc_prepare t0));
+  run_now h (fun () -> cc.Cc_intf.cc_commit t0);
+  Cc_harness.settle h;
+  (* a read taken after the install sees the new version and certifies *)
+  run_now h (fun () -> cc.Cc_intf.cc_read t2 p);
+  Cc_harness.settle h;
+  Cc_harness.give_commit_ts h t2;
+  Alcotest.(check bool) "fresh read certifies" true
+    (eval h (fun () -> cc.Cc_intf.cc_prepare t2))
+
+let test_doomed_votes_no () =
+  let h, cc = mk () in
+  let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+  t0.Txn.doomed <- true;
+  Cc_harness.give_commit_ts h t0;
+  Alcotest.(check bool) "doomed votes no" false
+    (eval h (fun () -> cc.Cc_intf.cc_prepare t0))
+
+(* Serializability-flavoured property: two transactions that both
+   read-modify-write the same page can never both certify. *)
+let prop_rmw_mutual_exclusion =
+  QCheck.Test.make ~name:"OPT: conflicting RMWs never both certify" ~count:100
+    QCheck.(pair (int_range 0 3) (int_range 0 3))
+    (fun (pa, pb) ->
+      let h, cc = mk () in
+      let t0 = Cc_harness.txn h ~tid:0 ~time:0. () in
+      let t1 = Cc_harness.txn h ~tid:1 ~time:1. () in
+      let conflict = pa = pb in
+      Engine.spawn h.Cc_harness.eng (fun () ->
+          cc.Cc_intf.cc_read t0 (Cc_harness.page pa);
+          cc.Cc_intf.cc_write t0 (Cc_harness.page pa);
+          cc.Cc_intf.cc_read t1 (Cc_harness.page pb);
+          cc.Cc_intf.cc_write t1 (Cc_harness.page pb));
+      Cc_harness.settle h;
+      Cc_harness.give_commit_ts h t0;
+      Cc_harness.give_commit_ts h t1;
+      let v0 = eval h (fun () -> cc.Cc_intf.cc_prepare t0) in
+      Engine.spawn h.Cc_harness.eng (fun () ->
+          if v0 then cc.Cc_intf.cc_commit t0 else cc.Cc_intf.cc_abort t0);
+      Cc_harness.settle h;
+      let v1 = eval h (fun () -> cc.Cc_intf.cc_prepare t1) in
+      Engine.spawn h.Cc_harness.eng (fun () ->
+          if v1 then cc.Cc_intf.cc_commit t1 else cc.Cc_intf.cc_abort t1);
+      Cc_harness.settle h;
+      if conflict then not (v0 && v1) else v0 && v1)
+
+let suite =
+  [
+    Alcotest.test_case "reads never block" `Quick test_reads_never_block;
+    Alcotest.test_case "disjoint certify" `Quick
+      test_disjoint_transactions_certify;
+    Alcotest.test_case "stale read fails" `Quick
+      test_stale_read_fails_certification;
+    Alcotest.test_case "certified write blocks read cert" `Quick
+      test_certified_uncommitted_write_blocks_read_cert;
+    Alcotest.test_case "write vs committed later read" `Quick
+      test_write_rejected_by_committed_later_read;
+    Alcotest.test_case "write vs certified later read" `Quick
+      test_write_rejected_by_certified_later_read;
+    Alcotest.test_case "abort clears certificates" `Quick
+      test_abort_clears_certificates;
+    Alcotest.test_case "commit installs version" `Quick
+      test_commit_installs_version;
+    Alcotest.test_case "doomed votes no" `Quick test_doomed_votes_no;
+    QCheck_alcotest.to_alcotest prop_rmw_mutual_exclusion;
+  ]

@@ -1,0 +1,153 @@
+(* Queueing-theoretic validation of the simulation kernel: the resource
+   models must match closed-form results for classical queues, and the
+   whole machine must satisfy Little's law at steady state. These tests
+   give the simulator the credibility its figures rest on. *)
+
+open Desim
+
+let close ~tolerance measured expected =
+  abs_float (measured -. expected) /. expected < tolerance
+
+(* M/M/1 with processor sharing: Poisson arrivals rate l, exponential
+   service rate m; mean sojourn time = 1 / (m - l), identical to FCFS
+   M/M/1. We drive the Cpu model with exponential "instruction" demands. *)
+let test_mm1_ps_sojourn () =
+  let eng = Engine.create () in
+  let rng = Rng.create 4242 in
+  let rate = 1000. (* instructions/s *) in
+  let cpu = Cpu.create eng ~rate in
+  let lambda = 50. and mu = 100. in
+  (* service demand: exponential with mean rate/mu instructions *)
+  let sojourn = Stats.Tally.create () in
+  let n = 30_000 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to n do
+        Engine.wait (Rng.exponential rng ~mean:(1. /. lambda));
+        let demand = Rng.exponential rng ~mean:(rate /. mu) in
+        let start = Engine.now eng in
+        Engine.spawn eng (fun () ->
+            Cpu.consume cpu ~instructions:demand;
+            Stats.Tally.add sojourn (Engine.now eng -. start))
+      done);
+  Engine.run eng;
+  let expected = 1. /. (mu -. lambda) in
+  let measured = Stats.Tally.mean sojourn in
+  Alcotest.(check bool)
+    (Printf.sprintf "M/M/1-PS sojourn %.4f ~ %.4f" measured expected)
+    true
+    (close ~tolerance:0.08 measured expected)
+
+(* M/G/1 FIFO: Poisson arrivals into one disk with uniform service
+   [10 ms, 30 ms]. Pollaczek-Khinchine: Wq = l E[S^2] / (2 (1 - rho)). *)
+let test_mg1_disk_wait () =
+  let eng = Engine.create () in
+  let rng = Rng.create 99 in
+  let disk = Disk.create eng (Rng.create 7) ~min_time:0.010 ~max_time:0.030 in
+  let lambda = 25. in
+  let mean_s = 0.020 in
+  let var_s = (0.030 -. 0.010) ** 2. /. 12. in
+  let e_s2 = var_s +. (mean_s ** 2.) in
+  let rho = lambda *. mean_s in
+  let expected_wq = lambda *. e_s2 /. (2. *. (1. -. rho)) in
+  let expected_t = expected_wq +. mean_s in
+  let sojourn = Stats.Tally.create () in
+  let n = 30_000 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to n do
+        Engine.wait (Rng.exponential rng ~mean:(1. /. lambda));
+        let start = Engine.now eng in
+        Disk.submit_read disk (fun () ->
+            Stats.Tally.add sojourn (Engine.now eng -. start))
+      done);
+  Engine.run eng;
+  let measured = Stats.Tally.mean sojourn in
+  Alcotest.(check bool)
+    (Printf.sprintf "M/G/1 sojourn %.4f ~ %.4f" measured expected_t)
+    true
+    (close ~tolerance:0.08 measured expected_t);
+  Alcotest.(check bool)
+    (Printf.sprintf "utilization %.3f ~ %.3f" (Disk.utilization disk) rho)
+    true
+    (close ~tolerance:0.05 (Disk.utilization disk) rho)
+
+(* Work conservation under priority: high-priority (message) work plus PS
+   work on one CPU must complete in exactly total/rate busy time. *)
+let test_priority_work_conservation () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~rate:1000. in
+  let rng = Rng.create 5 in
+  let total = ref 0. in
+  for _ = 1 to 200 do
+    let w = Rng.uniform rng ~lo:10. ~hi:500. in
+    total := !total +. w;
+    if Rng.bool rng ~p:0.3 then Cpu.submit_priority cpu ~instructions:w ignore
+    else Cpu.submit cpu ~instructions:w ignore
+  done;
+  Engine.run eng;
+  let expected = !total /. 1000. in
+  Alcotest.(check bool)
+    (Printf.sprintf "makespan %.4f = %.4f" (Engine.now eng) expected)
+    true
+    (abs_float (Engine.now eng -. expected) < 1e-6)
+
+(* Little's law on the whole machine: mean in-flight transactions =
+   throughput x mean response time, at steady state. *)
+let test_machine_littles_law () =
+  let open Ddbm_model in
+  let d = Params.default in
+  let params =
+    {
+      Params.database = d.Params.database;
+      workload = { d.Params.workload with Params.think_time = 8. };
+      resources = d.Params.resources;
+      cc = { d.Params.cc with Params.algorithm = Params.No_dc };
+      run =
+        { Params.seed = 2; warmup = 60.; measure = 400.;
+          restart_delay_floor = 0.5; fresh_restart_plan = false };
+    }
+  in
+  let r = Ddbm.Machine.run params in
+  let expected =
+    r.Ddbm.Sim_result.throughput *. r.Ddbm.Sim_result.mean_response
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "L = %.2f ~ lambda W = %.2f" r.Ddbm.Sim_result.mean_active
+       expected)
+    true
+    (close ~tolerance:0.1 r.Ddbm.Sim_result.mean_active expected)
+
+(* And the closed-network form: throughput = N / (R + Z). *)
+let test_machine_interactive_response_law () =
+  let open Ddbm_model in
+  let d = Params.default in
+  let think = 16. in
+  let params =
+    {
+      Params.database = d.Params.database;
+      workload = { d.Params.workload with Params.think_time = think };
+      resources = d.Params.resources;
+      cc = { d.Params.cc with Params.algorithm = Params.No_dc };
+      run =
+        { Params.seed = 3; warmup = 80.; measure = 400.;
+          restart_delay_floor = 0.5; fresh_restart_plan = false };
+    }
+  in
+  let r = Ddbm.Machine.run params in
+  let n = float_of_int d.Params.workload.Params.num_terminals in
+  let expected = n /. (r.Ddbm.Sim_result.mean_response +. think) in
+  Alcotest.(check bool)
+    (Printf.sprintf "X = %.2f ~ N/(R+Z) = %.2f" r.Ddbm.Sim_result.throughput
+       expected)
+    true
+    (close ~tolerance:0.08 r.Ddbm.Sim_result.throughput expected)
+
+let suite =
+  [
+    Alcotest.test_case "M/M/1-PS sojourn" `Slow test_mm1_ps_sojourn;
+    Alcotest.test_case "M/G/1 disk wait (P-K)" `Slow test_mg1_disk_wait;
+    Alcotest.test_case "priority work conservation" `Quick
+      test_priority_work_conservation;
+    Alcotest.test_case "Little's law (machine)" `Slow test_machine_littles_law;
+    Alcotest.test_case "interactive response-time law" `Slow
+      test_machine_interactive_response_law;
+  ]

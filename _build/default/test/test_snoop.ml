@@ -1,0 +1,128 @@
+(* Snoop global deadlock detector tests: cross-node cycle detection,
+   victim selection, rotation, and message accounting. *)
+
+open Desim
+open Ddbm_cc
+open Ddbm_model
+
+type fixture = {
+  h : Cc_harness.t;
+  net : Net.t;
+  node_edges : Cc_intf.edge list array;
+  victims : (Txn.t * Txn.abort_reason) list ref;
+  snoop : Snoop.t;
+}
+
+let mk ?(num_nodes = 3) ?(inst_per_msg = 1_000.) () =
+  let h = Cc_harness.make () in
+  let eng = h.Cc_harness.eng in
+  let cpus =
+    Array.init num_nodes (fun _ -> Cpu.create eng ~rate:1_000_000.)
+  in
+  let host_cpu = Cpu.create eng ~rate:10_000_000. in
+  let cpu_of = function
+    | Ids.Host -> host_cpu
+    | Ids.Proc i -> cpus.(i)
+  in
+  let net = Net.create ~inst_per_msg ~cpu_of in
+  let node_edges = Array.make num_nodes [] in
+  let victims = ref [] in
+  let snoop =
+    Snoop.create eng ~net ~num_nodes ~detection_interval:1.0
+      ~edges_of:(fun i -> node_edges.(i))
+      ~request_abort:(fun ~from_node:_ txn reason ->
+        if not txn.Txn.doomed then begin
+          txn.Txn.doomed <- true;
+          victims := (txn, reason) :: !victims
+        end)
+  in
+  { h; net; node_edges; victims; snoop }
+
+let test_cross_node_cycle () =
+  let f = mk () in
+  let t0 = Cc_harness.txn f.h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn f.h ~tid:1 ~time:1. () in
+  (* t0 waits for t1 at node 0; t1 waits for t0 at node 2 *)
+  f.node_edges.(0) <- [ { Cc_intf.waiter = t0; holder = t1 } ];
+  f.node_edges.(2) <- [ { Cc_intf.waiter = t1; holder = t0 } ];
+  Engine.spawn f.h.Cc_harness.eng (fun () ->
+      Snoop.detection_round f.snoop ~snoop_node:0);
+  Cc_harness.settle f.h;
+  (match !(f.victims) with
+  | [ (victim, Txn.Global_deadlock) ] ->
+      Alcotest.(check int) "youngest victimized" 1 victim.Txn.tid
+  | _ -> Alcotest.fail "expected exactly one global-deadlock victim");
+  Alcotest.(check bool) "messages exchanged" true (Net.messages_sent f.net > 0)
+
+let test_no_cycle_no_victim () =
+  let f = mk () in
+  let t0 = Cc_harness.txn f.h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn f.h ~tid:1 ~time:1. () in
+  f.node_edges.(0) <- [ { Cc_intf.waiter = t0; holder = t1 } ];
+  Engine.spawn f.h.Cc_harness.eng (fun () ->
+      Snoop.detection_round f.snoop ~snoop_node:1);
+  Cc_harness.settle f.h;
+  Alcotest.(check int) "no victims" 0 (List.length !(f.victims))
+
+let test_local_cycle_found_globally () =
+  (* the Snoop also sees single-node cycles that escaped local detection *)
+  let f = mk () in
+  let t0 = Cc_harness.txn f.h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn f.h ~tid:1 ~time:1. () in
+  f.node_edges.(1) <-
+    [
+      { Cc_intf.waiter = t0; holder = t1 };
+      { Cc_intf.waiter = t1; holder = t0 };
+    ];
+  Engine.spawn f.h.Cc_harness.eng (fun () ->
+      Snoop.detection_round f.snoop ~snoop_node:0);
+  Cc_harness.settle f.h;
+  Alcotest.(check int) "one victim" 1 (List.length !(f.victims))
+
+let test_rotation_runs_rounds () =
+  let f = mk ~num_nodes:2 () in
+  Snoop.start f.snoop;
+  Engine.run ~until:5.5 f.h.Cc_harness.eng;
+  (* with a 1 s dwell per node, about 5 rounds fit in 5.5 s *)
+  let rounds = Snoop.rounds f.snoop in
+  Alcotest.(check bool)
+    (Printf.sprintf "rounds %d in [4,6]" rounds)
+    true
+    (rounds >= 4 && rounds <= 6)
+
+let test_doomed_not_revictimized () =
+  let f = mk () in
+  let t0 = Cc_harness.txn f.h ~tid:0 ~time:0. () in
+  let t1 = Cc_harness.txn f.h ~tid:1 ~time:1. () in
+  t1.Txn.doomed <- true;
+  f.node_edges.(0) <- [ { Cc_intf.waiter = t0; holder = t1 } ];
+  f.node_edges.(1) <- [ { Cc_intf.waiter = t1; holder = t0 } ];
+  Engine.spawn f.h.Cc_harness.eng (fun () ->
+      Snoop.detection_round f.snoop ~snoop_node:0);
+  Cc_harness.settle f.h;
+  Alcotest.(check int) "already-doomed cycle ignored" 0
+    (List.length !(f.victims))
+
+let test_message_cost_charged () =
+  let f = mk ~num_nodes:3 ~inst_per_msg:1_000. () in
+  Engine.spawn f.h.Cc_harness.eng (fun () ->
+      Snoop.detection_round f.snoop ~snoop_node:0);
+  Cc_harness.settle f.h;
+  (* 2 remote nodes x (request + reply) = 4 messages *)
+  Alcotest.(check int) "four messages" 4 (Net.messages_sent f.net);
+  (* each message costs 1 ms at 1 MIPS on each end; collection needs two
+     sequential hops *)
+  Alcotest.(check bool) "took simulated time" true
+    (Engine.now f.h.Cc_harness.eng >= 0.002)
+
+let suite =
+  [
+    Alcotest.test_case "cross-node cycle" `Quick test_cross_node_cycle;
+    Alcotest.test_case "no cycle, no victim" `Quick test_no_cycle_no_victim;
+    Alcotest.test_case "local cycle found globally" `Quick
+      test_local_cycle_found_globally;
+    Alcotest.test_case "rotation runs rounds" `Quick test_rotation_runs_rounds;
+    Alcotest.test_case "doomed not re-victimized" `Quick
+      test_doomed_not_revictimized;
+    Alcotest.test_case "message cost charged" `Quick test_message_cost_charged;
+  ]

@@ -1,0 +1,165 @@
+open Desim
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_tally_basic () =
+  let t = Stats.Tally.create () in
+  List.iter (Stats.Tally.add t) [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check int) "count" 5 (Stats.Tally.count t);
+  Alcotest.(check bool) "mean" true (feq (Stats.Tally.mean t) 3.);
+  Alcotest.(check bool) "total" true (feq (Stats.Tally.total t) 15.);
+  Alcotest.(check bool) "variance" true (feq (Stats.Tally.variance t) 2.5);
+  Alcotest.(check bool) "min" true (feq (Stats.Tally.min t) 1.);
+  Alcotest.(check bool) "max" true (feq (Stats.Tally.max t) 5.)
+
+let test_tally_empty () =
+  let t = Stats.Tally.create () in
+  Alcotest.(check int) "count" 0 (Stats.Tally.count t);
+  Alcotest.(check bool) "mean 0" true (feq (Stats.Tally.mean t) 0.);
+  Alcotest.(check bool) "var 0" true (feq (Stats.Tally.variance t) 0.);
+  Alcotest.(check bool) "ci 0" true (feq (Stats.Tally.ci95 t) 0.)
+
+let test_tally_reset () =
+  let t = Stats.Tally.create () in
+  Stats.Tally.add t 10.;
+  Stats.Tally.reset t;
+  Alcotest.(check int) "count after reset" 0 (Stats.Tally.count t);
+  Stats.Tally.add t 4.;
+  Alcotest.(check bool) "mean after reset" true (feq (Stats.Tally.mean t) 4.)
+
+let test_timeseries_average () =
+  let ts = Stats.Timeseries.create ~now:0. ~value:0. in
+  Stats.Timeseries.update ts ~now:1. ~value:2.;
+  Stats.Timeseries.update ts ~now:3. ~value:1.;
+  (* signal: 0 on [0,1), 2 on [1,3), 1 on [3,4) -> area 0+4+1 = 5 over 4 *)
+  Alcotest.(check bool) "avg" true
+    (feq (Stats.Timeseries.average ts ~now:4.) 1.25)
+
+let test_timeseries_window () =
+  let ts = Stats.Timeseries.create ~now:0. ~value:5. in
+  Stats.Timeseries.set_window ts ~now:10.;
+  Stats.Timeseries.update ts ~now:12. ~value:1.;
+  (* from 10: 5 on [10,12), 1 on [12,14) -> (10+2)/4 = 3 *)
+  Alcotest.(check bool) "windowed avg" true
+    (feq (Stats.Timeseries.average ts ~now:14.) 3.)
+
+let test_utilization () =
+  let u = Stats.Utilization.create ~now:0. in
+  Stats.Utilization.set_busy_level u ~now:0. ~level:1.;
+  Stats.Utilization.set_busy_level u ~now:3. ~level:0.;
+  Alcotest.(check bool) "75% busy" true
+    (feq (Stats.Utilization.value u ~now:4.) 0.75)
+
+let test_histogram_quantile () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  for i = 0 to 99 do
+    Stats.Histogram.add h (float_of_int (i mod 10) +. 0.5)
+  done;
+  Alcotest.(check int) "count" 100 (Stats.Histogram.count h);
+  let med = Stats.Histogram.quantile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "median %.2f near 5" med)
+    true
+    (abs_float (med -. 5.) < 1.)
+
+let test_histogram_clamps () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  Stats.Histogram.add h (-5.);
+  Stats.Histogram.add h 100.;
+  Alcotest.(check int) "clamped count" 2 (Stats.Histogram.count h);
+  match Stats.Histogram.bins h with
+  | (_, _, first) :: rest ->
+      let _, _, last = List.nth rest (List.length rest - 1) in
+      Alcotest.(check int) "low clamped" 1 first;
+      Alcotest.(check int) "high clamped" 1 last
+  | [] -> Alcotest.fail "no bins"
+
+let test_batch_means_mean () =
+  let b = Stats.Batch_means.create ~batch_size:4 in
+  for i = 1 to 16 do
+    Stats.Batch_means.add b (float_of_int i)
+  done;
+  Alcotest.(check int) "batches" 4 (Stats.Batch_means.batches b);
+  Alcotest.(check int) "count" 16 (Stats.Batch_means.count b);
+  Alcotest.(check bool) "grand mean 8.5" true
+    (feq (Stats.Batch_means.mean b) 8.5)
+
+let test_batch_means_partial_batch_excluded () =
+  let b = Stats.Batch_means.create ~batch_size:10 in
+  for _ = 1 to 9 do
+    Stats.Batch_means.add b 1.
+  done;
+  Alcotest.(check int) "no complete batch" 0 (Stats.Batch_means.batches b);
+  Alcotest.(check bool) "ci 0 without batches" true
+    (feq (Stats.Batch_means.ci95 b) 0.)
+
+let test_batch_means_constant_signal () =
+  let b = Stats.Batch_means.create ~batch_size:5 in
+  for _ = 1 to 50 do
+    Stats.Batch_means.add b 3.
+  done;
+  Alcotest.(check bool) "zero-width ci" true (feq (Stats.Batch_means.ci95 b) 0.);
+  Alcotest.(check bool) "mean" true (feq (Stats.Batch_means.mean b) 3.)
+
+let test_batch_means_reset () =
+  let b = Stats.Batch_means.create ~batch_size:2 in
+  Stats.Batch_means.add b 1.;
+  Stats.Batch_means.add b 2.;
+  Stats.Batch_means.reset b;
+  Alcotest.(check int) "count reset" 0 (Stats.Batch_means.count b);
+  Alcotest.(check int) "batches reset" 0 (Stats.Batch_means.batches b)
+
+let prop_batch_ci_covers_true_mean =
+  (* iid uniform noise: the 95% batch-means CI should usually contain the
+     true mean; we only require it is positive and not absurdly wide *)
+  QCheck.Test.make ~name:"batch-means CI is sane on iid noise" ~count:50
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let b = Stats.Batch_means.create ~batch_size:20 in
+      for _ = 1 to 400 do
+        Stats.Batch_means.add b (Rng.float rng)
+      done;
+      let ci = Stats.Batch_means.ci95 b in
+      ci > 0. && ci < 0.2
+      && abs_float (Stats.Batch_means.mean b -. 0.5) < 0.15)
+
+let prop_tally_mean_matches_list =
+  QCheck.Test.make ~name:"tally mean equals list mean" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let t = Stats.Tally.create () in
+      List.iter (Stats.Tally.add t) xs;
+      let m = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      abs_float (Stats.Tally.mean t -. m) < 1e-6 *. (1. +. abs_float m))
+
+let prop_tally_minmax =
+  QCheck.Test.make ~name:"tally min/max bound all samples" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let t = Stats.Tally.create () in
+      List.iter (Stats.Tally.add t) xs;
+      List.for_all
+        (fun x -> x >= Stats.Tally.min t && x <= Stats.Tally.max t)
+        xs)
+
+let suite =
+  [
+    Alcotest.test_case "tally basic" `Quick test_tally_basic;
+    Alcotest.test_case "tally empty" `Quick test_tally_empty;
+    Alcotest.test_case "tally reset" `Quick test_tally_reset;
+    Alcotest.test_case "timeseries average" `Quick test_timeseries_average;
+    Alcotest.test_case "timeseries window" `Quick test_timeseries_window;
+    Alcotest.test_case "utilization" `Quick test_utilization;
+    Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+    Alcotest.test_case "histogram clamps" `Quick test_histogram_clamps;
+    Alcotest.test_case "batch means mean" `Quick test_batch_means_mean;
+    Alcotest.test_case "batch means partial batch" `Quick
+      test_batch_means_partial_batch_excluded;
+    Alcotest.test_case "batch means constant" `Quick
+      test_batch_means_constant_signal;
+    Alcotest.test_case "batch means reset" `Quick test_batch_means_reset;
+    QCheck_alcotest.to_alcotest prop_batch_ci_covers_true_mean;
+    QCheck_alcotest.to_alcotest prop_tally_mean_matches_list;
+    QCheck_alcotest.to_alcotest prop_tally_minmax;
+  ]

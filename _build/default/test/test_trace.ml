@@ -1,0 +1,97 @@
+open Desim
+
+let test_emit_and_read () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng ~capacity:10 in
+  Engine.spawn eng (fun () ->
+      Trace.emit tr ~tag:"a" "first";
+      Engine.wait 1.5;
+      Trace.emit tr ~tag:"b" "second");
+  Engine.run eng;
+  match Trace.events tr with
+  | [ e1; e2 ] ->
+      Alcotest.(check string) "tag" "a" e1.Trace.tag;
+      Alcotest.(check (float 1e-9)) "time 0" 0. e1.Trace.time;
+      Alcotest.(check (float 1e-9)) "time 1.5" 1.5 e2.Trace.time;
+      Alcotest.(check string) "message" "second" e2.Trace.message
+  | evs -> Alcotest.fail (Printf.sprintf "expected 2 events, got %d" (List.length evs))
+
+let test_ring_bounded () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng ~capacity:3 in
+  for i = 1 to 10 do
+    Trace.emit tr ~tag:"x" (string_of_int i)
+  done;
+  Alcotest.(check int) "emitted counts all" 10 (Trace.emitted tr);
+  let kept = List.map (fun e -> e.Trace.message) (Trace.events tr) in
+  Alcotest.(check (list string)) "last three kept" [ "8"; "9"; "10" ] kept
+
+let test_tag_filter () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng ~capacity:10 in
+  Trace.emit tr ~tag:"commit" "c1";
+  Trace.emit tr ~tag:"abort" "a1";
+  Trace.emit tr ~tag:"commit" "c2";
+  Alcotest.(check int) "two commits" 2
+    (List.length (Trace.events_with_tag tr "commit"))
+
+let test_sink () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng ~capacity:10 in
+  let seen = ref [] in
+  Trace.set_sink tr (Some (fun e -> seen := e.Trace.message :: !seen));
+  Trace.emit tr ~tag:"t" "hello";
+  Alcotest.(check (list string)) "sink called" [ "hello" ] !seen
+
+let test_format () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng ~capacity:4 in
+  Trace.emit tr ~tag:"tag" "msg";
+  match Trace.events tr with
+  | [ ev ] ->
+      Alcotest.(check string) "formatted" "t=0.000000 [tag] msg"
+        (Trace.format_event ev)
+  | _ -> Alcotest.fail "one event expected"
+
+let test_machine_trace () =
+  let open Ddbm_model in
+  let d = Params.default in
+  let params =
+    {
+      Params.database =
+        { d.Params.database with Params.num_proc_nodes = 4;
+          partitioning_degree = 4; file_size = 60 };
+      workload =
+        { d.Params.workload with Params.think_time = 0.; num_terminals = 32 };
+      resources = d.Params.resources;
+      cc = { d.Params.cc with Params.algorithm = Params.Wound_wait };
+      run =
+        { Params.seed = 4; warmup = 0.; measure = 30.;
+          restart_delay_floor = 0.5; fresh_restart_plan = false };
+    }
+  in
+  let m = Ddbm.Machine.create params in
+  let tr = Ddbm.Machine.enable_trace m in
+  let r = Ddbm.Machine.execute m in
+  Alcotest.(check int) "commit events = commits... at least window's worth"
+    r.Ddbm.Sim_result.commits
+    (List.length
+       (List.filter
+          (fun (e : Desim.Trace.event) ->
+            e.Desim.Trace.time >= 0.)
+          (Desim.Trace.events_with_tag tr "commit"))
+    |> fun kept -> Stdlib.min kept r.Ddbm.Sim_result.commits);
+  Alcotest.(check bool) "wound trace present" true
+    (List.length (Desim.Trace.events_with_tag tr "abort-request") > 0);
+  Alcotest.(check bool) "abort trace present" true
+    (List.length (Desim.Trace.events_with_tag tr "abort") > 0)
+
+let suite =
+  [
+    Alcotest.test_case "emit and read" `Quick test_emit_and_read;
+    Alcotest.test_case "ring bounded" `Quick test_ring_bounded;
+    Alcotest.test_case "tag filter" `Quick test_tag_filter;
+    Alcotest.test_case "sink" `Quick test_sink;
+    Alcotest.test_case "format" `Quick test_format;
+    Alcotest.test_case "machine trace" `Slow test_machine_trace;
+  ]
