@@ -202,8 +202,68 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc) term
 
+let replay_cmd =
+  let doc =
+    "Re-execute a conformance failure artifact (seed + params + algorithm, \
+     as written by the conformance harness) with the serializability \
+     audit, invariant checks, determinism check and an event trace \
+     attached. Exits 1 when the failure reproduces."
+  in
+  let term =
+    let open Term.Syntax in
+    let+ file =
+      Arg.(
+        required
+        & pos 0 (some non_dir_file) None
+        & info [] ~docv:"ARTIFACT" ~doc:"Replay artifact file.")
+    and+ trace_events =
+      Arg.(
+        value & opt int 40
+        & info [ "trace-events" ] ~docv:"N"
+            ~doc:"Print the last N traced events of a reproduced failure.")
+    in
+    match Ddbm_check.Conformance.replay_file file with
+    | Error msg ->
+        Format.eprintf "%s@." msg;
+        exit 2
+    | Ok outcome -> (
+        let a = outcome.Ddbm_check.Conformance.artifact in
+        Format.printf "replaying %s (seed %d): %s@."
+          (Params.cc_algorithm_name
+             a.Ddbm_check.Replay.params.Params.cc.Params.algorithm)
+          a.Ddbm_check.Replay.params.Params.run.Params.seed
+          (if a.Ddbm_check.Replay.kind = "" then "(no recorded kind)"
+           else a.Ddbm_check.Replay.kind);
+        if a.Ddbm_check.Replay.detail <> "" then
+          Format.printf "recorded failure: %s@." a.Ddbm_check.Replay.detail;
+        List.iter
+          (fun fault -> Format.printf "injected fault: %s@." fault)
+          a.Ddbm_check.Replay.faults;
+        match outcome.Ddbm_check.Conformance.reproduced with
+        | None ->
+            Option.iter
+              (fun r -> Format.printf "%a@." Ddbm.Sim_result.pp r)
+              outcome.Ddbm_check.Conformance.result;
+            Format.printf "failure did NOT reproduce: run is conforming@."
+        | Some f ->
+            Format.printf "failure REPRODUCED:@.%s@."
+              (Ddbm_check.Conformance.failure_to_string f);
+            let tail = outcome.Ddbm_check.Conformance.trace_tail in
+            let n = List.length tail in
+            let skipped = Stdlib.max 0 (n - trace_events) in
+            if n > 0 then begin
+              Format.printf "last %d traced events:@."
+                (Stdlib.min n trace_events);
+              List.iteri
+                (fun i line -> if i >= skipped then Format.printf "  %s@." line)
+                tail
+            end;
+            exit 1)
+  in
+  Cmd.v (Cmd.info "replay" ~doc) term
+
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   let doc = "Carey & Livny 1989 distributed database machine simulator" in
   let info = Cmd.info "ddbm" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; replay_cmd ]))

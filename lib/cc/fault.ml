@@ -1,0 +1,33 @@
+(** Test-only fault injection points.
+
+    The conformance harness must be able to prove that its end-to-end
+    serializability audit catches real concurrency control bugs, not just
+    that correct algorithms pass it. Each flag here deliberately breaks
+    one protocol decision; all flags are off by default and are never set
+    outside tests and replay runs.
+
+    Active faults are recorded in replay artifacts so that
+    [ddbm_cli replay] reproduces the same broken machine. *)
+
+(** When set, the lock table grants a read-to-write conversion even when
+    the converter is not the sole holder — two readers of the same page
+    can then both upgrade and write concurrently, producing lost updates
+    under 2PL/WW/2PL-D that the multiversion audit must flag. *)
+let broken_lock_conversion = ref false
+
+let all = [ ("broken-lock-conversion", broken_lock_conversion) ]
+
+(** Names of the currently active faults. *)
+let active () =
+  List.filter_map (fun (name, flag) -> if !flag then Some name else None) all
+
+(** Turn all faults off (test teardown). *)
+let reset () = List.iter (fun (_, flag) -> flag := false) all
+
+(** Activate a fault by name. *)
+let set name =
+  match List.assoc_opt name all with
+  | Some flag ->
+      flag := true;
+      Ok ()
+  | None -> Error (Printf.sprintf "unknown fault %S" name)

@@ -133,8 +133,9 @@ let try_acquire entry txn mode =
   | Some X -> Granted (* X covers everything *)
   | Some S when mode = S -> Granted
   | Some S ->
-      (* conversion S -> X: jumps the queue, needs sole holdership only *)
-      if sole_holder entry txn then begin
+      (* conversion S -> X: jumps the queue, needs sole holdership only
+         (unless the conformance fault hook breaks the check) *)
+      if sole_holder entry txn || !Fault.broken_lock_conversion then begin
         entry.holders <-
           List.map
             (fun (h, m) -> if Txn.same_attempt h txn then (h, X) else (h, m))

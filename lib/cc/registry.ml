@@ -14,6 +14,20 @@ let make (algorithm : Params.cc_algorithm) (hooks : Cc_intf.hooks) :
   | Params.Twopl_defer -> Twopl_defer.make hooks
   | Params.O2pl -> Twopl.make ~algorithm:Params.O2pl hooks
 
+(** Every registered algorithm, in a stable order. The conformance
+    harness runs each of these on every generated configuration. *)
+let all =
+  [
+    Params.No_dc;
+    Params.Twopl;
+    Params.Wound_wait;
+    Params.Bto;
+    Params.Opt;
+    Params.Wait_die;
+    Params.Twopl_defer;
+    Params.O2pl;
+  ]
+
 (** Whether the algorithm needs the Snoop global deadlock detector. *)
 let needs_snoop = function
   | Params.Twopl | Params.Twopl_defer | Params.O2pl -> true

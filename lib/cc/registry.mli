@@ -5,5 +5,8 @@ val make :
   Ddbm_model.Cc_intf.hooks ->
   Ddbm_model.Cc_intf.node_cc
 
+(** Every registered algorithm, in a stable order. *)
+val all : Ddbm_model.Params.cc_algorithm list
+
 (** Whether the algorithm needs the Snoop global deadlock detector. *)
 val needs_snoop : Ddbm_model.Params.cc_algorithm -> bool

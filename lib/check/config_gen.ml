@@ -1,0 +1,183 @@
+(** Random-but-valid simulation configurations.
+
+    Composable QCheck generators over {!Ddbm_model.Params.t} that cover
+    the paper's whole parameter space — machine size, partitioning,
+    terminal population, message/startup costs, workload mix — while
+    always satisfying {!Ddbm_model.Params.validate}. Windows are kept
+    short (a few simulated seconds) so a conformance sweep of hundreds of
+    runs finishes in seconds of wall time.
+
+    The shrinker moves toward *simpler* machines (fewer terminals, fewer
+    nodes, no replication, no logging, parallel execution, zero think
+    time) while preserving validity, so a failing configuration minimizes
+    to something a human can replay and read. *)
+
+open Ddbm_model
+
+let powers_of_two = [ 1; 2; 4; 8 ]
+
+(* Largest valid partitioning degree <= [limit] for the given
+   partitions-per-relation count. *)
+let clamp_degree ~partitions ~limit degree =
+  let candidates =
+    List.filter
+      (fun d -> d <= limit && partitions mod d = 0)
+      (List.sort_uniq compare (1 :: degree :: powers_of_two))
+  in
+  List.fold_left Stdlib.max 1
+    (List.filter (fun d -> d <= degree) candidates)
+
+let build ~nodes ~relations ~partitions ~degree ~file_size ~replication
+    ~terminals ~think ~exec_pattern ~pages ~write_prob ~inst_per_page
+    ~inst_per_startup ~inst_per_msg ~inst_per_cc_req ~disks ~logging
+    ~detection_interval ~seed ~measure ~fresh_restart_plan =
+  let d = Params.default in
+  {
+    Params.database =
+      {
+        Params.num_proc_nodes = nodes;
+        num_relations = relations;
+        partitions_per_relation = partitions;
+        file_size;
+        partitioning_degree = degree;
+        replication;
+      };
+    workload =
+      {
+        Params.num_terminals = terminals;
+        think_time = think;
+        exec_pattern;
+        pages_per_partition = pages;
+        write_prob;
+        inst_per_page;
+      };
+    resources =
+      {
+        d.Params.resources with
+        Params.disks_per_node = disks;
+        inst_per_startup;
+        inst_per_msg;
+        inst_per_cc_req;
+        model_logging = logging;
+      };
+    cc = { Params.algorithm = Params.Twopl; detection_interval };
+    run =
+      {
+        Params.seed;
+        warmup = 2.;
+        measure;
+        restart_delay_floor = 0.25;
+        fresh_restart_plan;
+      };
+  }
+
+let gen : Params.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* nodes = oneofl powers_of_two in
+  let* relations = oneofl [ 1; 2; 4; 8 ] in
+  let* partitions = oneofl [ 2; 4; 8 ] in
+  let* degree =
+    oneofl
+      (List.filter
+         (fun d -> d <= nodes && partitions mod d = 0)
+         powers_of_two)
+  in
+  let* pages = int_range 2 8 in
+  (* the validator demands (3*pages+1)/2 <= file_size; small files give
+     the contention that actually exercises the algorithms *)
+  let* file_size = int_range (Stdlib.max 12 ((3 * pages + 1) / 2)) 120 in
+  let* replication = if nodes = 1 then return 1 else oneofl [ 1; 1; 1; 2 ] in
+  let* terminals = int_range 4 24 in
+  let* think = oneofl [ 0.; 0.; 0.5; 1. ] in
+  let* exec_pattern =
+    oneofl [ Params.Parallel; Params.Parallel; Params.Sequential ]
+  in
+  let* write_prob = oneofl [ 0.; 0.1; 0.25; 0.5; 1. ] in
+  let* inst_per_page = oneofl [ 4_000.; 8_000. ] in
+  let* inst_per_startup = oneofl [ 0.; 2_000.; 20_000. ] in
+  let* inst_per_msg = oneofl [ 0.; 1_000.; 4_000. ] in
+  let* inst_per_cc_req = oneofl [ 0.; 500. ] in
+  let* disks = int_range 1 2 in
+  let* logging = bool in
+  let* detection_interval = oneofl [ 0.25; 1. ] in
+  let* seed = int_range 1 1_000_000 in
+  let* measure = oneofl [ 5.; 8. ] in
+  let* fresh_restart_plan = bool in
+  return
+    (build ~nodes ~relations ~partitions ~degree ~file_size ~replication
+       ~terminals ~think ~exec_pattern ~pages ~write_prob ~inst_per_page
+       ~inst_per_startup ~inst_per_msg ~inst_per_cc_req ~disks ~logging
+       ~detection_interval ~seed ~measure ~fresh_restart_plan)
+
+(* Candidate simplifications, each kept only if still valid. *)
+let shrink (p : Params.t) : Params.t QCheck.Iter.t =
+  let d = p.Params.database
+  and w = p.Params.workload
+  and r = p.Params.resources
+  and run = p.Params.run in
+  let candidates =
+    List.concat
+      [
+        (if w.Params.num_terminals > 2 then
+           [
+             {
+               p with
+               Params.workload =
+                 {
+                   w with
+                   Params.num_terminals = Stdlib.max 2 (w.Params.num_terminals / 2);
+                 };
+             };
+           ]
+         else []);
+        (if d.Params.num_proc_nodes > 1 then
+           let nodes = d.Params.num_proc_nodes / 2 in
+           [
+             {
+               p with
+               Params.database =
+                 {
+                   d with
+                   Params.num_proc_nodes = nodes;
+                   partitioning_degree =
+                     clamp_degree
+                       ~partitions:d.Params.partitions_per_relation
+                       ~limit:nodes d.Params.partitioning_degree;
+                   replication = Stdlib.min d.Params.replication nodes;
+                 };
+             };
+           ]
+         else []);
+        (if d.Params.replication > 1 then
+           [ { p with Params.database = { d with Params.replication = 1 } } ]
+         else []);
+        (if w.Params.think_time > 0. then
+           [ { p with Params.workload = { w with Params.think_time = 0. } } ]
+         else []);
+        (if w.Params.exec_pattern = Params.Sequential then
+           [
+             {
+               p with
+               Params.workload = { w with Params.exec_pattern = Params.Parallel };
+             };
+           ]
+         else []);
+        (if r.Params.model_logging then
+           [ { p with Params.resources = { r with Params.model_logging = false } } ]
+         else []);
+        (if run.Params.fresh_restart_plan then
+           [ { p with Params.run = { run with Params.fresh_restart_plan = false } } ]
+         else []);
+        (if run.Params.measure > 5. then
+           [ { p with Params.run = { run with Params.measure = 5. } } ]
+         else []);
+      ]
+  in
+  let valid = List.filter (fun c -> Params.validate c = Ok ()) candidates in
+  fun yield -> List.iter yield valid
+
+let print (p : Params.t) = Replay.params_to_string p
+
+(** QCheck arbitrary over valid configurations, with printing via the
+    replay-artifact codec and validity-preserving shrinking. *)
+let arbitrary : Params.t QCheck.arbitrary = QCheck.make ~print ~shrink gen

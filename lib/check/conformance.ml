@@ -1,0 +1,208 @@
+(** Cross-algorithm conformance engine.
+
+    For one parameter record this module runs *every* registered
+    concurrency control algorithm with the serializability auditor
+    attached and asserts, per algorithm:
+
+    - the committed history is (multiversion view-) serializable;
+    - the metric conservation invariants of {!Invariants};
+    - bit-for-bit determinism: the same (seed, params, algorithm) run
+      twice yields identical {!Ddbm.Sim_result.t}s;
+
+    and across algorithms:
+
+    - workload agreement: the per-terminal plan streams — which
+      concurrency control must not influence — are prefix-identical
+      across all algorithms (common random numbers).
+
+    Any failure shrinks (via {!Config_gen}) at the QCheck layer and is
+    written as a self-contained replay artifact that
+    [ddbm_cli replay <file>] re-executes. *)
+
+open Ddbm_model
+
+type failure = {
+  params : Params.t;  (** configuration, algorithm included *)
+  kind : string;  (** audit | invariant | determinism | agreement *)
+  detail : string;
+}
+
+let failure_to_string f =
+  Printf.sprintf "[%s] %s under %s (seed %d):\n%s" f.kind
+    (Params.cc_algorithm_name f.params.Params.cc.Params.algorithm)
+    (match f.params.Params.workload.Params.exec_pattern with
+    | Params.Parallel -> "parallel execution"
+    | Params.Sequential -> "sequential execution")
+    f.params.Params.run.Params.seed f.detail
+
+let with_algorithm params algorithm =
+  { params with Params.cc = { params.Params.cc with Params.algorithm } }
+
+(** One fully instrumented run: audit + plan fingerprints, optionally an
+    event trace. *)
+let run_instrumented ?trace_capacity params =
+  let m = Ddbm.Machine.create params in
+  let audit = Ddbm.Machine.enable_audit m in
+  Ddbm.Machine.enable_fingerprints m;
+  let trace = Option.map (fun capacity -> Ddbm.Machine.enable_trace ~capacity m) trace_capacity in
+  let result = Ddbm.Machine.execute m in
+  (result, audit, Ddbm.Machine.workload_fingerprints m, trace)
+
+(* Prefix agreement of two per-terminal fingerprint streams: the shorter
+   run must be a prefix of the longer (the algorithms completed different
+   numbers of transactions, but the k-th plan of a terminal is fixed). *)
+let rec prefix_mismatch pos a b =
+  match (a, b) with
+  | [], _ | _, [] -> None
+  | x :: a', y :: b' ->
+      if x <> y then Some pos else prefix_mismatch (pos + 1) a' b'
+
+(** Audit + invariants + determinism for [params] as given (single
+    algorithm). Returns the first run's result and fingerprints for the
+    cross-algorithm checks, plus the event trace (when requested) for
+    post-mortems either way. *)
+let check_algorithm_traced ?trace_capacity params :
+    (Ddbm.Sim_result.t * int list array, failure) result
+    * Desim.Trace.t option =
+  let r1, audit, prints, trace = run_instrumented ?trace_capacity params in
+  let fail kind detail = (Error { params; kind; detail }, trace) in
+  match Ddbm.Audit.check audit with
+  | Error msg -> fail "audit" msg
+  | Ok audited_commits ->
+      (* the audit sees every commit since time zero, the metrics window
+         only those after warm-up *)
+      if audited_commits < r1.Ddbm.Sim_result.commits then
+        fail "audit"
+          (Printf.sprintf
+             "audit saw %d commits but the window recorded %d"
+             audited_commits r1.Ddbm.Sim_result.commits)
+      else begin
+        match Invariants.check r1 with
+        | _ :: _ as violations ->
+            fail "invariant" (String.concat "\n" violations)
+        | [] -> (
+            let r2, _, _, _ = run_instrumented params in
+            match Ddbm.Sim_result.diff r1 r2 with
+            | [] -> (Ok (r1, prints), trace)
+            | diffs ->
+                fail "determinism"
+                  ("same seed, different results:\n" ^ String.concat "\n" diffs)
+            )
+      end
+
+let check_algorithm params = fst (check_algorithm_traced params)
+
+(** Run every algorithm in [algorithms] on [params] (the algorithm field
+    of [params] is overridden), checking each in isolation and then the
+    cross-algorithm workload agreement. On failure, writes a replay
+    artifact into [artifact_dir] (when given) and returns the failure
+    along with the artifact path. *)
+let check ?(algorithms = Ddbm_cc.Registry.all) ?artifact_dir params :
+    (unit, failure * string option) result =
+  let record f =
+    let artifact =
+      Option.map
+        (fun dir ->
+          Replay.write ~dir
+            {
+              Replay.params = f.params;
+              kind = f.kind;
+              detail = f.detail;
+              faults = Ddbm_cc.Fault.active ();
+            })
+        artifact_dir
+    in
+    Error (f, artifact)
+  in
+  let rec per_algorithm acc = function
+    | [] -> Ok (List.rev acc)
+    | algorithm :: rest -> (
+        let params = with_algorithm params algorithm in
+        match check_algorithm params with
+        | Error f -> Error f
+        | Ok (_, prints) -> per_algorithm ((algorithm, prints) :: acc) rest)
+  in
+  match per_algorithm [] algorithms with
+  | Error f -> record f
+  | Ok [] -> Ok ()
+  | Ok ((ref_algorithm, ref_prints) :: others) ->
+      let agreement =
+        List.find_map
+          (fun (algorithm, prints) ->
+            if Array.length prints <> Array.length ref_prints then
+              Some
+                ( algorithm,
+                  Printf.sprintf "terminal count differs from %s"
+                    (Params.cc_algorithm_name ref_algorithm) )
+            else
+              Array.to_seq
+                (Array.mapi
+                   (fun terminal stream ->
+                     Option.map
+                       (fun pos ->
+                         ( algorithm,
+                           Printf.sprintf
+                             "terminal %d: plan %d differs from %s's (CC \
+                              leaked into the workload stream)"
+                             terminal pos
+                             (Params.cc_algorithm_name ref_algorithm) ))
+                       (prefix_mismatch 0 ref_prints.(terminal) stream))
+                   prints)
+              |> Seq.find_map Fun.id)
+          others
+      in
+      (match agreement with
+      | None -> Ok ()
+      | Some (algorithm, detail) ->
+          record { params = with_algorithm params algorithm; kind = "agreement"; detail })
+
+(* --- replay -------------------------------------------------------- *)
+
+type replay_outcome = {
+  artifact : Replay.artifact;
+  reproduced : failure option;  (** [None]: the run is clean now *)
+  result : Ddbm.Sim_result.t option;
+      (** measured result of the (first) replayed run, when it completed *)
+  trace_tail : string list;  (** last traced events of the failing run *)
+}
+
+(** Load an artifact, re-activate its recorded faults, and re-execute its
+    (seed, params, algorithm) with audit, invariants, determinism check
+    and an event trace attached. Faults are reset afterwards. *)
+let replay_file ?(trace_capacity = 5_000) path :
+    (replay_outcome, string) result =
+  match Replay.load path with
+  | Error msg -> Error msg
+  | Ok artifact ->
+      Fun.protect ~finally:Ddbm_cc.Fault.reset (fun () ->
+          let fault_errs =
+            List.filter_map
+              (fun name ->
+                match Ddbm_cc.Fault.set name with
+                | Ok () -> None
+                | Error msg -> Some msg)
+              artifact.Replay.faults
+          in
+          match fault_errs with
+          | _ :: _ -> Error (String.concat "; " fault_errs)
+          | [] ->
+              let outcome, trace =
+                check_algorithm_traced ~trace_capacity artifact.Replay.params
+              in
+              let trace_tail =
+                match trace with
+                | Some tr ->
+                    List.map Desim.Trace.format_event (Desim.Trace.events tr)
+                | None -> []
+              in
+              Ok
+                (match outcome with
+                | Ok (result, _) ->
+                    {
+                      artifact;
+                      reproduced = None;
+                      result = Some result;
+                      trace_tail = [];
+                    }
+                | Error f ->
+                    { artifact; reproduced = Some f; result = None; trace_tail }))

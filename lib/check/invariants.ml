@@ -1,0 +1,85 @@
+(** Metric conservation and sanity invariants over a {!Ddbm.Sim_result.t}.
+
+    These hold for *every* configuration and every concurrency control
+    algorithm; a violation means the machine model (not the workload)
+    is broken. *)
+
+open Ddbm_model
+
+(** All violations found in [r], as human-readable strings (empty when
+    the result is conserving and sane). *)
+let check (r : Ddbm.Sim_result.t) : string list =
+  let p = r.Ddbm.Sim_result.params in
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let in01 name v =
+    if not (v >= 0. && v <= 1. +. 1e-9) then
+      add "%s = %.17g outside [0,1]" name v
+  in
+  let commits = r.Ddbm.Sim_result.commits
+  and aborts = r.Ddbm.Sim_result.aborts
+  and completions = r.Ddbm.Sim_result.completions in
+  if commits < 0 then add "commits = %d negative" commits;
+  if aborts < 0 then add "aborts = %d negative" aborts;
+  (* conservation: every finished attempt either committed or aborted *)
+  if commits + aborts <> completions then
+    add "conservation violated: commits (%d) + aborts (%d) <> completions (%d)"
+      commits aborts completions;
+  in01 "proc_cpu_util" r.Ddbm.Sim_result.proc_cpu_util;
+  in01 "proc_disk_util" r.Ddbm.Sim_result.proc_disk_util;
+  in01 "host_cpu_util" r.Ddbm.Sim_result.host_cpu_util;
+  (* throughput must equal commits over the measurement window *)
+  let window = r.Ddbm.Sim_result.sim_end -. p.Params.run.Params.warmup in
+  if window > 0. then begin
+    let implied = r.Ddbm.Sim_result.throughput *. window in
+    if Float.abs (implied -. float_of_int commits) > 1e-6 *. Float.max 1. (float_of_int commits)
+    then
+      add "throughput %.17g x window %.17g = %.17g but commits = %d"
+        r.Ddbm.Sim_result.throughput window implied commits
+  end;
+  (* abort ratio is aborts per commit *)
+  let expected_ratio =
+    if commits = 0 then 0. else float_of_int aborts /. float_of_int commits
+  in
+  if Float.abs (r.Ddbm.Sim_result.abort_ratio -. expected_ratio) > 1e-9 then
+    add "abort_ratio %.17g <> aborts/commits %.17g"
+      r.Ddbm.Sim_result.abort_ratio expected_ratio;
+  (* response time can never beat the service demand: a committed
+     transaction reads at least one page from a disk whose service time
+     is at least min_disk_time *)
+  if commits > 0 then begin
+    let floor = p.Params.resources.Params.min_disk_time in
+    if r.Ddbm.Sim_result.mean_response < floor then
+      add "mean_response %.17g below service-demand floor %.17g"
+        r.Ddbm.Sim_result.mean_response floor;
+    if r.Ddbm.Sim_result.response_p50 < floor then
+      add "response_p50 %.17g below service-demand floor %.17g"
+        r.Ddbm.Sim_result.response_p50 floor;
+    if r.Ddbm.Sim_result.response_p95 < r.Ddbm.Sim_result.response_p50 then
+      add "response_p95 %.17g < response_p50 %.17g"
+        r.Ddbm.Sim_result.response_p95 r.Ddbm.Sim_result.response_p50;
+    (* every transaction involves at least one host->node message *)
+    if r.Ddbm.Sim_result.messages <= 0 then
+      add "commits happened but no messages were sent"
+  end;
+  if r.Ddbm.Sim_result.response_ci95 < 0. then
+    add "response_ci95 %.17g negative" r.Ddbm.Sim_result.response_ci95;
+  if r.Ddbm.Sim_result.mean_blocking < 0. then
+    add "mean_blocking %.17g negative" r.Ddbm.Sim_result.mean_blocking;
+  if r.Ddbm.Sim_result.blocked_requests < 0 then
+    add "blocked_requests %d negative" r.Ddbm.Sim_result.blocked_requests;
+  (* abort-reason counts must add up to the abort count *)
+  let reason_total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 r.Ddbm.Sim_result.abort_reasons
+  in
+  if reason_total <> aborts then
+    add "abort reasons sum to %d but aborts = %d" reason_total aborts;
+  let active = r.Ddbm.Sim_result.mean_active in
+  let terminals = float_of_int p.Params.workload.Params.num_terminals in
+  if not (active >= 0. && active <= terminals +. 1e-6) then
+    add "mean_active %.17g outside [0, terminals = %g]" active terminals;
+  (* NO_DC grants every request: nothing can abort *)
+  (match r.Ddbm.Sim_result.algorithm with
+  | Params.No_dc -> if aborts <> 0 then add "NO_DC recorded %d aborts" aborts
+  | _ -> ());
+  List.rev !errs

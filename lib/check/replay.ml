@@ -1,0 +1,264 @@
+(** Self-contained replay artifacts for conformance failures.
+
+    An artifact is a small line-oriented text file — `key = value`, one
+    per line — carrying everything needed to re-execute a failing run:
+    the complete parameter record (algorithm and seed included), the
+    failure kind and detail, and any injected faults that were active.
+    Floats are printed with ["%.17g"] so they round-trip bit-for-bit.
+
+    `ddbm_cli replay <file>` feeds an artifact back through
+    {!Conformance.replay_file}. *)
+
+open Ddbm_model
+
+let magic = "ddbm-replay 1"
+
+type artifact = {
+  params : Params.t;  (** full configuration; algorithm in [params.cc] *)
+  kind : string;  (** failure class: audit, invariant, determinism, ... *)
+  detail : string;  (** human-readable description of the failure *)
+  faults : string list;  (** injected faults active when it failed *)
+}
+
+(* --- encoding ------------------------------------------------------ *)
+
+let exec_pattern_name = function
+  | Params.Sequential -> "sequential"
+  | Params.Parallel -> "parallel"
+
+let exec_pattern_of_string = function
+  | "sequential" -> Some Params.Sequential
+  | "parallel" -> Some Params.Parallel
+  | _ -> None
+
+(* newlines would break the line-oriented format *)
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let params_fields (p : Params.t) =
+  let d = p.Params.database
+  and w = p.Params.workload
+  and r = p.Params.resources
+  and c = p.Params.cc
+  and run = p.Params.run in
+  let f = Printf.sprintf "%.17g" in
+  [
+    ("algorithm", Params.cc_algorithm_name c.Params.algorithm);
+    ("num_proc_nodes", string_of_int d.Params.num_proc_nodes);
+    ("num_relations", string_of_int d.Params.num_relations);
+    ("partitions_per_relation", string_of_int d.Params.partitions_per_relation);
+    ("file_size", string_of_int d.Params.file_size);
+    ("partitioning_degree", string_of_int d.Params.partitioning_degree);
+    ("replication", string_of_int d.Params.replication);
+    ("num_terminals", string_of_int w.Params.num_terminals);
+    ("think_time", f w.Params.think_time);
+    ("exec_pattern", exec_pattern_name w.Params.exec_pattern);
+    ("pages_per_partition", string_of_int w.Params.pages_per_partition);
+    ("write_prob", f w.Params.write_prob);
+    ("inst_per_page", f w.Params.inst_per_page);
+    ("host_mips", f r.Params.host_mips);
+    ("node_mips", f r.Params.node_mips);
+    ("disks_per_node", string_of_int r.Params.disks_per_node);
+    ("min_disk_time", f r.Params.min_disk_time);
+    ("max_disk_time", f r.Params.max_disk_time);
+    ("inst_per_update", f r.Params.inst_per_update);
+    ("inst_per_startup", f r.Params.inst_per_startup);
+    ("inst_per_msg", f r.Params.inst_per_msg);
+    ("inst_per_cc_req", f r.Params.inst_per_cc_req);
+    ("model_logging", string_of_bool r.Params.model_logging);
+    ("detection_interval", f c.Params.detection_interval);
+    ("seed", string_of_int run.Params.seed);
+    ("warmup", f run.Params.warmup);
+    ("measure", f run.Params.measure);
+    ("restart_delay_floor", f run.Params.restart_delay_floor);
+    ("fresh_restart_plan", string_of_bool run.Params.fresh_restart_plan);
+  ]
+
+(** The parameter record as `key = value` lines (no header); also used as
+    the QCheck counterexample printer. *)
+let params_to_string p =
+  params_fields p
+  |> List.map (fun (k, v) -> Printf.sprintf "%s = %s" k v)
+  |> String.concat "\n"
+
+let artifact_to_string a =
+  String.concat "\n"
+    (magic
+     :: Printf.sprintf "kind = %s" (one_line a.kind)
+     :: Printf.sprintf "detail = %s" (one_line a.detail)
+     :: (List.map (fun name -> Printf.sprintf "fault = %s" name) a.faults
+        @ [ params_to_string a.params; "" ]))
+
+(* --- decoding ------------------------------------------------------ *)
+
+let split_kv line =
+  match String.index_opt line '=' with
+  | None -> None
+  | Some i ->
+      let key = String.trim (String.sub line 0 i) in
+      let value =
+        String.trim (String.sub line (i + 1) (String.length line - i - 1))
+      in
+      Some (key, value)
+
+let ( let* ) = Result.bind
+
+let field assoc key conv =
+  match List.assoc_opt key assoc with
+  | None -> Error (Printf.sprintf "replay artifact: missing field %S" key)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None ->
+          Error (Printf.sprintf "replay artifact: bad value %S for %S" v key))
+
+let int_conv s = int_of_string_opt s
+let float_conv s = float_of_string_opt s
+let bool_conv s = bool_of_string_opt s
+
+let params_of_assoc assoc =
+  let* algorithm = field assoc "algorithm" Params.cc_algorithm_of_string in
+  let* num_proc_nodes = field assoc "num_proc_nodes" int_conv in
+  let* num_relations = field assoc "num_relations" int_conv in
+  let* partitions_per_relation =
+    field assoc "partitions_per_relation" int_conv
+  in
+  let* file_size = field assoc "file_size" int_conv in
+  let* partitioning_degree = field assoc "partitioning_degree" int_conv in
+  let* replication = field assoc "replication" int_conv in
+  let* num_terminals = field assoc "num_terminals" int_conv in
+  let* think_time = field assoc "think_time" float_conv in
+  let* exec_pattern = field assoc "exec_pattern" exec_pattern_of_string in
+  let* pages_per_partition = field assoc "pages_per_partition" int_conv in
+  let* write_prob = field assoc "write_prob" float_conv in
+  let* inst_per_page = field assoc "inst_per_page" float_conv in
+  let* host_mips = field assoc "host_mips" float_conv in
+  let* node_mips = field assoc "node_mips" float_conv in
+  let* disks_per_node = field assoc "disks_per_node" int_conv in
+  let* min_disk_time = field assoc "min_disk_time" float_conv in
+  let* max_disk_time = field assoc "max_disk_time" float_conv in
+  let* inst_per_update = field assoc "inst_per_update" float_conv in
+  let* inst_per_startup = field assoc "inst_per_startup" float_conv in
+  let* inst_per_msg = field assoc "inst_per_msg" float_conv in
+  let* inst_per_cc_req = field assoc "inst_per_cc_req" float_conv in
+  let* model_logging = field assoc "model_logging" bool_conv in
+  let* detection_interval = field assoc "detection_interval" float_conv in
+  let* seed = field assoc "seed" int_conv in
+  let* warmup = field assoc "warmup" float_conv in
+  let* measure = field assoc "measure" float_conv in
+  let* restart_delay_floor = field assoc "restart_delay_floor" float_conv in
+  let* fresh_restart_plan = field assoc "fresh_restart_plan" bool_conv in
+  let params =
+    {
+      Params.database =
+        {
+          Params.num_proc_nodes;
+          num_relations;
+          partitions_per_relation;
+          file_size;
+          partitioning_degree;
+          replication;
+        };
+      workload =
+        {
+          Params.num_terminals;
+          think_time;
+          exec_pattern;
+          pages_per_partition;
+          write_prob;
+          inst_per_page;
+        };
+      resources =
+        {
+          Params.host_mips;
+          node_mips;
+          disks_per_node;
+          min_disk_time;
+          max_disk_time;
+          inst_per_update;
+          inst_per_startup;
+          inst_per_msg;
+          inst_per_cc_req;
+          model_logging;
+        };
+      cc = { Params.algorithm; detection_interval };
+      run =
+        {
+          Params.seed;
+          warmup;
+          measure;
+          restart_delay_floor;
+          fresh_restart_plan;
+        };
+    }
+  in
+  match Params.validate params with
+  | Ok () -> Ok params
+  | Error msg -> Error ("replay artifact: invalid parameters: " ^ msg)
+
+(** Parse `key = value` parameter lines (the body of an artifact or the
+    output of {!params_to_string}). *)
+let params_of_string s =
+  let assoc =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then None else split_kv line)
+  in
+  params_of_assoc assoc
+
+let artifact_of_string s =
+  match String.split_on_char '\n' s with
+  | [] -> Error "replay artifact: empty file"
+  | first :: rest ->
+      if String.trim first <> magic then
+        Error
+          (Printf.sprintf "replay artifact: bad header %S (want %S)"
+             (String.trim first) magic)
+      else
+        let lines =
+          List.filter_map
+            (fun line ->
+              let line = String.trim line in
+              if line = "" || line.[0] = '#' then None else split_kv line)
+            rest
+        in
+        let faults =
+          List.filter_map
+            (fun (k, v) -> if k = "fault" then Some v else None)
+            lines
+        in
+        let* params = params_of_assoc lines in
+        let get key = Option.value ~default:"" (List.assoc_opt key lines) in
+        Ok { params; kind = get "kind"; detail = get "detail"; faults }
+
+(* --- files --------------------------------------------------------- *)
+
+(** Deterministic artifact filename for a failure (no timestamps, so
+    repeated failing runs overwrite rather than accumulate). *)
+let artifact_filename a =
+  let sanitize s =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+        | _ -> '_')
+      s
+  in
+  Printf.sprintf "ddbm-replay-%s-seed%d-%s.txt"
+    (sanitize (Params.cc_algorithm_name a.params.Params.cc.Params.algorithm))
+    a.params.Params.run.Params.seed (sanitize a.kind)
+
+(** Write the artifact into [dir]; returns its path. *)
+let write ~dir a =
+  let path = Filename.concat dir (artifact_filename a) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (artifact_to_string a));
+  path
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> artifact_of_string s
+  | exception Sys_error msg -> Error ("replay artifact: " ^ msg)

@@ -489,7 +489,9 @@ let run_terminal t ~index =
         let startup_ts = Timestamp.Clock.make t.clock ~time:origin_time in
         let rec attempt k plan =
           let txn = make_attempt t ~tid ~attempt:k ~origin_time ~startup_ts ~plan in
-          match run_attempt t txn with
+          let outcome = run_attempt t txn in
+          Metrics.record_completion t.metrics;
+          match outcome with
           | Committed ->
               Option.iter (fun a -> Audit.record_commit a txn) t.audit;
               tracef t ~tag:"commit" (fun () ->
@@ -549,6 +551,7 @@ let collect_result t ~wall_seconds =
     response_p95 = Metrics.response_percentile t.metrics 0.95;
     commits = Metrics.commits t.metrics;
     aborts = Metrics.aborts t.metrics;
+    completions = Metrics.completions t.metrics;
     abort_ratio = Metrics.abort_ratio t.metrics;
     abort_reasons = Metrics.abort_reason_counts t.metrics;
     mean_blocking =
@@ -570,6 +573,15 @@ let enable_trace ?(capacity = 10_000) t =
   let trace = Trace.create t.eng ~capacity in
   t.trace <- Some trace;
   trace
+
+(** Start logging per-terminal plan fingerprints (before {!execute});
+    used by the conformance harness to check that the workload stream is
+    independent of the concurrency control algorithm. *)
+let enable_fingerprints t = Workload.enable_fingerprints t.workload
+
+(** Per-terminal fingerprints of every plan generated so far (empty
+    unless {!enable_fingerprints} was called). *)
+let workload_fingerprints t = Workload.fingerprints t.workload
 
 (** Attach a serializability auditor (before {!execute}); committed
     transactions' reads and installs are then recorded for

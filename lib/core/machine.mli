@@ -20,6 +20,15 @@ val enable_audit : t -> Audit.t
     requests) to a freshly created machine. *)
 val enable_trace : ?capacity:int -> t -> Desim.Trace.t
 
+(** Start logging per-terminal plan fingerprints (before {!execute}).
+    The conformance harness uses them to check that the workload stream
+    is independent of the concurrency control algorithm. *)
+val enable_fingerprints : t -> unit
+
+(** Per-terminal plan fingerprints generated so far (empty unless
+    {!enable_fingerprints} was called). *)
+val workload_fingerprints : t -> int list array
+
 (** Run an assembled machine and collect the measured result. *)
 val execute : ?log:bool -> t -> Sim_result.t
 

@@ -13,6 +13,9 @@ type t = {
   response_p95 : float;
   commits : int;
   aborts : int;
+  completions : int;
+      (** attempt completions counted independently at the terminal loop;
+          conservation: commits + aborts = completions *)
   abort_ratio : float;  (** aborts per commit *)
   abort_reasons : (string * int) list;
   mean_blocking : float;  (** mean CC blocking time per blocked request *)
@@ -45,6 +48,53 @@ let csv_header =
    response_p95,commits,aborts,\
    abort_ratio,mean_blocking,proc_cpu_util,proc_disk_util,host_cpu_util,\
    mean_active,messages"
+
+(** Field-by-field comparison of two results from the *same* (seed,
+    params, algorithm), for the determinism check: every simulation
+    output must be bit-for-bit reproducible. [wall_seconds] is wall-clock
+    and excluded. Returns a human-readable line per differing field. *)
+let diff a b =
+  let fs name v = Printf.sprintf "%s: %.17g vs %.17g" name v in
+  let is name v = Printf.sprintf "%s: %d vs %d" name v in
+  let acc = ref [] in
+  let chk_f name get =
+    let va = get a and vb = get b in
+    if not (Float.equal va vb) then acc := fs name va vb :: !acc
+  in
+  let chk_i name get =
+    let va = get a and vb = get b in
+    if va <> vb then acc := is name va vb :: !acc
+  in
+  if a.algorithm <> b.algorithm then
+    acc :=
+      Printf.sprintf "algorithm: %s vs %s"
+        (Params.cc_algorithm_name a.algorithm)
+        (Params.cc_algorithm_name b.algorithm)
+      :: !acc;
+  if a.params <> b.params then acc := "params differ" :: !acc;
+  chk_f "throughput" (fun r -> r.throughput);
+  chk_f "mean_response" (fun r -> r.mean_response);
+  chk_f "response_ci95" (fun r -> r.response_ci95);
+  chk_f "response_p50" (fun r -> r.response_p50);
+  chk_f "response_p95" (fun r -> r.response_p95);
+  chk_i "commits" (fun r -> r.commits);
+  chk_i "aborts" (fun r -> r.aborts);
+  chk_i "completions" (fun r -> r.completions);
+  chk_f "abort_ratio" (fun r -> r.abort_ratio);
+  if a.abort_reasons <> b.abort_reasons then acc := "abort_reasons differ" :: !acc;
+  chk_f "mean_blocking" (fun r -> r.mean_blocking);
+  chk_i "blocked_requests" (fun r -> r.blocked_requests);
+  chk_f "proc_cpu_util" (fun r -> r.proc_cpu_util);
+  chk_f "proc_disk_util" (fun r -> r.proc_disk_util);
+  chk_f "host_cpu_util" (fun r -> r.host_cpu_util);
+  chk_f "mean_active" (fun r -> r.mean_active);
+  chk_i "messages" (fun r -> r.messages);
+  chk_i "sim_events" (fun r -> r.sim_events);
+  chk_f "sim_end" (fun r -> r.sim_end);
+  List.rev !acc
+
+(** Bit-for-bit equality of everything but [wall_seconds]. *)
+let equal a b = diff a b = []
 
 let to_csv_row t =
   let p = t.params in

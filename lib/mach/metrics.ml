@@ -14,6 +14,10 @@ type t = {
   mutable window_start : float;
   mutable commits : int;
   mutable aborts : int;
+  mutable completions : int;
+      (** attempt completions counted at the terminal loop, independently
+          of the commit/abort recorders; conservation demands
+          commits + aborts = completions *)
   response : Stats.Tally.t;  (** committed transactions, windowed *)
   response_batches : Stats.Batch_means.t;
       (** batch-means view of the same observations, for honest CIs *)
@@ -33,6 +37,7 @@ let create eng ~restart_delay_floor =
     window_start = Engine.now eng;
     commits = 0;
     aborts = 0;
+    completions = 0;
     response = Stats.Tally.create ();
     response_batches = Stats.Batch_means.create ~batch_size:32;
     response_samples = [];
@@ -47,6 +52,7 @@ let begin_window t =
   t.window_start <- Engine.now t.eng;
   t.commits <- 0;
   t.aborts <- 0;
+  t.completions <- 0;
   Stats.Tally.reset t.response;
   Stats.Batch_means.reset t.response_batches;
   t.response_samples <- [];
@@ -58,6 +64,10 @@ let record_submit t =
   t.active <- t.active + 1;
   Stats.Timeseries.update t.active_ts ~now:(Engine.now t.eng)
     ~value:(float_of_int t.active)
+
+(** One attempt finished (committed or aborted); called by the terminal
+    loop before the outcome-specific recorder. *)
+let record_completion t = t.completions <- t.completions + 1
 
 let record_commit t ~origin_time =
   let response = Engine.now t.eng -. origin_time in
@@ -111,6 +121,7 @@ let response_percentile t q =
 
 let commits t = t.commits
 let aborts t = t.aborts
+let completions t = t.completions
 
 (** Aborts per commit (the paper's abort ratio). *)
 let abort_ratio t =

@@ -23,6 +23,12 @@ val record_commit : t -> origin_time:float -> unit
 (** A transaction attempt aborted. *)
 val record_abort : t -> reason:Txn.abort_reason -> unit
 
+(** An attempt finished (either way); recorded at the terminal loop,
+    independently of {!record_commit}/{!record_abort}, so that the
+    conservation invariant commits + aborts = completions is a real
+    cross-check. *)
+val record_completion : t -> unit
+
 val window_duration : t -> float
 
 (** Committed transactions per second over the measurement window. *)
@@ -38,6 +44,9 @@ val response_ci95 : t -> float
 val response_percentile : t -> float -> float
 val commits : t -> int
 val aborts : t -> int
+
+(** Attempt completions in the window (see {!record_completion}). *)
+val completions : t -> int
 
 (** Aborts per commit (the paper's abort ratio). *)
 val abort_ratio : t -> float

@@ -3,17 +3,38 @@
     Each terminal belongs to a class determined by its index: the
     [num_terminals] terminals are split evenly into [num_relations] groups
     and group [i] generates transactions that access every partition of
-    relation [i]. *)
+    relation [i].
+
+    Plan generation draws from one independent splitmix64 stream *per
+    terminal* (and per-page CPU demands from yet another stream), so the
+    sequence of plans a terminal submits is a pure function of the seed
+    and the non-CC parameters: the k-th plan of terminal [i] is identical
+    no matter which concurrency control algorithm runs or how executions
+    interleave. This is the common-random-numbers discipline the paper
+    uses to compare algorithms, and the conformance harness checks it
+    across algorithms via {!fingerprints}. *)
 
 open Ids
 
 type t = {
   params : Params.t;
   catalog : Catalog.t;
-  rng : Desim.Rng.t;
+  plan_rngs : Desim.Rng.t array;  (** one independent stream per terminal *)
+  instr_rng : Desim.Rng.t;  (** per-page CPU demand draws *)
+  mutable fingerprint_log : int list array option;
+      (** when enabled, per-terminal log of plan fingerprints, newest
+          first *)
 }
 
-let create params catalog rng = { params; catalog; rng }
+let create params catalog rng =
+  let num_terminals = params.Params.workload.Params.num_terminals in
+  {
+    params;
+    catalog;
+    plan_rngs = Array.init num_terminals (fun _ -> Desim.Rng.split rng);
+    instr_rng = Desim.Rng.split rng;
+    fingerprint_log = None;
+  }
 
 (** Relation accessed by transactions from [terminal]. *)
 let relation_of_terminal t ~terminal =
@@ -25,18 +46,18 @@ let think_time t = t.params.Params.workload.Params.think_time
 
 (** Draw the number of pages accessed in one partition: uniform integer in
     [mean/2, 3*mean/2], capped by the file size (footnote 12). *)
-let draw_page_count t =
+let draw_page_count t rng =
   let w = t.params.Params.workload in
   let mean = w.Params.pages_per_partition in
   let lo = Int.max 1 (mean / 2) and hi = 3 * mean / 2 in
   let hi = Int.min hi t.params.Params.database.Params.file_size in
-  Desim.Rng.int_range t.rng ~lo ~hi
+  Desim.Rng.int_range rng ~lo ~hi
 
-let draw_partition_ops t ~file =
+let draw_partition_ops t rng ~file =
   let d = t.params.Params.database and w = t.params.Params.workload in
-  let k = draw_page_count t in
+  let k = draw_page_count t rng in
   let pages =
-    Desim.Rng.sample_without_replacement t.rng ~n:d.Params.file_size ~k
+    Desim.Rng.sample_without_replacement rng ~n:d.Params.file_size ~k
   in
   (* Pages are accessed in ascending page order, as a partition scan
      would: this gives the approximate global lock-ordering discipline
@@ -47,9 +68,45 @@ let draw_partition_ops t ~file =
     (fun index ->
       {
         Plan.page = Page.make ~file ~index;
-        update = Desim.Rng.bool t.rng ~p:w.Params.write_prob;
+        update = Desim.Rng.bool rng ~p:w.Params.write_prob;
       })
     pages
+
+(* --- plan fingerprints (conformance harness support) --------------- *)
+
+(* FNV-1a-style mixing over the plan's structural content, kept within
+   OCaml's native int range. *)
+let mix h x = (h lxor x) * 0x100000001b3 land max_int
+
+let plan_fingerprint (plan : Plan.t) =
+  let h = mix 0x14650FB0739D0383 plan.Plan.relation in
+  List.fold_left
+    (fun h (c : Plan.cohort_plan) ->
+      let h = mix h c.Plan.node in
+      let h =
+        List.fold_left
+          (fun h (op : Plan.page_op) ->
+            let h = mix h op.Plan.page.Page.file in
+            let h = mix h op.Plan.page.Page.index in
+            mix h (if op.Plan.update then 1 else 0))
+          h c.Plan.ops
+      in
+      List.fold_left
+        (fun h (p : Page.t) -> mix (mix h p.Page.file) p.Page.index)
+        h c.Plan.apply_ops)
+    h plan.Plan.cohorts
+
+(** Start logging a fingerprint of every generated plan (off by default;
+    costs memory proportional to the number of plans). *)
+let enable_fingerprints t =
+  t.fingerprint_log <- Some (Array.make (Array.length t.plan_rngs) [])
+
+(** Per-terminal fingerprints of the plans generated so far, in generation
+    order. Empty array when {!enable_fingerprints} was not called. *)
+let fingerprints t =
+  match t.fingerprint_log with
+  | None -> [||]
+  | Some log -> Array.map List.rev log
 
 (** Generate a fresh access plan for a transaction from [terminal]: one
     cohort per node holding a primary of the terminal's relation, plus
@@ -57,6 +114,7 @@ let draw_partition_ops t ~file =
     copy of an updated page — update-only cohorts are appended when such
     a node runs no primary accesses. *)
 let generate_plan t ~terminal =
+  let rng = t.plan_rngs.(terminal) in
   let relation = relation_of_terminal t ~terminal in
   let nodes = Catalog.nodes_of_relation t.catalog ~relation in
   let primary_cohorts =
@@ -69,7 +127,7 @@ let generate_plan t ~terminal =
         in
         let files = Catalog.files_at t.catalog ~relation ~node in
         let ops =
-          List.concat_map (fun file -> draw_partition_ops t ~file) files
+          List.concat_map (fun file -> draw_partition_ops t rng ~file) files
         in
         (node, ops))
       nodes
@@ -108,9 +166,13 @@ let generate_plan t ~terminal =
       applies []
     |> List.sort (fun a b -> Int.compare a.Plan.node b.Plan.node)
   in
-  { Plan.relation; cohorts = cohorts @ update_only }
+  let plan = { Plan.relation; cohorts = cohorts @ update_only } in
+  (match t.fingerprint_log with
+  | Some log -> log.(terminal) <- plan_fingerprint plan :: log.(terminal)
+  | None -> ());
+  plan
 
 (** Per-page processing cost draw (exponential, mean InstPerPage). *)
 let draw_page_instructions t =
-  Desim.Rng.exponential t.rng
+  Desim.Rng.exponential t.instr_rng
     ~mean:t.params.Params.workload.Params.inst_per_page

@@ -3,7 +3,12 @@
 
     Terminals are split evenly into [num_relations] groups; group [i]
     generates transactions that access every partition of relation [i]
-    (the paper's 128 terminals in 8 groups of 16). *)
+    (the paper's 128 terminals in 8 groups of 16).
+
+    Plans are drawn from one independent random stream per terminal, so a
+    terminal's plan sequence is identical across concurrency control
+    algorithms (common random numbers, the paper's comparison
+    methodology). *)
 
 type t
 
@@ -16,8 +21,20 @@ val relation_of_terminal : t -> terminal:int -> int
 val think_time : t -> float
 
 (** Number of pages accessed in one partition: uniform integer in
-    [mean/2, 3*mean/2] (footnote 12 of the paper), capped by file size. *)
-val draw_page_count : t -> int
+    [mean/2, 3*mean/2] (footnote 12 of the paper), capped by file size.
+    Draws from the given stream (normally a terminal's plan stream). *)
+val draw_page_count : t -> Desim.Rng.t -> int
+
+(** Structural hash of a plan (relation, cohort nodes, page accesses,
+    update flags, replica applications). *)
+val plan_fingerprint : Plan.t -> int
+
+(** Start logging a fingerprint of every generated plan (off by default). *)
+val enable_fingerprints : t -> unit
+
+(** Per-terminal fingerprints of the plans generated so far, in
+    generation order; empty unless {!enable_fingerprints} was called. *)
+val fingerprints : t -> int list array
 
 (** Fresh access plan for a transaction submitted by [terminal]: one
     cohort per node holding partitions of the terminal's relation, pages

@@ -1,0 +1,127 @@
+(* Dedicated mailbox suite: FIFO discipline under interleaving, waiter
+   queueing order, try_recv/length bookkeeping, and send-before-spawn
+   buffering. Complements the smoke tests in test_sync.ml. *)
+
+open Desim
+
+let test_buffered_before_any_receiver () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create () in
+  (* sends happen outside any process, before a receiver exists *)
+  Mailbox.send mb 1;
+  Mailbox.send mb 2;
+  Alcotest.(check int) "buffered" 2 (Mailbox.length mb);
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      got := Mailbox.recv mb :: !got;
+      got := Mailbox.recv mb :: !got);
+  Engine.run eng;
+  Alcotest.(check (list int)) "delivered in order" [ 1; 2 ] (List.rev !got);
+  Alcotest.(check int) "drained" 0 (Mailbox.length mb)
+
+let test_fifo_across_many_sends () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create () in
+  let n = 100 in
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to n do
+        got := Mailbox.recv mb :: !got
+      done);
+  Engine.spawn eng (fun () ->
+      for i = 1 to n do
+        if i mod 7 = 0 then Engine.wait 0.5;
+        Mailbox.send mb i
+      done);
+  Engine.run eng;
+  Alcotest.(check (list int))
+    "all messages, in send order"
+    (List.init n (fun i -> i + 1))
+    (List.rev !got)
+
+let test_waiters_served_fifo () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create () in
+  let served = ref [] in
+  (* receivers 0..3 start waiting at times 0,1,2,3 *)
+  for i = 0 to 3 do
+    Engine.spawn eng (fun () ->
+        Engine.wait (float_of_int i);
+        let v = Mailbox.recv mb in
+        served := (i, v) :: !served)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.wait 10.;
+      for v = 0 to 3 do
+        Mailbox.send mb v
+      done);
+  Engine.run eng;
+  (* the longest-waiting receiver gets the first message *)
+  Alcotest.(check (list (pair int int)))
+    "longest waiter first"
+    [ (0, 0); (1, 1); (2, 2); (3, 3) ]
+    (List.sort compare !served)
+
+let test_try_recv_does_not_steal_from_waiter () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create () in
+  let got = ref None in
+  Engine.spawn eng (fun () -> got := Some (Mailbox.recv mb));
+  Engine.spawn eng (fun () ->
+      Engine.wait 1.;
+      Mailbox.send mb 42);
+  Engine.run eng;
+  Alcotest.(check (option int)) "waiter was woken" (Some 42) !got;
+  Alcotest.(check (option int)) "nothing left over" None (Mailbox.try_recv mb)
+
+let test_length_counts_only_undelivered () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create () in
+  let lengths = ref [] in
+  Engine.spawn eng (fun () ->
+      Mailbox.send mb "a";
+      lengths := Mailbox.length mb :: !lengths;
+      Mailbox.send mb "b";
+      lengths := Mailbox.length mb :: !lengths;
+      ignore (Mailbox.recv mb);
+      lengths := Mailbox.length mb :: !lengths);
+  Engine.run eng;
+  Alcotest.(check (list int)) "length after each op" [ 1; 2; 1 ]
+    (List.rev !lengths)
+
+let test_interleaved_send_recv_conserves_messages () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create () in
+  let sent = ref 0 and received = ref 0 in
+  for sender = 0 to 2 do
+    Engine.spawn eng (fun () ->
+        for i = 0 to 9 do
+          Engine.wait (0.1 +. (0.05 *. float_of_int sender));
+          Mailbox.send mb ((sender * 10) + i);
+          incr sent
+        done)
+  done;
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 30 do
+        ignore (Mailbox.recv mb);
+        incr received
+      done);
+  Engine.run eng;
+  Alcotest.(check int) "sent all" 30 !sent;
+  Alcotest.(check int) "received all" 30 !received;
+  Alcotest.(check int) "queue empty" 0 (Mailbox.length mb)
+
+let suite =
+  [
+    Alcotest.test_case "buffered before any receiver" `Quick
+      test_buffered_before_any_receiver;
+    Alcotest.test_case "fifo across many sends" `Quick
+      test_fifo_across_many_sends;
+    Alcotest.test_case "waiters served fifo" `Quick test_waiters_served_fifo;
+    Alcotest.test_case "try_recv does not steal from a waiter" `Quick
+      test_try_recv_does_not_steal_from_waiter;
+    Alcotest.test_case "length counts only undelivered" `Quick
+      test_length_counts_only_undelivered;
+    Alcotest.test_case "interleaved senders conserve messages" `Quick
+      test_interleaved_send_recv_conserves_messages;
+  ]

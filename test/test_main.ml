@@ -23,4 +23,9 @@ let () =
       ("replication", Test_replication.suite);
       ("queueing", Test_queueing.suite);
       ("trace", Test_trace.suite);
+      ("mailbox", Test_mailbox.suite);
+      ("ivar", Test_ivar.suite);
+      ("2pl-defer", Test_twopl_defer.suite);
+      ("workload", Test_workload.suite);
+      ("conformance", Test_conformance.suite);
     ]
