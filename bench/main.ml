@@ -148,6 +148,96 @@ let run_micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: events/sec plain vs traced vs exported      *)
+
+let run_observability ~out =
+  let open Ddbm_model in
+  let d = Params.default in
+  let params =
+    {
+      Params.database =
+        {
+          d.Params.database with
+          Params.num_proc_nodes = 8;
+          partitioning_degree = 8;
+          file_size = 120;
+        };
+      workload =
+        { d.Params.workload with Params.think_time = 1.; num_terminals = 64 };
+      resources = d.Params.resources;
+      cc = { d.Params.cc with Params.algorithm = Params.Twopl };
+      run =
+        {
+          Params.seed = 1;
+          warmup = 5.;
+          measure = 30.;
+          restart_delay_floor = 0.5;
+          fresh_restart_plan = false;
+        };
+    }
+  in
+  (* best of [reps] to damp scheduler noise *)
+  let measure instrument =
+    let reps = 3 in
+    let best = ref 0. in
+    let heap = ref 0 in
+    for _ = 1 to reps do
+      let m = Ddbm.Machine.create params in
+      instrument m;
+      let r = Ddbm.Machine.execute m in
+      if r.Ddbm.Sim_result.events_per_sec > !best then
+        best := r.Ddbm.Sim_result.events_per_sec;
+      heap := Stdlib.max !heap r.Ddbm.Sim_result.top_heap_words
+    done;
+    (!best, !heap)
+  in
+  let plain, plain_heap = measure (fun _ -> ()) in
+  let traced, traced_heap =
+    measure (fun m ->
+        let tracer = Ddbm.Machine.enable_events m in
+        Tracer.attach tracer (fun ~time:_ _ -> ()))
+  in
+  let exported, exported_heap =
+    measure (fun m ->
+        Ddbm.Machine.enable_sampler m ~interval:1.;
+        let tracer = Ddbm.Machine.enable_events m in
+        let buf = Buffer.create (1 lsl 20) in
+        let chrome =
+          Ddbm.Trace_export.Chrome.create ~num_nodes:8 (Buffer.add_string buf)
+        in
+        Tracer.attach tracer (Ddbm.Trace_export.Chrome.sink chrome))
+  in
+  let overhead base x = (base -. x) /. base *. 100. in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"config\": \"2pl, 8 nodes, 64 terminals, 35 s simulated\",\n\
+    \  \"events_per_sec_plain\": %.0f,\n\
+    \  \"events_per_sec_traced\": %.0f,\n\
+    \  \"events_per_sec_exported\": %.0f,\n\
+    \  \"overhead_traced_pct\": %.2f,\n\
+    \  \"overhead_exported_pct\": %.2f,\n\
+    \  \"top_heap_words_plain\": %d,\n\
+    \  \"top_heap_words_traced\": %d,\n\
+    \  \"top_heap_words_exported\": %d\n\
+     }\n"
+    plain traced exported (overhead plain traced) (overhead plain exported)
+    plain_heap traced_heap exported_heap;
+  close_out oc;
+  Printf.printf
+    "== observability overhead ==\n\
+     plain     %10.0f events/s\n\
+     traced    %10.0f events/s (%.1f%% overhead)\n\
+     exported  %10.0f events/s (%.1f%% overhead)\n\
+     written to %s\n\n\
+     %!"
+    plain traced
+    (overhead plain traced)
+    exported
+    (overhead plain exported)
+    out
+
+(* ------------------------------------------------------------------ *)
 
 let profile_conv =
   let parse s =
@@ -184,11 +274,22 @@ let main =
     Arg.(value & flag & info [ "no-micro" ] ~doc:"Skip micro-benchmarks.")
   and+ skip_figs =
     Arg.(value & flag & info [ "no-figs" ] ~doc:"Skip figure reproduction.")
+  and+ skip_obs =
+    Arg.(
+      value & flag
+      & info [ "no-obs" ] ~doc:"Skip the observability overhead benchmark.")
+  and+ obs_out =
+    Arg.(
+      value
+      & opt string "BENCH_observability.json"
+      & info [ "obs-out" ] ~docv:"FILE"
+          ~doc:"Where to write the observability overhead report.")
   and+ verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log each run.")
   in
   if not skip_figs then run_figures ~profile ~ids ~thinks ~csv_dir ~verbose;
-  if not skip_micro then run_micro ()
+  if not skip_micro then run_micro ();
+  if not skip_obs then run_observability ~out:obs_out
 
 let () =
   exit

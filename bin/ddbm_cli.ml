@@ -115,6 +115,80 @@ let params_term =
     run = { default.Params.run with Params.seed; warmup; measure };
   }
 
+(* --- observability ------------------------------------------------- *)
+
+let obs_flags =
+  let open Term.Syntax in
+  let+ trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the typed event trace to $(docv): Chrome trace_event \
+             JSON (openable at ui.perfetto.dev or chrome://tracing) by \
+             default, or one JSON object per event when $(docv) ends in \
+             .jsonl.")
+  and+ sample_interval =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sample-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Emit a time-series sample (active transactions, per-node \
+             CPU/disk utilization, queue lengths) into the trace every \
+             $(docv) simulated seconds.")
+  in
+  (trace_out, sample_interval)
+
+(* Open the trace file chosen by [--trace-out], pick the exporter by
+   extension, attach it to [m]'s typed-event tracer, and return the
+   finalizer that terminates and closes the file. *)
+let attach_trace_file m ?num_nodes path =
+  let tracer = Ddbm.Machine.enable_events m in
+  let oc = open_out path in
+  let out = output_string oc in
+  if Filename.check_suffix path ".jsonl" then begin
+    Tracer.attach tracer (Ddbm.Trace_export.jsonl_sink out);
+    fun () -> close_out oc
+  end
+  else begin
+    let chrome = Ddbm.Trace_export.Chrome.create ?num_nodes out in
+    Tracer.attach tracer (Ddbm.Trace_export.Chrome.sink chrome);
+    fun () ->
+      Ddbm.Trace_export.Chrome.close chrome;
+      close_out oc
+  end
+
+(* One run with the observability flags applied; equivalent to
+   [Machine.run] when both are off. *)
+let run_observed ~trace_out ~sample_interval (params : Params.t) =
+  match (trace_out, sample_interval) with
+  | None, None -> Ddbm.Machine.run params
+  | _ ->
+      let m = Ddbm.Machine.create params in
+      Option.iter
+        (fun interval -> Ddbm.Machine.enable_sampler m ~interval)
+        sample_interval;
+      let close =
+        match trace_out with
+        | None -> fun () -> ()
+        | Some path ->
+            attach_trace_file m
+              ~num_nodes:params.Params.database.Params.num_proc_nodes
+              path
+      in
+      Fun.protect ~finally:close (fun () -> Ddbm.Machine.execute m)
+
+(* Derive a per-run trace filename: "trace.json" + "-2pl-t4" ->
+   "trace-2pl-t4.json". Used when one invocation performs several runs. *)
+let with_suffix path suffix =
+  match Filename.extension path with
+  | "" -> path ^ suffix
+  | ext -> Filename.remove_extension path ^ suffix ^ ext
+
+(* --- commands ------------------------------------------------------ *)
+
 let run_cmd =
   let doc = "Run one simulation and print its metrics." in
   let term =
@@ -128,7 +202,7 @@ let run_cmd =
         & info [ "r"; "replicates" ] ~docv:"N"
             ~doc:"Run N independent replicates (seed, seed+1, ...) and \
                   report mean ± 95% CI across them.")
-    in
+    and+ trace_out, sample_interval = obs_flags in
     if csv then print_endline Ddbm.Sim_result.csv_header;
     let tput = Desim.Stats.Tally.create () in
     let resp = Desim.Stats.Tally.create () in
@@ -143,7 +217,15 @@ let run_cmd =
             };
         }
       in
-      let result = Ddbm.Machine.run params in
+      let trace_out =
+        (* one file per replicate *)
+        if replicates = 1 then trace_out
+        else
+          Option.map
+            (fun path -> with_suffix path (Printf.sprintf "-r%d" i))
+            trace_out
+      in
+      let result = run_observed ~trace_out ~sample_interval params in
       Desim.Stats.Tally.add tput result.Ddbm.Sim_result.throughput;
       Desim.Stats.Tally.add resp result.Ddbm.Sim_result.mean_response;
       if csv then print_endline (Ddbm.Sim_result.to_csv_row result)
@@ -153,9 +235,16 @@ let run_cmd =
         List.iter
           (fun (name, n) -> Format.printf " %s=%d" name n)
           result.Ddbm.Sim_result.abort_reasons;
-        Format.printf "@.sim events: %d, simulated %.0f s, wall %.2f s@."
+        Format.printf
+          "@.sim events: %d, simulated %.0f s, wall %.2f s (%.0f events/s, \
+           heap high-water %d words)@."
           result.Ddbm.Sim_result.sim_events result.Ddbm.Sim_result.sim_end
           result.Ddbm.Sim_result.wall_seconds
+          result.Ddbm.Sim_result.events_per_sec
+          result.Ddbm.Sim_result.top_heap_words;
+        Option.iter
+          (fun path -> Format.printf "trace written to %s@." path)
+          trace_out
       end
     done;
     if replicates > 1 && not csv then
@@ -181,7 +270,7 @@ let sweep_cmd =
         & opt (list float) [ 0.; 2.; 4.; 8.; 12.; 24.; 48.; 120. ]
         & info [ "thinks" ] ~docv:"T1,T2,..."
             ~doc:"Think times to sweep (seconds).")
-    in
+    and+ trace_out, sample_interval = obs_flags in
     print_endline Ddbm.Sim_result.csv_header;
     List.iter
       (fun algorithm ->
@@ -195,7 +284,17 @@ let sweep_cmd =
                 cc = { params.Params.cc with Params.algorithm };
               }
             in
-            let result = Ddbm.Machine.run params in
+            let trace_out =
+              (* one file per (algorithm, think time) point *)
+              Option.map
+                (fun path ->
+                  with_suffix path
+                    (Printf.sprintf "-%s-t%g"
+                       (Params.cc_algorithm_name algorithm)
+                       think))
+                trace_out
+            in
+            let result = run_observed ~trace_out ~sample_interval params in
             print_endline (Ddbm.Sim_result.to_csv_row result))
           thinks)
       [ Params.No_dc; Params.Twopl; Params.Bto; Params.Wound_wait; Params.Opt ]
@@ -221,8 +320,30 @@ let replay_cmd =
         value & opt int 40
         & info [ "trace-events" ] ~docv:"N"
             ~doc:"Print the last N traced events of a reproduced failure.")
+    and+ trace_out, sample_interval = obs_flags in
+    (* The determinism check inside the replay runs each machine twice,
+       and both runs must be instrumented identically (the sampler
+       schedules engine events). The typed-event file sink is attached to
+       the first machine only — the repeat would just rewrite identical
+       bytes. *)
+    let closers = ref [] in
+    let first = ref true in
+    let instrument m =
+      Option.iter
+        (fun interval -> Ddbm.Machine.enable_sampler m ~interval)
+        sample_interval;
+      match trace_out with
+      | Some path when !first ->
+          first := false;
+          closers := attach_trace_file m path :: !closers
+      | Some _ | None -> ()
     in
-    match Ddbm_check.Conformance.replay_file file with
+    let close_traces () = List.iter (fun f -> f ()) !closers in
+    let replayed =
+      Fun.protect ~finally:close_traces (fun () ->
+          Ddbm_check.Conformance.replay_file ~instrument file)
+    in
+    match replayed with
     | Error msg ->
         Format.eprintf "%s@." msg;
         exit 2
@@ -262,8 +383,58 @@ let replay_cmd =
   in
   Cmd.v (Cmd.info "replay" ~doc) term
 
+let trace_cmd =
+  let doc =
+    "Run one simulation with full observability: write a typed event \
+     trace with time-series samples, reconstruct per-transaction \
+     timelines, and print the response-time decomposition."
+  in
+  let term =
+    let open Term.Syntax in
+    let+ params = params_term
+    and+ out =
+      Arg.(
+        value & opt string "trace.json"
+        & info [ "o"; "out" ] ~docv:"FILE"
+            ~doc:
+              "Trace output file: Chrome trace_event JSON (open at \
+               ui.perfetto.dev) by default, JSON-lines when $(docv) ends \
+               in .jsonl.")
+    and+ interval =
+      Arg.(
+        value & opt float 1.
+        & info [ "sample-interval" ] ~docv:"SECONDS"
+            ~doc:"Time-series sampling interval (simulated seconds).")
+    in
+    let m = Ddbm.Machine.create params in
+    Ddbm.Machine.enable_sampler m ~interval;
+    let tracer = Ddbm.Machine.enable_events m in
+    let emitted = ref 0 in
+    Tracer.attach tracer (fun ~time:_ _ -> incr emitted);
+    let timeline = Ddbm.Timeline.of_params params in
+    Tracer.attach tracer (Ddbm.Timeline.sink timeline);
+    let close =
+      attach_trace_file m
+        ~num_nodes:params.Params.database.Params.num_proc_nodes out
+    in
+    let result = Fun.protect ~finally:close (fun () -> Ddbm.Machine.execute m) in
+    Format.printf "%a@." Ddbm.Sim_result.pp result;
+    Format.printf
+      "%d typed events written to %s (%d committed transactions \
+       reconstructed)@."
+      !emitted out
+      (List.length (Ddbm.Timeline.committed timeline));
+    Format.printf
+      "self-profile: %d sim events, wall %.2f s, %.0f events/s, heap \
+       high-water %d words@."
+      result.Ddbm.Sim_result.sim_events result.Ddbm.Sim_result.wall_seconds
+      result.Ddbm.Sim_result.events_per_sec
+      result.Ddbm.Sim_result.top_heap_words
+  in
+  Cmd.v (Cmd.info "trace" ~doc) term
+
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   let doc = "Carey & Livny 1989 distributed database machine simulator" in
   let info = Cmd.info "ddbm" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; replay_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; replay_cmd; trace_cmd ]))

@@ -20,6 +20,8 @@ type t = {
   request_abort : from_node:int -> Txn.t -> Txn.abort_reason -> unit;
   mutable rounds : int;
   mutable victims : int;
+  mutable on_round : (node:int -> edges:int -> victims:int -> unit) option;
+      (** observer of completed detection rounds (for typed tracing) *)
 }
 
 let create eng ~net ~num_nodes ~detection_interval ~edges_of ~request_abort =
@@ -32,7 +34,11 @@ let create eng ~net ~num_nodes ~detection_interval ~edges_of ~request_abort =
     request_abort;
     rounds = 0;
     victims = 0;
+    on_round = None;
   }
+
+(** Attach (or detach) the per-round observer. *)
+let set_on_round t on_round = t.on_round <- on_round
 
 (* Collect edges from every node. Requests go out in parallel; each remote
    node replies with its snapshot (taken at reply time). *)
@@ -66,7 +72,12 @@ let detection_round t ~snoop_node =
     (fun victim ->
       t.victims <- t.victims + 1;
       t.request_abort ~from_node:snoop_node victim Txn.Global_deadlock)
-    victims
+    victims;
+  match t.on_round with
+  | Some f ->
+      f ~node:snoop_node ~edges:(List.length edges)
+        ~victims:(List.length victims)
+  | None -> ()
 
 (** Start the rotating detector process. Runs for the whole simulation. *)
 let start t =

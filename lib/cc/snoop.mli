@@ -21,6 +21,12 @@ val create :
     exposed for tests). *)
 val detection_round : t -> snoop_node:int -> unit
 
+(** Attach (or detach, with [None]) an observer called after every
+    detection round with the collecting node, the number of waits-for
+    edges gathered, and the victims selected. *)
+val set_on_round :
+  t -> (node:int -> edges:int -> victims:int -> unit) option -> unit
+
 (** Start the rotating detector process (node 0 first). *)
 val start : t -> unit
 

@@ -39,12 +39,14 @@ let with_algorithm params algorithm =
   { params with Params.cc = { params.Params.cc with Params.algorithm } }
 
 (** One fully instrumented run: audit + plan fingerprints, optionally an
-    event trace. *)
-let run_instrumented ?trace_capacity params =
+    event trace and caller instrumentation (e.g. typed-event sinks or
+    the time-series sampler), applied between creation and execution. *)
+let run_instrumented ?trace_capacity ?instrument params =
   let m = Ddbm.Machine.create params in
   let audit = Ddbm.Machine.enable_audit m in
   Ddbm.Machine.enable_fingerprints m;
   let trace = Option.map (fun capacity -> Ddbm.Machine.enable_trace ~capacity m) trace_capacity in
+  Option.iter (fun f -> f m) instrument;
   let result = Ddbm.Machine.execute m in
   (result, audit, Ddbm.Machine.workload_fingerprints m, trace)
 
@@ -60,11 +62,16 @@ let rec prefix_mismatch pos a b =
 (** Audit + invariants + determinism for [params] as given (single
     algorithm). Returns the first run's result and fingerprints for the
     cross-algorithm checks, plus the event trace (when requested) for
-    post-mortems either way. *)
-let check_algorithm_traced ?trace_capacity params :
+    post-mortems either way. [instrument] is applied to *both* runs of
+    the determinism check — asymmetric instrumentation (the sampler
+    schedules engine events) would make the two runs legitimately
+    diverge. *)
+let check_algorithm_traced ?trace_capacity ?instrument params :
     (Ddbm.Sim_result.t * int list array, failure) result
     * Desim.Trace.t option =
-  let r1, audit, prints, trace = run_instrumented ?trace_capacity params in
+  let r1, audit, prints, trace =
+    run_instrumented ?trace_capacity ?instrument params
+  in
   let fail kind detail = (Error { params; kind; detail }, trace) in
   match Ddbm.Audit.check audit with
   | Error msg -> fail "audit" msg
@@ -81,7 +88,7 @@ let check_algorithm_traced ?trace_capacity params :
         | _ :: _ as violations ->
             fail "invariant" (String.concat "\n" violations)
         | [] -> (
-            let r2, _, _, _ = run_instrumented params in
+            let r2, _, _, _ = run_instrumented ?instrument params in
             match Ddbm.Sim_result.diff r1 r2 with
             | [] -> (Ok (r1, prints), trace)
             | diffs ->
@@ -168,8 +175,10 @@ type replay_outcome = {
 
 (** Load an artifact, re-activate its recorded faults, and re-execute its
     (seed, params, algorithm) with audit, invariants, determinism check
-    and an event trace attached. Faults are reset afterwards. *)
-let replay_file ?(trace_capacity = 5_000) path :
+    and an event trace attached. [instrument] is applied to every
+    machine (see {!check_algorithm_traced}). Faults are reset
+    afterwards. *)
+let replay_file ?(trace_capacity = 5_000) ?instrument path :
     (replay_outcome, string) result =
   match Replay.load path with
   | Error msg -> Error msg
@@ -187,7 +196,8 @@ let replay_file ?(trace_capacity = 5_000) path :
           | _ :: _ -> Error (String.concat "; " fault_errs)
           | [] ->
               let outcome, trace =
-                check_algorithm_traced ~trace_capacity artifact.Replay.params
+                check_algorithm_traced ~trace_capacity ?instrument
+                  artifact.Replay.params
               in
               let trace_tail =
                 match trace with

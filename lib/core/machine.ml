@@ -36,11 +36,19 @@ type t = {
   mutable snoop : Ddbm_cc.Snoop.t option;
   mutable audit : Audit.t option;
   mutable trace : Trace.t option;
+  mutable events : Tracer.t option;  (** typed lifecycle events *)
 }
 
 let tracef t ~tag build = Option.iter (fun tr -> Trace.emitf tr ~tag build) t.trace
 
-type attempt_outcome = Committed | Aborted of Txn.abort_reason
+(* Typed event emission: zero cost unless a tracer is attached — the
+   event value is only constructed when [t.events] is [Some _]. *)
+let emit t make =
+  match t.events with
+  | None -> ()
+  | Some tr -> Tracer.emit tr ~time:(Engine.now t.eng) (make ())
+
+type attempt_outcome = Committed of Decomp.t | Aborted of Txn.abort_reason
 
 (* ------------------------------------------------------------------ *)
 (* Assembly                                                            *)
@@ -55,6 +63,14 @@ let request_abort t ~from_node (txn : Txn.t) reason =
     tracef t ~tag:"abort-request" (fun () ->
         Format.asprintf "%a from node %d: %s" Txn.pp txn from_node
           (Txn.abort_reason_name reason));
+    emit t (fun () ->
+        Event.Wound
+          {
+            tid = txn.Txn.tid;
+            attempt = txn.Txn.attempt;
+            from_node;
+            reason;
+          });
     Net.send_async t.net ~src:(Proc from_node) ~dst:Host (fun () ->
         match Hashtbl.find_opt t.live txn.Txn.tid with
         | Some rt when Txn.same_attempt rt.Messages.txn txn ->
@@ -105,6 +121,7 @@ let create (params : Params.t) =
       snoop = None;
       audit = None;
       trace = None;
+      events = None;
     }
   in
   let algorithm = params.Params.cc.Params.algorithm in
@@ -193,10 +210,39 @@ let acquire_replica_writes t (txn : Txn.t) ~from_node page =
 let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
     =
   let txn = rt.Messages.txn in
-  let node = t.procs.(cplan.Plan.node) in
+  let my_node = cplan.Plan.node in
+  let node = t.procs.(my_node) in
   let cc = Node.cc node in
-  let self = Proc cplan.Plan.node in
+  let self = Proc my_node in
   let resources = t.params.Params.resources in
+  let usage = Messages.usage rt my_node in
+  (* Timed CC access: the wall time from request to grant (lock waits,
+     conversion waits, CC request processing) accrues to the work-phase
+     usage record feeding the response-time decomposition. [work:false]
+     marks commit-protocol acquisitions, which belong to the 2PC
+     component instead. *)
+  let cc_access ?(work = true) mode page =
+    emit t (fun () ->
+        Event.Lock_request
+          { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node = my_node;
+            page; mode });
+    let t0 = Engine.now t.eng in
+    (match mode with
+    | Event.Read -> cc.Cc_intf.cc_read txn page
+    | Event.Write -> cc.Cc_intf.cc_write txn page);
+    let waited = Engine.now t.eng -. t0 in
+    if work then
+      usage.Messages.u_blocked <- usage.Messages.u_blocked +. waited;
+    emit t (fun () ->
+        Event.Lock_grant
+          { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node = my_node;
+            page; mode; waited })
+  in
+  let release () =
+    emit t (fun () ->
+        Event.Lock_release
+          { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node = my_node })
+  in
   let send_coord msg =
     Net.send t.net ~src:self ~dst:Host (fun () ->
         Mailbox.send rt.Messages.coord_mb msg)
@@ -213,6 +259,9 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
     List.iter (fun (_ : Ids.Page.t) -> write_one ()) cplan.Plan.apply_ops
   in
   try
+    emit t (fun () ->
+        Event.Cohort_start
+          { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node = my_node });
     (* Work phase: each page access is a CC request, a disk read, and a
        slice of CPU. The transaction manager knows at access time whether
        the page will be updated, so the read lock of an update access is
@@ -222,31 +271,45 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
     List.iter
       (fun (op : Plan.page_op) ->
         check_doomed txn;
-        cc.Cc_intf.cc_read txn op.Plan.page;
+        cc_access Event.Read op.Plan.page;
         if op.Plan.update then begin
           check_doomed txn;
-          cc.Cc_intf.cc_write txn op.Plan.page;
+          cc_access Event.Write op.Plan.page;
           (* read-one/write-all: lock the remote copies now unless the
-             algorithm defers them to the commit protocol *)
+             algorithm defers them to the commit protocol. The round
+             trips land in the decomposition's message/other residual. *)
           if
             write_all_at_access t.params.Params.cc.Params.algorithm
             && t.params.Params.database.Params.replication > 1
           then begin
             check_doomed txn;
-            acquire_replica_writes t txn ~from_node:cplan.Plan.node
-              op.Plan.page
+            acquire_replica_writes t txn ~from_node:my_node op.Plan.page
           end
         end;
         (* permission fully granted: the auditor observes the version
            this access sees, atomically with the grant *)
         Option.iter (fun a -> Audit.record_read a txn op.Plan.page) t.audit;
         check_doomed txn;
+        let t0 = Engine.now t.eng in
         Disk.read (Node.random_disk node);
+        let disk_dur = Engine.now t.eng -. t0 in
+        usage.Messages.u_disk <- usage.Messages.u_disk +. disk_dur;
+        emit t (fun () ->
+            Event.Disk_access
+              { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node = my_node;
+                write = false; dur = disk_dur });
         check_doomed txn;
+        let t0 = Engine.now t.eng in
         Cpu.consume node.Node.cpu
-          ~instructions:(Workload.draw_page_instructions t.workload))
+          ~instructions:(Workload.draw_page_instructions t.workload);
+        let cpu_dur = Engine.now t.eng -. t0 in
+        usage.Messages.u_cpu <- usage.Messages.u_cpu +. cpu_dur;
+        emit t (fun () ->
+            Event.Cpu_slice
+              { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node = my_node;
+                dur = cpu_dur }))
       cplan.Plan.ops;
-    send_coord (Messages.Work_done cplan.Plan.node);
+    send_coord (Messages.Work_done my_node);
     let rec protocol () =
       match Mailbox.recv mb with
       | Messages.Do_prepare ->
@@ -260,7 +323,7 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
              && cplan.Plan.apply_ops <> []
            then
              List.iter
-               (fun page -> cc.Cc_intf.cc_write txn page)
+               (fun page -> cc_access ~work:false Event.Write page)
                cplan.Plan.apply_ops);
           (* optional logging model: an updating cohort forces its log
              page to disk before it can vote yes (footnote 5) *)
@@ -269,7 +332,15 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
             && (cplan.Plan.apply_ops <> []
                || List.exists (fun (op : Plan.page_op) -> op.Plan.update)
                     cplan.Plan.ops)
-          then Disk.write (Node.random_disk node);
+          then begin
+            let t0 = Engine.now t.eng in
+            Disk.write (Node.random_disk node);
+            emit t (fun () ->
+                Event.Disk_access
+                  { tid = txn.Txn.tid; attempt = txn.Txn.attempt;
+                    node = my_node; write = true;
+                    dur = Engine.now t.eng -. t0 })
+          end;
           let vote = cc.Cc_intf.cc_prepare txn in
           send_coord (Messages.Vote (cplan.Plan.node, vote));
           protocol ()
@@ -278,6 +349,7 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
           (* snapshot the installs and perform them in the same event *)
           let installed = cc.Cc_intf.cc_installed txn in
           cc.Cc_intf.cc_commit txn;
+          release ();
           Option.iter
             (fun a ->
               (* replica installs are physical copies of the same logical
@@ -295,11 +367,13 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
           send_coord (Messages.Done_ack cplan.Plan.node)
       | Messages.Do_abort ->
           cc.Cc_intf.cc_abort txn;
+          release ();
           send_coord (Messages.Done_ack cplan.Plan.node)
     in
     protocol ()
   with Txn.Aborted reason ->
     cc.Cc_intf.cc_abort txn;
+    release ();
     (match reason with
     | Txn.Bto_conflict | Txn.Cert_failed | Txn.Died ->
         (* self-inflicted: the coordinator does not know yet *)
@@ -322,6 +396,13 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
 let load_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) =
   let mb = Mailbox.create () in
   Hashtbl.replace rt.Messages.cohort_mbs cplan.Plan.node mb;
+  emit t (fun () ->
+      Event.Cohort_load
+        {
+          tid = rt.Messages.txn.Txn.tid;
+          attempt = rt.Messages.txn.Txn.attempt;
+          node = cplan.Plan.node;
+        });
   let node = t.procs.(cplan.Plan.node) in
   let startup = t.params.Params.resources.Params.inst_per_startup in
   Net.send t.net ~src:Host ~dst:(Proc cplan.Plan.node) (fun () ->
@@ -341,13 +422,25 @@ let send_cohort t (rt : Messages.attempt_runtime) ~node_idx msg =
 let loaded_nodes (rt : Messages.attempt_runtime) =
   Hashtbl.fold (fun node _ acc -> node :: acc) rt.Messages.cohort_mbs []
 
-(* Wait for [target] Work_done messages; an abort trigger interrupts. *)
-let await_work (rt : Messages.attempt_runtime) ~target =
+(* Wait for [target] Work_done messages; an abort trigger interrupts.
+   Records the node of each Work_done as it is processed, so that when
+   the work phase completes, [last_work_node] identifies the cohort on
+   its critical path (under parallel execution). *)
+let await_work t (rt : Messages.attempt_runtime) ~target =
   let rec go done_ =
     if done_ >= target then `Done
     else
       match Mailbox.recv rt.Messages.coord_mb with
-      | Messages.Work_done _ -> go (done_ + 1)
+      | Messages.Work_done node ->
+          rt.Messages.last_work_node <- node;
+          emit t (fun () ->
+              Event.Work_done
+                {
+                  tid = rt.Messages.txn.Txn.tid;
+                  attempt = rt.Messages.txn.Txn.attempt;
+                  node;
+                });
+          go (done_ + 1)
       | Messages.Cohort_aborted (_, reason) -> `Abort reason
       | Messages.Abort_request (txn, reason)
         when Txn.same_attempt txn rt.Messages.txn ->
@@ -369,27 +462,34 @@ let await_acks (rt : Messages.attempt_runtime) ~target =
   in
   go 0
 
+(* Broadcast the abort decision, collect acknowledgements, and return
+   the abort reason. *)
 let abort_attempt t (rt : Messages.attempt_runtime) reason =
   let txn = rt.Messages.txn in
   txn.Txn.phase <- Txn.Decided_abort;
   txn.Txn.doomed <- true;
+  emit t (fun () ->
+      Event.Decision
+        { tid = txn.Txn.tid; attempt = txn.Txn.attempt; commit = false });
   let loaded = loaded_nodes rt in
   List.iter (fun node_idx -> send_cohort t rt ~node_idx Messages.Do_abort) loaded;
   await_acks rt ~target:(List.length loaded);
   txn.Txn.phase <- Txn.Finished;
-  Aborted reason
+  reason
 
 let commit_attempt t (rt : Messages.attempt_runtime) =
   let txn = rt.Messages.txn in
   let cohorts = txn.Txn.plan.Plan.cohorts in
   txn.Txn.phase <- Txn.Decided_commit;
+  emit t (fun () ->
+      Event.Decision
+        { tid = txn.Txn.tid; attempt = txn.Txn.attempt; commit = true });
   List.iter
     (fun (c : Plan.cohort_plan) ->
       send_cohort t rt ~node_idx:c.Plan.node Messages.Do_commit)
     cohorts;
   await_acks rt ~target:(List.length cohorts);
-  txn.Txn.phase <- Txn.Finished;
-  Committed
+  txn.Txn.phase <- Txn.Finished
 
 let run_two_phase_commit t (rt : Messages.attempt_runtime) =
   let txn = rt.Messages.txn in
@@ -398,6 +498,8 @@ let run_two_phase_commit t (rt : Messages.attempt_runtime) =
   txn.Txn.phase <- Txn.Voting;
   txn.Txn.commit_ts <-
     Some (Timestamp.Clock.make t.clock ~time:(Engine.now t.eng));
+  emit t (fun () ->
+      Event.Prepare { tid = txn.Txn.tid; attempt = txn.Txn.attempt });
   List.iter
     (fun (c : Plan.cohort_plan) ->
       send_cohort t rt ~node_idx:c.Plan.node Messages.Do_prepare)
@@ -406,8 +508,11 @@ let run_two_phase_commit t (rt : Messages.attempt_runtime) =
     if got >= n then `All_yes
     else
       match Mailbox.recv rt.Messages.coord_mb with
-      | Messages.Vote (_, true) -> collect_votes (got + 1)
-      | Messages.Vote (_, false) -> `Abort Txn.Cert_failed
+      | Messages.Vote (node, yes) ->
+          emit t (fun () ->
+              Event.Vote
+                { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node; yes });
+          if yes then collect_votes (got + 1) else `Abort Txn.Cert_failed
       | Messages.Cohort_aborted (_, reason) -> `Abort reason
       | Messages.Abort_request (tx, reason) when Txn.same_attempt tx txn ->
           `Abort reason
@@ -416,8 +521,10 @@ let run_two_phase_commit t (rt : Messages.attempt_runtime) =
           collect_votes got
   in
   match collect_votes 0 with
-  | `All_yes -> commit_attempt t rt
-  | `Abort reason -> abort_attempt t rt reason
+  | `All_yes ->
+      commit_attempt t rt;
+      `Committed
+  | `Abort reason -> `Aborted (abort_attempt t rt reason)
 
 let run_attempt t (txn : Txn.t) =
   let rt = Messages.make_runtime txn in
@@ -428,29 +535,75 @@ let run_attempt t (txn : Txn.t) =
       | Some cur when cur == rt -> Hashtbl.remove t.live txn.Txn.tid
       | Some _ | None -> ())
     (fun () ->
+      let t_begin = Engine.now t.eng in
+      emit t (fun () ->
+          Event.Attempt_start { tid = txn.Txn.tid; attempt = txn.Txn.attempt });
       (* coordinator process startup at the host *)
       Cpu.consume t.host.Node.cpu
         ~instructions:t.params.Params.resources.Params.inst_per_startup;
+      let t_setup_end = Engine.now t.eng in
+      emit t (fun () ->
+          Event.Setup_done { tid = txn.Txn.tid; attempt = txn.Txn.attempt });
       let cohorts = txn.Txn.plan.Plan.cohorts in
       let phase1 =
         match t.params.Params.workload.Params.exec_pattern with
         | Params.Parallel ->
             List.iter (load_cohort t rt) cohorts;
-            await_work rt ~target:(List.length cohorts)
+            await_work t rt ~target:(List.length cohorts)
         | Params.Sequential ->
             let rec go = function
               | [] -> `Done
               | c :: rest -> (
                   load_cohort t rt c;
-                  match await_work rt ~target:1 with
+                  match await_work t rt ~target:1 with
                   | `Done -> go rest
                   | `Abort reason -> `Abort reason)
             in
             go cohorts
       in
       match phase1 with
-      | `Done -> run_two_phase_commit t rt
-      | `Abort reason -> abort_attempt t rt reason)
+      | `Abort reason -> Aborted (abort_attempt t rt reason)
+      | `Done -> (
+          let t_work_end = Engine.now t.eng in
+          match run_two_phase_commit t rt with
+          | `Aborted reason -> Aborted reason
+          | `Committed ->
+              let t_end = Engine.now t.eng in
+              (* Work-phase critical path: the cohort whose Work_done
+                 arrived last under parallel execution; the sum over all
+                 cohorts (in node order, for float determinism) under
+                 sequential execution. *)
+              let blocked, disk, cpu =
+                match t.params.Params.workload.Params.exec_pattern with
+                | Params.Parallel -> (
+                    match
+                      Hashtbl.find_opt rt.Messages.usage
+                        rt.Messages.last_work_node
+                    with
+                    | Some u ->
+                        ( u.Messages.u_blocked,
+                          u.Messages.u_disk,
+                          u.Messages.u_cpu )
+                    | None -> (0., 0., 0.))
+                | Params.Sequential ->
+                    Hashtbl.fold
+                      (fun node u acc -> (node, u) :: acc)
+                      rt.Messages.usage []
+                    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+                    |> List.fold_left
+                         (fun (b, d, c) (_, u) ->
+                           ( b +. u.Messages.u_blocked,
+                             d +. u.Messages.u_disk,
+                             c +. u.Messages.u_cpu ))
+                         (0., 0., 0.)
+              in
+              Committed
+                (Decomp.assemble
+                   ~restart:(t_begin -. txn.Txn.origin_time)
+                   ~setup:(t_setup_end -. t_begin)
+                   ~exec:(t_work_end -. t_setup_end)
+                   ~blocked ~disk ~cpu
+                   ~commit:(t_end -. t_work_end))))
 
 (* ------------------------------------------------------------------ *)
 (* Terminals                                                           *)
@@ -486,25 +639,37 @@ let run_terminal t ~index =
         let origin_time = Engine.now t.eng in
         Metrics.record_submit t.metrics;
         let tid = fresh_tid t in
+        emit t (fun () -> Event.Submit { tid });
         let startup_ts = Timestamp.Clock.make t.clock ~time:origin_time in
         let rec attempt k plan =
           let txn = make_attempt t ~tid ~attempt:k ~origin_time ~startup_ts ~plan in
           let outcome = run_attempt t txn in
           Metrics.record_completion t.metrics;
           match outcome with
-          | Committed ->
+          | Committed decomp ->
               Option.iter (fun a -> Audit.record_commit a txn) t.audit;
               tracef t ~tag:"commit" (fun () ->
                   Format.asprintf "%a after %.3fs" Txn.pp txn
                     (Engine.now t.eng -. origin_time));
-              Metrics.record_commit t.metrics ~origin_time
+              emit t (fun () ->
+                  Event.Committed
+                    {
+                      tid;
+                      attempt = k;
+                      response = Engine.now t.eng -. origin_time;
+                    });
+              Metrics.record_commit t.metrics ~origin_time ~decomp
           | Aborted reason ->
               Option.iter (fun a -> Audit.record_abort a txn) t.audit;
               tracef t ~tag:"abort" (fun () ->
                   Format.asprintf "%a: %s, restarting" Txn.pp txn
                     (Txn.abort_reason_name reason));
+              emit t (fun () -> Event.Aborted { tid; attempt = k; reason });
               Metrics.record_abort t.metrics ~reason;
-              Engine.wait (Metrics.restart_delay t.metrics);
+              let delay = Metrics.restart_delay t.metrics in
+              emit t (fun () ->
+                  Event.Restart_wait { tid; attempt = k; delay });
+              Engine.wait delay;
               let plan =
                 if t.params.Params.run.Params.fresh_restart_plan then
                   Workload.generate_plan t.workload ~terminal:index
@@ -563,9 +728,15 @@ let collect_result t ~wall_seconds =
     host_cpu_util = Node.cpu_utilization t.host;
     mean_active = Metrics.mean_active t.metrics;
     messages = Net.messages_sent t.net;
+    decomp = Metrics.decomp_mean t.metrics;
     sim_events = Engine.events_processed t.eng;
     sim_end = Engine.now t.eng;
     wall_seconds;
+    events_per_sec =
+      (if wall_seconds > 0. then
+         float_of_int (Engine.events_processed t.eng) /. wall_seconds
+       else 0.);
+    top_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
   }
 
 (** Attach an event trace (before {!execute}). *)
@@ -573,6 +744,89 @@ let enable_trace ?(capacity = 10_000) t =
   let trace = Trace.create t.eng ~capacity in
   t.trace <- Some trace;
   trace
+
+(** Attach (or retrieve) the typed-event tracer (before {!execute}).
+    Idempotent: the first call creates the tracer and wires the network
+    and Snoop observers; later calls return the same tracer, so several
+    sinks can be attached. Without this call the machine emits no typed
+    events and pays no tracing cost. *)
+let enable_events t =
+  match t.events with
+  | Some tracer -> tracer
+  | None ->
+      let tracer = Tracer.create () in
+      t.events <- Some tracer;
+      let now () = Engine.now t.eng in
+      Net.set_on_msg t.net
+        (Some
+           (fun ~sent ~src ~dst ->
+             Tracer.emit tracer ~time:(now ())
+               (if sent then Event.Msg_send { src; dst }
+                else Event.Msg_recv { src; dst })));
+      Option.iter
+        (fun snoop ->
+          Ddbm_cc.Snoop.set_on_round snoop
+            (Some
+               (fun ~node ~edges ~victims ->
+                 Tracer.emit tracer ~time:(now ())
+                   (Event.Snoop_round { node; edges; victims }))))
+        t.snoop;
+      tracer
+
+(** Start the time-series sampler (before {!execute}): every [interval]
+    simulated seconds, emit an {!Event.Sample} carrying the number of
+    in-flight transactions, per-interval CPU and disk utilizations
+    (differences of cumulative busy times, so they are exact over the
+    interval regardless of observation-window resets), and instantaneous
+    queue lengths. Implies {!enable_events}. *)
+let enable_sampler t ~interval =
+  if not (interval > 0.) then
+    invalid_arg "Machine.enable_sampler: interval must be positive";
+  let tracer = enable_events t in
+  let n = Array.length t.procs in
+  let prev_host_cpu = ref (Node.cpu_busy_time t.host) in
+  let prev_cpu = Array.init n (fun i -> Node.cpu_busy_time t.procs.(i)) in
+  let prev_disk = Array.init n (fun i -> Node.disk_busy_time t.procs.(i)) in
+  let prev_time = ref (Engine.now t.eng) in
+  let rec tick () =
+    let now = Engine.now t.eng in
+    let dt = now -. !prev_time in
+    if dt > 0. then begin
+      let host_busy = Node.cpu_busy_time t.host in
+      let host_cpu_util = (host_busy -. !prev_host_cpu) /. dt in
+      prev_host_cpu := host_busy;
+      let nodes =
+        Array.init n (fun i ->
+            let node = t.procs.(i) in
+            let cpu_busy = Node.cpu_busy_time node in
+            let disk_busy = Node.disk_busy_time node in
+            let num_disks = Array.length node.Node.disks in
+            let sample =
+              {
+                Event.cpu_util = (cpu_busy -. prev_cpu.(i)) /. dt;
+                disk_util =
+                  (disk_busy -. prev_disk.(i))
+                  /. (dt *. float_of_int num_disks);
+                cpu_queue = Cpu.ps_load node.Node.cpu;
+                disk_queue = Node.disk_queue node;
+              }
+            in
+            prev_cpu.(i) <- cpu_busy;
+            prev_disk.(i) <- disk_busy;
+            sample)
+      in
+      prev_time := now;
+      Tracer.emit tracer ~time:now
+        (Event.Sample
+           { active = Metrics.active t.metrics; host_cpu_util; nodes })
+    end;
+    ignore (Engine.schedule t.eng ~at:(now +. interval) tick : Engine.handle)
+  in
+  ignore
+    (Engine.schedule t.eng
+       ~at:(Engine.now t.eng +. interval)
+       tick
+      : Engine.handle)
 
 (** Start logging per-terminal plan fingerprints (before {!execute});
     used by the conformance harness to check that the workload stream is

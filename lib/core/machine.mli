@@ -20,6 +20,19 @@ val enable_audit : t -> Audit.t
     requests) to a freshly created machine. *)
 val enable_trace : ?capacity:int -> t -> Desim.Trace.t
 
+(** Attach (or retrieve) the typed lifecycle-event tracer (before
+    {!execute}). Idempotent; attach sinks (e.g. {!Trace_export} or
+    {!Timeline}) with [Ddbm_model.Tracer.attach]. A machine without
+    this call emits no typed events and pays no tracing cost. *)
+val enable_events : t -> Ddbm_model.Tracer.t
+
+(** Start the time-series sampler (before {!execute}): every [interval]
+    simulated seconds, an {!Ddbm_model.Event.Sample} event is emitted
+    with the in-flight transaction count, per-interval CPU/disk
+    utilizations and instantaneous queue lengths. Implies
+    {!enable_events}. Raises [Invalid_argument] if [interval <= 0]. *)
+val enable_sampler : t -> interval:float -> unit
+
 (** Start logging per-terminal plan fingerprints (before {!execute}).
     The conformance harness uses them to check that the workload stream
     is independent of the concurrency control algorithm. *)

@@ -24,13 +24,42 @@ type coord_msg =
   | Abort_request of Txn.t * Txn.abort_reason
       (** a CC manager somewhere demands this transaction's abort *)
 
+(** Work-phase resource usage of one cohort, accumulated as wall-clock
+    deltas around its CC, disk, and CPU operations; feeds the
+    response-time decomposition ({!Decomp}). *)
+type cohort_usage = {
+  mutable u_blocked : float;  (** CC requests: lock waits + processing *)
+  mutable u_disk : float;  (** disk reads: queueing + service *)
+  mutable u_cpu : float;  (** page processing under processor sharing *)
+}
+
 (** Per-attempt runtime shared between the coordinator and the message
     routing layer. *)
 type attempt_runtime = {
   txn : Txn.t;
   coord_mb : coord_msg Mailbox.t;
   cohort_mbs : (int, cohort_msg Mailbox.t) Hashtbl.t;  (** node -> mailbox *)
+  usage : (int, cohort_usage) Hashtbl.t;  (** node -> work-phase usage *)
+  mutable last_work_node : int;
+      (** node whose Work_done the coordinator processed last (-1 until
+          the first arrives); the work-phase critical path under parallel
+          execution *)
 }
 
 let make_runtime txn =
-  { txn; coord_mb = Mailbox.create (); cohort_mbs = Hashtbl.create 8 }
+  {
+    txn;
+    coord_mb = Mailbox.create ();
+    cohort_mbs = Hashtbl.create 8;
+    usage = Hashtbl.create 8;
+    last_work_node = -1;
+  }
+
+(** The usage record of [node], created on first access. *)
+let usage rt node =
+  match Hashtbl.find_opt rt.usage node with
+  | Some u -> u
+  | None ->
+      let u = { u_blocked = 0.; u_disk = 0.; u_cpu = 0. } in
+      Hashtbl.replace rt.usage node u;
+      u

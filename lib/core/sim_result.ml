@@ -25,9 +25,18 @@ type t = {
   host_cpu_util : float;
   mean_active : float;  (** time-average number of in-flight transactions *)
   messages : int;
+  decomp : Decomp.t;
+      (** mean per-transaction response-time decomposition; components
+          sum to [mean_response] up to float rounding *)
   sim_events : int;
   sim_end : float;
   wall_seconds : float;
+  events_per_sec : float;
+      (** simulator self-profiling: events processed per wall-clock
+          second (wall-clock-dependent, excluded from {!diff}) *)
+  top_heap_words : int;
+      (** GC heap high-water mark at collection time (process-state
+          dependent, excluded from {!diff}) *)
 }
 
 let algorithm_name t = Params.cc_algorithm_name t.algorithm
@@ -36,18 +45,20 @@ let pp fmt t =
   Format.fprintf fmt
     "@[<v>%s: tput %.3f tx/s, resp %.3f s (±%.3f), %d commits, %d aborts \
      (ratio %.3f)@ cpu %.2f disk %.2f host-cpu %.2f, blocking %.4f s \
-     (%d blocks), active %.1f, %d msgs@]"
+     (%d blocks), active %.1f, %d msgs@ response = %a@]"
     (algorithm_name t) t.throughput t.mean_response t.response_ci95 t.commits
     t.aborts t.abort_ratio t.proc_cpu_util t.proc_disk_util t.host_cpu_util
-    t.mean_blocking t.blocked_requests t.mean_active t.messages
+    t.mean_blocking t.blocked_requests t.mean_active t.messages Decomp.pp
+    t.decomp
 
 (** CSV header matching {!to_csv_row}. *)
 let csv_header =
   "algorithm,think_time,proc_nodes,degree,file_size,inst_per_startup,\
    inst_per_msg,throughput,mean_response,response_ci95,response_p50,\
-   response_p95,commits,aborts,\
-   abort_ratio,mean_blocking,proc_cpu_util,proc_disk_util,host_cpu_util,\
-   mean_active,messages"
+   response_p95,commits,aborts,completions,\
+   abort_ratio,mean_blocking,blocked_requests,proc_cpu_util,proc_disk_util,\
+   host_cpu_util,mean_active,messages,sim_events,"
+  ^ String.concat "," (List.map fst Decomp.fields)
 
 (** Field-by-field comparison of two results from the *same* (seed,
     params, algorithm), for the determinism check: every simulation
@@ -89,8 +100,13 @@ let diff a b =
   chk_f "host_cpu_util" (fun r -> r.host_cpu_util);
   chk_f "mean_active" (fun r -> r.mean_active);
   chk_i "messages" (fun r -> r.messages);
+  List.iter
+    (fun (name, get) -> chk_f name (fun r -> get r.decomp))
+    Decomp.fields;
   chk_i "sim_events" (fun r -> r.sim_events);
   chk_f "sim_end" (fun r -> r.sim_end);
+  (* events_per_sec and top_heap_words are wall-clock and process-state
+     dependent, so they are deliberately not compared. *)
   List.rev !acc
 
 (** Bit-for-bit equality of everything but [wall_seconds]. *)
@@ -99,12 +115,18 @@ let equal a b = diff a b = []
 let to_csv_row t =
   let p = t.params in
   Printf.sprintf
-    "%s,%g,%d,%d,%d,%g,%g,%.5f,%.5f,%.5f,%.5f,%.5f,%d,%d,%.5f,%.5f,%.4f,%.4f,%.4f,%.3f,%d"
+    "%s,%g,%d,%d,%d,%g,%g,%.5f,%.5f,%.5f,%.5f,%.5f,%d,%d,%d,%.5f,%.5f,%d,%.4f,%.4f,%.4f,%.3f,%d,%d,%s"
     (algorithm_name t) p.Params.workload.Params.think_time
     p.Params.database.Params.num_proc_nodes
     p.Params.database.Params.partitioning_degree
     p.Params.database.Params.file_size
     p.Params.resources.Params.inst_per_startup
     p.Params.resources.Params.inst_per_msg t.throughput t.mean_response
-    t.response_ci95 t.response_p50 t.response_p95 t.commits t.aborts t.abort_ratio t.mean_blocking
+    t.response_ci95 t.response_p50 t.response_p95 t.commits t.aborts
+    t.completions t.abort_ratio t.mean_blocking t.blocked_requests
     t.proc_cpu_util t.proc_disk_util t.host_cpu_util t.mean_active t.messages
+    t.sim_events
+    (String.concat ","
+       (List.map
+          (fun (_, get) -> Printf.sprintf "%.5f" (get t.decomp))
+          Decomp.fields))

@@ -125,4 +125,6 @@ let utilization t =
   (* Flush the current level before reading. *)
   Stats.Utilization.value t.util ~now:(Engine.now t.eng)
 
+let busy_time t = Stats.Utilization.busy_time t.util ~now:(Engine.now t.eng)
+
 let reset_window t = Stats.Utilization.set_window t.util ~now:(Engine.now t.eng)

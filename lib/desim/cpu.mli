@@ -35,5 +35,9 @@ val ps_load : t -> int
     window. *)
 val utilization : t -> float
 
+(** Cumulative busy time since creation; never reset, so samplers can
+    difference successive readings for interval utilizations. *)
+val busy_time : t -> float
+
 (** Reset the utilization observation window to the current time. *)
 val reset_window : t -> unit

@@ -75,5 +75,6 @@ let queue_length t =
   Queue.length t.reads + Queue.length t.writes + if t.busy then 1 else 0
 
 let utilization t = Stats.Utilization.value t.util ~now:(Engine.now t.eng)
+let busy_time t = Stats.Utilization.busy_time t.util ~now:(Engine.now t.eng)
 let reset_window t = Stats.Utilization.set_window t.util ~now:(Engine.now t.eng)
 let op_counts t = (t.n_reads, t.n_writes)

@@ -26,6 +26,10 @@ val write : t -> unit
 val queue_length : t -> int
 
 val utilization : t -> float
+
+(** Cumulative busy time since creation (never reset). *)
+val busy_time : t -> float
+
 val reset_window : t -> unit
 
 (** Completed operation counts since creation (reads, writes). *)

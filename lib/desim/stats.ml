@@ -47,14 +47,23 @@ module Timeseries = struct
     mutable last_time : float;
     mutable last_value : float;
     mutable area : float;
+    mutable total_area : float;  (** lifetime area; never reset *)
   }
 
   let create ~now ~value =
-    { window_start = now; last_time = now; last_value = value; area = 0. }
+    {
+      window_start = now;
+      last_time = now;
+      last_value = value;
+      area = 0.;
+      total_area = 0.;
+    }
 
   let flush t ~now =
     if now > t.last_time then begin
-      t.area <- t.area +. (t.last_value *. (now -. t.last_time));
+      let slab = t.last_value *. (now -. t.last_time) in
+      t.area <- t.area +. slab;
+      t.total_area <- t.total_area +. slab;
       t.last_time <- now
     end
 
@@ -73,6 +82,9 @@ module Timeseries = struct
     let span = now -. t.window_start in
     if span <= 0. then t.last_value
     else t.area +. (t.last_value *. (now -. t.last_time)) |> fun a -> a /. span
+
+  let total_area t ~now =
+    t.total_area +. (t.last_value *. Float.max 0. (now -. t.last_time))
 end
 
 module Utilization = struct
@@ -86,6 +98,7 @@ module Utilization = struct
 
   let set_window = Timeseries.set_window
   let value t ~now = Timeseries.average t ~now
+  let busy_time t ~now = Timeseries.total_area t ~now
 end
 
 module Batch_means = struct

@@ -44,6 +44,11 @@ module Timeseries : sig
 
   (** Time-average over the observation window ending at [now]. *)
   val average : t -> now:float -> float
+
+  (** Lifetime integral of the signal up to [now]; unlike {!average} it is
+      not affected by {!set_window}, so interval averages can be derived
+      by differencing successive readings (the time-series sampler does). *)
+  val total_area : t -> now:float -> float
 end
 
 (** Busy-time tracker for a single server or a pool: fraction of time the
@@ -62,6 +67,10 @@ module Utilization : sig
 
   (** Mean utilization over the observation window ending at [now]. *)
   val value : t -> now:float -> float
+
+  (** Cumulative busy time since creation (never reset by
+      {!set_window}). *)
+  val busy_time : t -> now:float -> float
 end
 
 (** Batch-means estimator: autocorrelated steady-state observations (e.g.

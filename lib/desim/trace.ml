@@ -6,11 +6,19 @@ type t = {
   ring : event Queue.t;
   mutable sink : (event -> unit) option;
   mutable emitted : int;
+  mutable enabled : bool;
 }
 
 let create eng ~capacity =
   assert (capacity > 0);
-  { eng; capacity; ring = Queue.create (); sink = None; emitted = 0 }
+  {
+    eng;
+    capacity;
+    ring = Queue.create ();
+    sink = None;
+    emitted = 0;
+    enabled = true;
+  }
 
 let push t ev =
   t.emitted <- t.emitted + 1;
@@ -19,9 +27,13 @@ let push t ev =
   match t.sink with Some f -> f ev | None -> ()
 
 let emit t ~tag message =
-  push t { time = Engine.now t.eng; tag; message }
+  if t.enabled then push t { time = Engine.now t.eng; tag; message }
 
-let emitf t ~tag build = emit t ~tag (build ())
+let emitf t ~tag build = if t.enabled then emit t ~tag (build ())
+
+let set_enabled t enabled = t.enabled <- enabled
+
+let enabled t = t.enabled
 
 let set_sink t sink = t.sink <- sink
 

@@ -15,9 +15,16 @@ val create : Engine.t -> capacity:int -> t
 (** Record an event at the current simulated time. *)
 val emit : t -> tag:string -> string -> unit
 
-(** Like {!emit} but the message is built lazily (skipped if the ring is
-    disabled). *)
+(** Like {!emit} but the message is built lazily: when the trace is
+    disabled (see {!set_enabled}) the builder is never called. *)
 val emitf : t -> tag:string -> (unit -> string) -> unit
+
+(** Enable or disable recording. A disabled trace drops {!emit} calls and
+    skips {!emitf} builders entirely; already-recorded events stay in the
+    ring. Traces start enabled. *)
+val set_enabled : t -> bool -> unit
+
+val enabled : t -> bool
 
 (** Mirror every subsequent event to [f] as it happens. *)
 val set_sink : t -> (event -> unit) option -> unit

@@ -1,0 +1,102 @@
+(** Additive response-time decomposition of a committed transaction
+    (the paper's Section 4-5 analysis vocabulary, made measurable).
+
+    The response time of a committed transaction — origination to commit,
+    spanning restarts — is partitioned into mutually exclusive wall-clock
+    components observed on the coordinator/critical-cohort timeline:
+
+    - [restart]: everything before the committing attempt began — aborted
+      attempts in full plus the adaptive restart delays between attempts;
+    - [setup]: the committing attempt's coordinator process startup;
+    - [useful_cpu]: page-processing CPU on the work-phase critical path
+      (the cohort whose Work_done arrived last; summed over all cohorts
+      under sequential execution, whose cohorts run one at a time);
+    - [disk]: critical-path disk reads of the work phase;
+    - [blocked]: critical-path concurrency control blocking (lock waits,
+      conversion waits, CC request processing);
+    - [msg_other]: the rest of the work phase — cohort-load messages,
+      cohort process startup, replica write-permission round trips, and
+      queueing not attributed above;
+    - [commit]: the two-phase commit protocol, prepare through last ack.
+
+    By construction the seven components sum to the measured response
+    time (up to float rounding); the conformance suite asserts this per
+    transaction. *)
+
+type t = {
+  restart : float;
+  setup : float;
+  useful_cpu : float;
+  disk : float;
+  blocked : float;
+  msg_other : float;
+  commit : float;
+}
+
+let zero =
+  {
+    restart = 0.;
+    setup = 0.;
+    useful_cpu = 0.;
+    disk = 0.;
+    blocked = 0.;
+    msg_other = 0.;
+    commit = 0.;
+  }
+
+let total d =
+  d.restart +. d.setup +. d.useful_cpu +. d.disk +. d.blocked +. d.msg_other
+  +. d.commit
+
+let add a b =
+  {
+    restart = a.restart +. b.restart;
+    setup = a.setup +. b.setup;
+    useful_cpu = a.useful_cpu +. b.useful_cpu;
+    disk = a.disk +. b.disk;
+    blocked = a.blocked +. b.blocked;
+    msg_other = a.msg_other +. b.msg_other;
+    commit = a.commit +. b.commit;
+  }
+
+let scale d k =
+  {
+    restart = d.restart *. k;
+    setup = d.setup *. k;
+    useful_cpu = d.useful_cpu *. k;
+    disk = d.disk *. k;
+    blocked = d.blocked *. k;
+    msg_other = d.msg_other *. k;
+    commit = d.commit *. k;
+  }
+
+(** Assemble a decomposition from the coordinator-timeline phase widths
+    and the critical-path cohort resources of the work phase. [msg_other]
+    is the work-phase residual, so the components sum to
+    [restart + setup + exec + commit] exactly (the max with 0 only
+    guards against float rounding; the measured resources lie inside the
+    work phase by construction). Shared by the machine and the
+    event-fold {!Timeline} reconstructor so both produce bit-identical
+    results. *)
+let assemble ~restart ~setup ~exec ~blocked ~disk ~cpu ~commit =
+  let msg_other = Float.max 0. (exec -. (blocked +. disk +. cpu)) in
+  { restart; setup; useful_cpu = cpu; disk; blocked; msg_other; commit }
+
+(** Stable (name, getter) listing used by CSV export and result diffs. *)
+let fields =
+  [
+    ("t_restart", fun d -> d.restart);
+    ("t_setup", fun d -> d.setup);
+    ("t_cpu", fun d -> d.useful_cpu);
+    ("t_disk", fun d -> d.disk);
+    ("t_blocked", fun d -> d.blocked);
+    ("t_msg", fun d -> d.msg_other);
+    ("t_2pc", fun d -> d.commit);
+  ]
+
+let pp fmt d =
+  Format.fprintf fmt
+    "restart %.3f + setup %.3f + cpu %.3f + disk %.3f + blocked %.3f + msg \
+     %.3f + 2pc %.3f = %.3f s"
+    d.restart d.setup d.useful_cpu d.disk d.blocked d.msg_other d.commit
+    (total d)

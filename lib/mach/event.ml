@@ -1,0 +1,223 @@
+(** Typed lifecycle events of the simulated machine.
+
+    Unlike the free-form string {!Desim.Trace}, these events carry the
+    transaction, node and page identifiers needed to reconstruct a
+    per-transaction timeline ({!Ddbm.Timeline}) or to export a trace for
+    Perfetto. Events are emitted by the machine only while a
+    {!Tracer.t} is attached, so tracing costs nothing otherwise. *)
+
+open Ids
+
+type lock_mode = Read | Write
+
+let lock_mode_name = function Read -> "read" | Write -> "write"
+
+(** One row of the time-series sampler, for a processing node.
+    Utilizations are means over the sampling interval just ended; queue
+    lengths are instantaneous. *)
+type node_sample = {
+  cpu_util : float;
+  disk_util : float;  (** mean over the node's disks *)
+  cpu_queue : int;  (** jobs in the processor-sharing class *)
+  disk_queue : int;  (** operations waiting or in service, all disks *)
+}
+
+type sample = {
+  active : int;  (** transactions currently in the system *)
+  host_cpu_util : float;
+  nodes : node_sample array;
+}
+
+type t =
+  | Submit of { tid : int }  (** terminal submitted a new transaction *)
+  | Attempt_start of { tid : int; attempt : int }
+  | Setup_done of { tid : int; attempt : int }
+      (** coordinator process startup finished; work phase begins *)
+  | Cohort_load of { tid : int; attempt : int; node : int }
+      (** load-cohort message sent to [node] *)
+  | Cohort_start of { tid : int; attempt : int; node : int }
+      (** cohort process running at [node] *)
+  | Lock_request of {
+      tid : int;
+      attempt : int;
+      node : int;
+      page : Page.t;
+      mode : lock_mode;
+    }
+  | Lock_grant of {
+      tid : int;
+      attempt : int;
+      node : int;
+      page : Page.t;
+      mode : lock_mode;
+      waited : float;  (** CC blocking time; 0 when granted immediately *)
+    }
+  | Lock_release of { tid : int; attempt : int; node : int }
+      (** all CC footprint at [node] released (commit or abort) *)
+  | Disk_access of {
+      tid : int;
+      attempt : int;
+      node : int;
+      write : bool;
+      dur : float;  (** queueing + service *)
+    }
+  | Cpu_slice of { tid : int; attempt : int; node : int; dur : float }
+      (** page-processing CPU, wall time under processor sharing *)
+  | Msg_send of { src : node_ref; dst : node_ref }
+  | Msg_recv of { src : node_ref; dst : node_ref }
+  | Work_done of { tid : int; attempt : int; node : int }
+      (** coordinator received [node]'s Work_done *)
+  | Prepare of { tid : int; attempt : int }
+      (** coordinator broadcast Do_prepare; 2PC begins *)
+  | Vote of { tid : int; attempt : int; node : int; yes : bool }
+  | Decision of { tid : int; attempt : int; commit : bool }
+  | Committed of { tid : int; attempt : int; response : float }
+  | Aborted of { tid : int; attempt : int; reason : Txn.abort_reason }
+  | Wound of {
+      tid : int;
+      attempt : int;
+      from_node : int;
+      reason : Txn.abort_reason;
+    }  (** a CC manager or the Snoop demanded this transaction's abort *)
+  | Restart_wait of { tid : int; attempt : int; delay : float }
+  | Snoop_round of { node : int; edges : int; victims : int }
+  | Sample of sample
+
+let name = function
+  | Submit _ -> "submit"
+  | Attempt_start _ -> "attempt-start"
+  | Setup_done _ -> "setup-done"
+  | Cohort_load _ -> "cohort-load"
+  | Cohort_start _ -> "cohort-start"
+  | Lock_request _ -> "lock-request"
+  | Lock_grant _ -> "lock-grant"
+  | Lock_release _ -> "lock-release"
+  | Disk_access _ -> "disk"
+  | Cpu_slice _ -> "cpu"
+  | Msg_send _ -> "msg-send"
+  | Msg_recv _ -> "msg-recv"
+  | Work_done _ -> "work-done"
+  | Prepare _ -> "prepare"
+  | Vote _ -> "vote"
+  | Decision _ -> "decision"
+  | Committed _ -> "committed"
+  | Aborted _ -> "aborted"
+  | Wound _ -> "wound"
+  | Restart_wait _ -> "restart-wait"
+  | Snoop_round _ -> "snoop-round"
+  | Sample _ -> "sample"
+
+(** Transaction ids carried by the event, if any. *)
+let txn_of = function
+  | Submit { tid } -> Some (tid, 1)
+  | Attempt_start { tid; attempt }
+  | Setup_done { tid; attempt }
+  | Prepare { tid; attempt } ->
+      Some (tid, attempt)
+  | Cohort_load { tid; attempt; _ }
+  | Cohort_start { tid; attempt; _ }
+  | Lock_request { tid; attempt; _ }
+  | Lock_grant { tid; attempt; _ }
+  | Lock_release { tid; attempt; _ }
+  | Disk_access { tid; attempt; _ }
+  | Cpu_slice { tid; attempt; _ }
+  | Work_done { tid; attempt; _ }
+  | Vote { tid; attempt; _ }
+  | Decision { tid; attempt; _ }
+  | Committed { tid; attempt; _ }
+  | Aborted { tid; attempt; _ }
+  | Wound { tid; attempt; _ }
+  | Restart_wait { tid; attempt; _ } ->
+      Some (tid, attempt)
+  | Msg_send _ | Msg_recv _ | Snoop_round _ | Sample _ -> None
+
+(** Flat field listing for serialization; {!Sample} payloads are handled
+    by exporters directly (they are the only nested events). *)
+type field = I of int | F of float | S of string | B of bool
+
+let fields ev : (string * field) list =
+  let page p = S (Format.asprintf "%a" Page.pp p) in
+  let node_ref r = S (Format.asprintf "%a" pp_node_ref r) in
+  let reason r = S (Txn.abort_reason_name r) in
+  match ev with
+  | Submit { tid } -> [ ("tid", I tid) ]
+  | Attempt_start { tid; attempt } | Setup_done { tid; attempt } ->
+      [ ("tid", I tid); ("attempt", I attempt) ]
+  | Cohort_load { tid; attempt; node }
+  | Cohort_start { tid; attempt; node }
+  | Lock_release { tid; attempt; node }
+  | Work_done { tid; attempt; node } ->
+      [ ("tid", I tid); ("attempt", I attempt); ("node", I node) ]
+  | Lock_request { tid; attempt; node; page = p; mode } ->
+      [
+        ("tid", I tid);
+        ("attempt", I attempt);
+        ("node", I node);
+        ("page", page p);
+        ("mode", S (lock_mode_name mode));
+      ]
+  | Lock_grant { tid; attempt; node; page = p; mode; waited } ->
+      [
+        ("tid", I tid);
+        ("attempt", I attempt);
+        ("node", I node);
+        ("page", page p);
+        ("mode", S (lock_mode_name mode));
+        ("waited", F waited);
+      ]
+  | Disk_access { tid; attempt; node; write; dur } ->
+      [
+        ("tid", I tid);
+        ("attempt", I attempt);
+        ("node", I node);
+        ("write", B write);
+        ("dur", F dur);
+      ]
+  | Cpu_slice { tid; attempt; node; dur } ->
+      [
+        ("tid", I tid);
+        ("attempt", I attempt);
+        ("node", I node);
+        ("dur", F dur);
+      ]
+  | Msg_send { src; dst } | Msg_recv { src; dst } ->
+      [ ("src", node_ref src); ("dst", node_ref dst) ]
+  | Prepare { tid; attempt } -> [ ("tid", I tid); ("attempt", I attempt) ]
+  | Vote { tid; attempt; node; yes } ->
+      [
+        ("tid", I tid); ("attempt", I attempt); ("node", I node); ("yes", B yes);
+      ]
+  | Decision { tid; attempt; commit } ->
+      [ ("tid", I tid); ("attempt", I attempt); ("commit", B commit) ]
+  | Committed { tid; attempt; response } ->
+      [ ("tid", I tid); ("attempt", I attempt); ("response", F response) ]
+  | Aborted { tid; attempt; reason = r } ->
+      [ ("tid", I tid); ("attempt", I attempt); ("reason", reason r) ]
+  | Wound { tid; attempt; from_node; reason = r } ->
+      [
+        ("tid", I tid);
+        ("attempt", I attempt);
+        ("from_node", I from_node);
+        ("reason", reason r);
+      ]
+  | Restart_wait { tid; attempt; delay } ->
+      [ ("tid", I tid); ("attempt", I attempt); ("delay", F delay) ]
+  | Snoop_round { node; edges; victims } ->
+      [ ("node", I node); ("edges", I edges); ("victims", I victims) ]
+  | Sample { active; host_cpu_util; nodes } ->
+      [
+        ("active", I active);
+        ("host_cpu", F host_cpu_util);
+        ("nodes", I (Array.length nodes));
+      ]
+
+let pp fmt ev =
+  Format.fprintf fmt "%s" (name ev);
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | I i -> Format.fprintf fmt " %s=%d" k i
+      | F f -> Format.fprintf fmt " %s=%.6f" k f
+      | S s -> Format.fprintf fmt " %s=%s" k s
+      | B b -> Format.fprintf fmt " %s=%b" k b)
+    (fields ev)

@@ -28,6 +28,12 @@ type t = {
   mutable active : int;  (** transactions currently in the system *)
   active_ts : Stats.Timeseries.t;
   abort_reasons : (string, int) Hashtbl.t;
+  mutable decomp_sum : Decomp.t;
+      (** windowed sum of per-transaction response-time decompositions *)
+  mutable decomp_records : (float * Decomp.t) list;
+      (** windowed (response, decomposition) pairs, newest first; the
+          conformance suite checks each decomposition sums to its
+          response *)
 }
 
 let create eng ~restart_delay_floor =
@@ -46,6 +52,8 @@ let create eng ~restart_delay_floor =
     active = 0;
     active_ts = Stats.Timeseries.create ~now:(Engine.now eng) ~value:0.;
     abort_reasons = Hashtbl.create 8;
+    decomp_sum = Decomp.zero;
+    decomp_records = [];
   }
 
 let begin_window t =
@@ -58,6 +66,8 @@ let begin_window t =
   t.response_samples <- [];
   Stats.Tally.reset t.blocked_time;
   Hashtbl.reset t.abort_reasons;
+  t.decomp_sum <- Decomp.zero;
+  t.decomp_records <- [];
   Stats.Timeseries.set_window t.active_ts ~now:(Engine.now t.eng)
 
 let record_submit t =
@@ -69,12 +79,14 @@ let record_submit t =
     loop before the outcome-specific recorder. *)
 let record_completion t = t.completions <- t.completions + 1
 
-let record_commit t ~origin_time =
+let record_commit t ~origin_time ~decomp =
   let response = Engine.now t.eng -. origin_time in
   t.commits <- t.commits + 1;
   Stats.Tally.add t.response response;
   Stats.Batch_means.add t.response_batches response;
   t.response_samples <- response :: t.response_samples;
+  t.decomp_sum <- Decomp.add t.decomp_sum decomp;
+  t.decomp_records <- (response, decomp) :: t.decomp_records;
   Stats.Tally.add t.response_running response;
   t.active <- t.active - 1;
   Stats.Timeseries.update t.active_ts ~now:(Engine.now t.eng)
@@ -136,3 +148,16 @@ let restart_delay t =
 
 let mean_active t = Stats.Timeseries.average t.active_ts ~now:(Engine.now t.eng)
 let blocked_time t = t.blocked_time
+
+(** Transactions currently in the system (instantaneous). *)
+let active t = t.active
+
+(** Mean per-transaction response-time decomposition over the windowed
+    commits; its components sum to {!mean_response} up to rounding. *)
+let decomp_mean t =
+  if t.commits = 0 then Decomp.zero
+  else Decomp.scale t.decomp_sum (1. /. float_of_int t.commits)
+
+(** Windowed per-transaction (response, decomposition) pairs, oldest
+    first. *)
+let decomp_records t = List.rev t.decomp_records

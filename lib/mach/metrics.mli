@@ -17,8 +17,10 @@ val begin_window : t -> unit
 val record_submit : t -> unit
 
 (** A transaction committed; response time is measured from its first
-    submission, spanning any restarts. *)
-val record_commit : t -> origin_time:float -> unit
+    submission, spanning any restarts. [decomp] is the transaction's
+    response-time decomposition, whose components must sum to the
+    response. *)
+val record_commit : t -> origin_time:float -> decomp:Decomp.t -> unit
 
 (** A transaction attempt aborted. *)
 val record_abort : t -> reason:Txn.abort_reason -> unit
@@ -60,6 +62,18 @@ val restart_delay : t -> float
 
 (** Time-average number of in-flight transactions. *)
 val mean_active : t -> float
+
+(** Transactions currently in the system (instantaneous; for the
+    time-series sampler). *)
+val active : t -> int
+
+(** Mean per-transaction response-time decomposition over the windowed
+    commits; components sum to {!mean_response} up to float rounding. *)
+val decomp_mean : t -> Decomp.t
+
+(** Windowed per-transaction (response, decomposition) pairs, oldest
+    first. *)
+val decomp_records : t -> (float * Decomp.t) list
 
 (** Aggregated CC blocking-time tally (owned by callers). *)
 val blocked_time : t -> Desim.Stats.Tally.t

@@ -11,9 +11,32 @@ type t = {
   inst_per_msg : float;
   cpu_of : Ids.node_ref -> Cpu.t;
   mutable messages_sent : int;
+  mutable on_msg :
+    (sent:bool -> src:Ids.node_ref -> dst:Ids.node_ref -> unit) option;
+      (** observer of message traffic: called with [~sent:true] when a
+          message is handed to the sender's CPU and [~sent:false] when it
+          is delivered at the destination. [None] (the default) costs
+          nothing. *)
 }
 
-let create ~inst_per_msg ~cpu_of = { inst_per_msg; cpu_of; messages_sent = 0 }
+let create ~inst_per_msg ~cpu_of =
+  { inst_per_msg; cpu_of; messages_sent = 0; on_msg = None }
+
+(** Attach (or detach) the message observer. *)
+let set_on_msg t on_msg = t.on_msg <- on_msg
+
+(* Wrap [deliver] so the observer sees the delivery; identity when no
+   observer is attached. *)
+let observed t ~src ~dst deliver =
+  match t.on_msg with
+  | None -> deliver
+  | Some f ->
+      fun () ->
+        f ~sent:false ~src ~dst;
+        deliver ()
+
+let note_send t ~src ~dst =
+  match t.on_msg with Some f -> f ~sent:true ~src ~dst | None -> ()
 
 (** [send t ~src ~dst deliver]: blocks the calling process for the sender-
     side CPU cost, then (asynchronously) charges the receiver-side cost and
@@ -22,8 +45,10 @@ let send t ~src ~dst deliver =
   if Ids.node_ref_equal src dst then deliver ()
   else begin
     t.messages_sent <- t.messages_sent + 1;
+    note_send t ~src ~dst;
     Cpu.consume_priority (t.cpu_of src) ~instructions:t.inst_per_msg;
-    Cpu.submit_priority (t.cpu_of dst) ~instructions:t.inst_per_msg deliver
+    Cpu.submit_priority (t.cpu_of dst) ~instructions:t.inst_per_msg
+      (observed t ~src ~dst deliver)
   end
 
 (** Like {!send} but fully asynchronous: usable outside process context
@@ -33,8 +58,10 @@ let send_async t ~src ~dst deliver =
   if Ids.node_ref_equal src dst then deliver ()
   else begin
     t.messages_sent <- t.messages_sent + 1;
+    note_send t ~src ~dst;
     Cpu.submit_priority (t.cpu_of src) ~instructions:t.inst_per_msg (fun () ->
-        Cpu.submit_priority (t.cpu_of dst) ~instructions:t.inst_per_msg deliver)
+        Cpu.submit_priority (t.cpu_of dst) ~instructions:t.inst_per_msg
+          (observed t ~src ~dst deliver))
   end
 
 let messages_sent t = t.messages_sent

@@ -23,3 +23,10 @@ val send_async :
 
 (** Total messages sent (excluding free local deliveries). *)
 val messages_sent : t -> int
+
+(** Attach (or detach, with [None]) a message-traffic observer: called
+    with [~sent:true] when a message is handed to the sender's CPU and
+    [~sent:false] when it is delivered at the destination. Local
+    deliveries are never observed. No cost when unset. *)
+val set_on_msg :
+  t -> (sent:bool -> src:Ids.node_ref -> dst:Ids.node_ref -> unit) option -> unit

@@ -42,6 +42,17 @@ let cc t =
 
 let cpu_utilization t = Cpu.utilization t.cpu
 
+(** Cumulative CPU busy time since creation (never reset). *)
+let cpu_busy_time t = Cpu.busy_time t.cpu
+
+(** Cumulative busy time summed over the node's disks (never reset). *)
+let disk_busy_time t =
+  Array.fold_left (fun acc d -> acc +. Disk.busy_time d) 0. t.disks
+
+(** Operations waiting or in service, summed over the node's disks. *)
+let disk_queue t =
+  Array.fold_left (fun acc d -> acc + Disk.queue_length d) 0 t.disks
+
 let disk_utilization t =
   let n = Array.length t.disks in
   let total =

@@ -28,6 +28,16 @@ val cc : t -> Cc_intf.node_cc
 
 val cpu_utilization : t -> float
 
+(** Cumulative CPU busy time since creation (never reset; for the
+    time-series sampler). *)
+val cpu_busy_time : t -> float
+
+(** Cumulative busy time summed over the node's disks (never reset). *)
+val disk_busy_time : t -> float
+
+(** Operations waiting or in service, summed over the node's disks. *)
+val disk_queue : t -> int
+
 (** Mean utilization over the node's disks. *)
 val disk_utilization : t -> float
 

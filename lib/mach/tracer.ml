@@ -1,0 +1,19 @@
+(** Dispatch point for typed {!Event} streams.
+
+    The machine emits events through a tracer only when one is attached
+    (and constructs them inside a closure passed to its guard), so a run
+    without observers pays nothing. Multiple sinks — the timeline
+    reconstructor, file exporters — can observe the same run. *)
+
+type sink = time:float -> Event.t -> unit
+
+type t = { mutable sinks : sink list }
+
+let create () = { sinks = [] }
+
+(** Sinks observe events in attachment order. *)
+let attach t sink = t.sinks <- t.sinks @ [ sink ]
+
+let active t = t.sinks <> []
+
+let emit t ~time ev = List.iter (fun sink -> sink ~time ev) t.sinks

@@ -27,5 +27,6 @@ let () =
       ("ivar", Test_ivar.suite);
       ("2pl-defer", Test_twopl_defer.suite);
       ("workload", Test_workload.suite);
+      ("observability", Test_observability.suite);
       ("conformance", Test_conformance.suite);
     ]

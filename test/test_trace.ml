@@ -35,6 +35,34 @@ let test_tag_filter () =
   Alcotest.(check int) "two commits" 2
     (List.length (Trace.events_with_tag tr "commit"))
 
+let test_enabled_toggle () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng ~capacity:10 in
+  Alcotest.(check bool) "enabled by default" true (Trace.enabled tr);
+  Trace.set_enabled tr false;
+  Trace.emit tr ~tag:"x" "dropped";
+  Alcotest.(check int) "emit dropped when disabled" 0 (Trace.emitted tr);
+  Trace.set_enabled tr true;
+  Trace.emit tr ~tag:"x" "kept";
+  Alcotest.(check int) "emit recorded when re-enabled" 1 (Trace.emitted tr)
+
+let test_emitf_lazy () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng ~capacity:10 in
+  let calls = ref 0 in
+  Trace.set_enabled tr false;
+  Trace.emitf tr ~tag:"x" (fun () ->
+      incr calls;
+      "expensive");
+  Alcotest.(check int) "message not built when disabled" 0 !calls;
+  Alcotest.(check int) "nothing emitted" 0 (Trace.emitted tr);
+  Trace.set_enabled tr true;
+  Trace.emitf tr ~tag:"x" (fun () ->
+      incr calls;
+      "expensive");
+  Alcotest.(check int) "message built when enabled" 1 !calls;
+  Alcotest.(check int) "one event emitted" 1 (Trace.emitted tr)
+
 let test_sink () =
   let eng = Engine.create () in
   let tr = Trace.create eng ~capacity:10 in
@@ -91,6 +119,8 @@ let suite =
     Alcotest.test_case "emit and read" `Quick test_emit_and_read;
     Alcotest.test_case "ring bounded" `Quick test_ring_bounded;
     Alcotest.test_case "tag filter" `Quick test_tag_filter;
+    Alcotest.test_case "enabled toggle" `Quick test_enabled_toggle;
+    Alcotest.test_case "emitf is lazy" `Quick test_emitf_lazy;
     Alcotest.test_case "sink" `Quick test_sink;
     Alcotest.test_case "format" `Quick test_format;
     Alcotest.test_case "machine trace" `Slow test_machine_trace;
