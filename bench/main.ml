@@ -6,6 +6,9 @@
    simulator's hot data structures. See EXPERIMENTS.md for the comparison
    against the paper. *)
 
+(* Wall-clock timing of the harness itself is the whole point here. *)
+(* lint: allow ambient file *)
+
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -58,7 +61,7 @@ let micro_tests () =
   let heap_test =
     Test.make ~name:"heap push/pop x1000"
       (Staged.stage (fun () ->
-           let h = Desim.Heap.create ~cmp:compare in
+           let h = Desim.Heap.create ~cmp:Int.compare in
            for i = 0 to 999 do
              Desim.Heap.push h ((i * 7919) mod 1000)
            done;
@@ -139,12 +142,12 @@ let run_micro () =
   Printf.printf "== micro-benchmarks (Bechamel, monotonic clock) ==\n%!";
   let tests = Test.make_grouped ~name:"desim" (micro_tests ()) in
   let results = analyze (benchmark tests) in
-  Hashtbl.iter
-    (fun name result ->
-      match Bechamel.Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
-      | _ -> Printf.printf "%-40s (no estimate)\n" name)
-    results;
+  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, result) ->
+         match Bechamel.Analyze.OLS.estimates result with
+         | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
+         | _ -> Printf.printf "%-40s (no estimate)\n" name);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)

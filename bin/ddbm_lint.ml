@@ -1,0 +1,54 @@
+(* ddbm-lint: determinism-hazard static analysis over the simulator.
+
+   Usage: ddbm_lint [--json] [--baseline FILE] [--no-baseline] [PATH...]
+
+   Exit status: 0 clean, 1 non-baselined findings, 2 usage/IO error. *)
+
+let default_roots = [ "lib"; "bin"; "bench"; "test" ]
+
+let () =
+  let json = ref false in
+  let baseline = ref "lint.baseline" in
+  let no_baseline = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " machine-readable report on stdout");
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE baseline of accepted findings (default: lint.baseline)" );
+      ( "--no-baseline",
+        Arg.Set no_baseline,
+        " ignore the baseline file entirely" );
+      ( "--rules",
+        Arg.Unit
+          (fun () ->
+            List.iter
+              (fun r ->
+                Printf.printf "%s %-16s %s\n" (Lint.Finding.code r)
+                  (Lint.Finding.name r)
+                  (Lint.Finding.describe r))
+              Lint.Finding.all_rules;
+            exit 0),
+        " print the rule catalogue and exit" );
+    ]
+  in
+  let usage = "ddbm_lint [options] [PATH...]" in
+  Arg.parse spec (fun path -> roots := path :: !roots) usage;
+  let roots =
+    match List.rev !roots with [] -> default_roots | explicit -> explicit
+  in
+  let baseline =
+    if !no_baseline then None
+    else if Sys.file_exists !baseline then Some !baseline
+    else None
+  in
+  match Lint.Driver.run ?baseline ~roots () with
+  | Error msg ->
+      prerr_endline ("ddbm-lint: " ^ msg);
+      exit 2
+  | Ok report ->
+      print_string
+        (if !json then Lint.Driver.render_json report
+         else Lint.Driver.render_text report);
+      exit (if Lint.Driver.clean report then 0 else 1)

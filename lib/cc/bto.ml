@@ -223,6 +223,7 @@ let edges t =
             acc state.pending)
         acc state.waiting)
     t.pages []
+  |> List.sort Cc_intf.compare_edge
 
 let make (hooks : Cc_intf.hooks) : Cc_intf.node_cc =
   let blocking = Stats.Tally.create () in

@@ -248,9 +248,11 @@ let edges t =
             acc (blockers_of entry w))
         acc entry.queue)
     t.table []
+  |> List.sort Cc_intf.compare_edge
 
 (** Number of transactions currently blocked in the table. *)
 let num_waiting t =
+  (* lint: allow hashtbl-order - commutative integer sum *)
   Page_table.fold (fun _ e acc -> acc + List.length e.queue) t.table 0
 
 (** Current blockers of [txn]'s waiting request on [page] (testing). *)
@@ -272,7 +274,10 @@ let exclusive_pages t txn =
         (fun page ->
           match Page_table.find_opt t.table page with
           | None -> false
-          | Some entry -> held_mode entry txn = Some X)
+          | Some entry -> (
+              match held_mode entry txn with
+              | Some X -> true
+              | Some S | None -> false))
         !pages
 
 (** Mode held by [txn] on [page], if any (testing). *)

@@ -88,14 +88,24 @@ let youngest cycle =
 (** Repeatedly find a cycle anywhere in the graph, select its youngest
     member as the victim, remove it, and continue until acyclic. Returns
     the victims (used by the Snoop detector). *)
+let compare_key ((t1, a1) : key) ((t2, a2) : key) =
+  match Int.compare t1 t2 with 0 -> Int.compare a1 a2 | n -> n
+
 let break_all_cycles t =
   let removed = Key_table.create 8 in
   let victims = ref [] in
+  (* Visit vertices in key order, not bucket order, so the cycle found
+     first (and hence the victim set when cycles overlap) is independent
+     of hash-table layout. *)
+  let vertices =
+    Key_table.fold (fun key txn acc -> (key, txn) :: acc) t.txns []
+    |> List.sort (fun (k1, _) (k2, _) -> compare_key k1 k2)
+  in
   let progress = ref true in
   while !progress do
     progress := false;
-    Key_table.iter
-      (fun _ txn ->
+    List.iter
+      (fun (_, txn) ->
         if not !progress then
           match find_cycle_through t txn ~removed with
           | Some cycle ->
@@ -104,6 +114,6 @@ let break_all_cycles t =
               victims := victim :: !victims;
               progress := true
           | None -> ())
-      t.txns
+      vertices
   done;
   !victims

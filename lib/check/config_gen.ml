@@ -22,7 +22,7 @@ let clamp_degree ~partitions ~limit degree =
   let candidates =
     List.filter
       (fun d -> d <= limit && partitions mod d = 0)
-      (List.sort_uniq compare (1 :: degree :: powers_of_two))
+      (List.sort_uniq Int.compare (1 :: degree :: powers_of_two))
   in
   List.fold_left Stdlib.max 1
     (List.filter (fun d -> d <= degree) candidates)
@@ -173,7 +173,7 @@ let shrink (p : Params.t) : Params.t QCheck.Iter.t =
          else []);
       ]
   in
-  let valid = List.filter (fun c -> Params.validate c = Ok ()) candidates in
+  let valid = List.filter (fun c -> Result.is_ok (Params.validate c)) candidates in
   fun yield -> List.iter yield valid
 
 let print (p : Params.t) = Replay.params_to_string p

@@ -71,10 +71,14 @@ let committed_count t = t.commit_count
 
 (* --- graph construction and cycle check --------------------------- *)
 
+let compare_key ((t1, a1) : int * int) ((t2, a2) : int * int) =
+  match Int.compare t1 t2 with 0 -> Int.compare a1 a2 | n -> n
+
 module Edge_set = Set.Make (struct
   type t = (int * int) * (int * int)
 
-  let compare = compare
+  let compare (w1, h1) (w2, h2) =
+    match compare_key w1 w2 with 0 -> compare_key h1 h2 | n -> n
 end)
 
 let build_edges t =
@@ -83,6 +87,7 @@ let build_edges t =
   let readers : (Page.t * int, (int * int) list) Hashtbl.t =
     Hashtbl.create 1024
   in
+  (* lint: allow hashtbl-order - fills keyed tables, order immaterial *)
   Hashtbl.iter
     (fun key r ->
       if r.committed then begin
@@ -99,6 +104,7 @@ let build_edges t =
   let edges = ref Edge_set.empty in
   let add a b = if a <> b then edges := Edge_set.add (a, b) !edges in
   (* ww and wr *)
+  (* lint: allow hashtbl-order - accumulates into a set, order immaterial *)
   Hashtbl.iter
     (fun (page, v) writer ->
       (match Hashtbl.find_opt writers (page, v + 1) with
@@ -109,6 +115,7 @@ let build_edges t =
       | None -> ()))
     writers;
   (* rw: reader of v precedes writer of v+1 *)
+  (* lint: allow hashtbl-order - accumulates into a set, order immaterial *)
   Hashtbl.iter
     (fun (page, v) rs ->
       match Hashtbl.find_opt writers (page, v + 1) with
@@ -143,7 +150,13 @@ let check t =
           (Option.value ~default:[] (Hashtbl.find_opt adj node));
         Hashtbl.replace color node `Black
   in
-  Hashtbl.iter (fun node _ -> if !cycle = None then visit node) adj;
+  (* DFS roots in key order: the cycle witness named in the error is then
+     independent of hash-table layout. *)
+  let roots =
+    Hashtbl.fold (fun node _ acc -> node :: acc) adj []
+    |> List.sort compare_key
+  in
+  List.iter (fun node -> if !cycle = None then visit node) roots;
   match !cycle with
   | None -> Ok t.commit_count
   | Some (tid, attempt) ->

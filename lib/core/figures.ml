@@ -93,7 +93,7 @@ let size_speedup cache ~profile ~thinks ~n ~metric ~combine ~id ~title ~ylabel
   in
   { Figure.id; title; xlabel = "think"; ylabel; series }
 
-let safe_div a b = if b = 0. then Float.nan else a /. b
+let safe_div a b = if Float.equal b 0. then Float.nan else a /. b
 
 let fig4 cache ~profile ~thinks =
   size_speedup cache ~profile ~thinks ~n:8 ~metric:throughput

@@ -421,6 +421,7 @@ let send_cohort t (rt : Messages.attempt_runtime) ~node_idx msg =
 
 let loaded_nodes (rt : Messages.attempt_runtime) =
   Hashtbl.fold (fun node _ acc -> node :: acc) rt.Messages.cohort_mbs []
+  |> List.sort Int.compare
 
 (* Wait for [target] Work_done messages; an abort trigger interrupts.
    Records the node of each Work_done as it is processed, so that when
@@ -589,7 +590,7 @@ let run_attempt t (txn : Txn.t) =
                     Hashtbl.fold
                       (fun node u acc -> (node, u) :: acc)
                       rt.Messages.usage []
-                    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+                    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
                     |> List.fold_left
                          (fun (b, d, c) (_, u) ->
                            ( b +. u.Messages.u_blocked,
@@ -857,10 +858,11 @@ let execute ?(log = false) t =
     run_terminal t ~index
   done;
   Option.iter Ddbm_cc.Snoop.start t.snoop;
+  (* lint: allow ambient - wall-clock cost is reported, never simulated *)
   let wall_start = Sys.time () in
   Engine.run ~until:(run_params.Params.warmup +. run_params.Params.measure)
     t.eng;
-  let wall_seconds = Sys.time () -. wall_start in
+  let wall_seconds = Sys.time () -. wall_start in (* lint: allow ambient *)
   let result = collect_result t ~wall_seconds in
   if log then Logs.info (fun m -> m "%a" Sim_result.pp result);
   result

@@ -80,7 +80,7 @@ let acc_of st node =
 let critical_path t st =
   if t.sequential then
     Hashtbl.fold (fun node a acc -> (node, a) :: acc) st.accs []
-    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
     |> List.fold_left
          (fun (b, d, c) (_, a) ->
            (b +. a.a_blocked, d +. a.a_disk, c +. a.a_cpu))

@@ -24,8 +24,8 @@ type _ Effect.t +=
   | Suspend : t * ('a resolver -> unit) -> 'a Effect.t
 
 let cmp_event a b =
-  let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
 
 let create () =
   {

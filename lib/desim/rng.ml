@@ -28,7 +28,7 @@ let uniform t ~lo ~hi =
 
 let exponential t ~mean =
   assert (mean >= 0.0);
-  if mean = 0.0 then 0.0
+  if Float.equal mean 0.0 then 0.0
   else
     let u = float t in
     (* u is in [0,1); 1-u is in (0,1] so log is finite *)

@@ -1,0 +1,136 @@
+(** Suppression: [(* lint: allow <rule> ... *)] comments and the
+    checked-in baseline file.
+
+    An allow comment lives on one source line and suppresses matching
+    findings on that line and the next (so it can sit at the end of the
+    offending line or on its own line just above). Appending the token
+    [file] widens the scope to the whole file:
+
+    {v
+      let xs = List.sort compare xs  (* lint: allow poly-compare *)
+      (* lint: allow ambient file *)
+    v}
+
+    Rules are named by code ("D3") or name ("ambient"); several may be
+    listed in one comment. *)
+
+type scope = Here | Whole_file
+
+type t = { rule : Finding.rule; line : int; scope : scope }
+
+let is_sep c =
+  match c with ' ' | '\t' | ',' -> true | _ -> false
+
+(* Tokens of [s] between [start] and the first "*)", stopping there. *)
+let tokens_until_close s start =
+  let n = String.length s in
+  let rec go i acc cur =
+    let flush acc cur =
+      if String.equal cur "" then acc else cur :: acc
+    in
+    if i >= n then List.rev (flush acc cur)
+    else if i + 1 < n && Char.equal s.[i] '*' && Char.equal s.[i + 1] ')' then
+      List.rev (flush acc cur)
+    else if is_sep s.[i] then go (i + 1) (flush acc cur) ""
+    else go (i + 1) acc (cur ^ String.make 1 s.[i])
+  in
+  go start [] ""
+
+(* Find "lint:" then "allow" on one line; returns the allow directives. *)
+let scan_line ~line_number line =
+  let marker = "lint:" in
+  let mlen = String.length marker in
+  let n = String.length line in
+  let rec find i =
+    if i + mlen > n then None
+    else if String.equal (String.sub line i mlen) marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> []
+  | Some start -> (
+      match tokens_until_close line start with
+      | "allow" :: rest ->
+          let scope =
+            if List.exists (String.equal "file") rest then Whole_file
+            else Here
+          in
+          List.filter_map
+            (fun tok ->
+              if String.equal tok "file" then None
+              else
+                match Finding.rule_of_string tok with
+                | Some rule -> Some { rule; line = line_number; scope }
+                | None -> None)
+            rest
+      | _ -> [])
+
+(** All allow directives in [source], in line order. *)
+let scan source =
+  let lines = String.split_on_char '\n' source in
+  List.concat (List.mapi (fun i l -> scan_line ~line_number:(i + 1) l) lines)
+
+let suppresses allow (f : Finding.t) =
+  Finding.rule_equal allow.rule f.Finding.rule
+  &&
+  match allow.scope with
+  | Whole_file -> true
+  | Here -> f.Finding.line = allow.line || f.Finding.line = allow.line + 1
+
+let suppressed ~allows f = List.exists (fun a -> suppresses a f) allows
+
+(* --- baseline ------------------------------------------------------ *)
+
+(** One baseline entry: accept every finding of [rule] in [path].
+    File format, one entry per line:
+
+    {v
+      # comment
+      <rule-name-or-code> <path>   # justification
+    v} *)
+type baseline_entry = { b_rule : Finding.rule; b_path : string }
+
+let parse_baseline_line ~file ~line_number line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let fields =
+    String.split_on_char ' ' (String.map (fun c -> if Char.equal c '\t' then ' ' else c) line)
+    |> List.filter (fun s -> not (String.equal s ""))
+  in
+  match fields with
+  | [] -> Ok None
+  | [ rule_tok; path ] -> (
+      match Finding.rule_of_string rule_tok with
+      | Some b_rule -> Ok (Some { b_rule; b_path = path })
+      | None ->
+          Error
+            (Printf.sprintf "%s:%d: unknown rule %S" file line_number rule_tok))
+  | _ ->
+      Error
+        (Printf.sprintf "%s:%d: expected '<rule> <path>', got %S" file
+           line_number (String.trim line))
+
+let load_baseline file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+      let lines = String.split_on_char '\n' contents in
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+            match parse_baseline_line ~file ~line_number:i line with
+            | Ok None -> go (i + 1) acc rest
+            | Ok (Some e) -> go (i + 1) (e :: acc) rest
+            | Error _ as e -> e)
+      in
+      go 1 [] lines
+
+let baselined ~baseline (f : Finding.t) =
+  List.exists
+    (fun e ->
+      Finding.rule_equal e.b_rule f.Finding.rule
+      && String.equal e.b_path f.Finding.file)
+    baseline

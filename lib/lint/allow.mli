@@ -1,0 +1,25 @@
+(** Suppression: [(* lint: allow <rule> ... *)] comments and the
+    checked-in baseline file. *)
+
+type scope =
+  | Here  (** the comment's line and the next line *)
+  | Whole_file  (** the [file] token was present *)
+
+type t = { rule : Finding.rule; line : int; scope : scope }
+
+val scan : string -> t list
+(** All allow directives found in a file's source text, in line order.
+    A directive must sit on a single line:
+    [(* lint: allow <rule> [<rule> ...] [file] *)] where each rule is a
+    code ("D1") or a name ("poly-compare"). Unknown rule tokens are
+    ignored. *)
+
+val suppressed : allows:t list -> Finding.t -> bool
+
+type baseline_entry = { b_rule : Finding.rule; b_path : string }
+
+val load_baseline : string -> (baseline_entry list, string) result
+(** Parse a baseline file: one [<rule> <path>] entry per line, [#]
+    comments and blank lines ignored. *)
+
+val baselined : baseline:baseline_entry list -> Finding.t -> bool

@@ -1,0 +1,253 @@
+(** Walks the tree, parses every implementation, applies the rules and
+    the suppressions, and renders the report. *)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                              *)
+
+let parse_source ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception exn ->
+      let line =
+        lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum
+      in
+      Error
+        (Finding.v ~rule:Finding.Parse_error ~file:path
+           ~line:(if line > 0 then line else 1)
+           ~col:0
+           ~msg:(Printexc.to_string exn)
+           ~hint:"the file does not parse; fix the syntax error first")
+
+(* ------------------------------------------------------------------ *)
+(* D5: interface discipline                                             *)
+
+(** Directories whose modules must publish an [.mli]. *)
+let mli_required_dirs = [ "lib/desim/"; "lib/mach/" ]
+
+let mli_required ~path =
+  String.ends_with ~suffix:".ml" path
+  && List.exists (fun dir -> String.starts_with ~prefix:dir path)
+       mli_required_dirs
+
+let missing_mli_finding ~path ~has_mli =
+  if mli_required ~path && not has_mli then
+    Some
+      (Finding.v ~rule:Finding.Missing_mli ~file:path ~line:1 ~col:0
+         ~msg:"module has no .mli interface"
+         ~hint:
+           "add one (hides representation accidents that break replay), \
+            or baseline the module with a justification")
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* File walking                                                         *)
+
+let normalize path =
+  let path =
+    if String.starts_with ~prefix:"./" path then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  path
+
+(* Every .ml under [root], with the set of .mli siblings observed along
+   the way. Deterministic order: sorted at every directory level. *)
+let walk root =
+  let mls = ref [] and mlis = ref [] in
+  let rec go path =
+    if Sys.is_directory path then begin
+      let entries = Sys.readdir path in
+      Array.sort String.compare entries;
+      Array.iter
+        (fun entry ->
+          if
+            not
+              (String.starts_with ~prefix:"." entry
+              || String.equal entry "_build")
+          then go (Filename.concat path entry))
+        entries
+    end
+    else if String.ends_with ~suffix:".ml" path then mls := path :: !mls
+    else if String.ends_with ~suffix:".mli" path then mlis := path :: !mlis
+  in
+  go root;
+  (List.rev !mls, List.rev !mlis)
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                               *)
+
+type report = {
+  findings : Finding.t list;  (** neither suppressed nor baselined *)
+  suppressed : int;  (** silenced by [(* lint: allow ... *)] comments *)
+  baselined : int;  (** silenced by the baseline file *)
+  files_scanned : int;
+}
+
+let clean report =
+  match report.findings with [] -> true | _ :: _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Scanning                                                             *)
+
+(** Lint in-memory sources [(path, source)]: used by the test fixtures.
+    Applies allow comments but no baseline and no D5 (no file system).
+    The D6 context is collected from the given sources themselves. *)
+let scan_sources sources =
+  let parsed =
+    List.map
+      (fun (path, source) ->
+        (normalize path, source, parse_source ~path:(normalize path) source))
+      sources
+  in
+  let ctx =
+    Rules.collect_ctx
+      (List.filter_map
+         (fun (path, _, r) ->
+           match r with Ok s -> Some (path, s) | Error _ -> None)
+         parsed)
+  in
+  let findings, suppressed =
+    List.fold_left
+      (fun (acc, sup) (path, source, r) ->
+        let raw =
+          match r with
+          | Ok structure -> Rules.scan ctx ~path structure
+          | Error parse_finding -> [ parse_finding ]
+        in
+        let allows = Allow.scan source in
+        let kept, silenced =
+          List.partition (fun f -> not (Allow.suppressed ~allows f)) raw
+        in
+        (acc @ kept, sup + List.length silenced))
+      ([], 0) parsed
+  in
+  {
+    findings = List.sort Finding.compare findings;
+    suppressed;
+    baselined = 0;
+    files_scanned = List.length sources;
+  }
+
+(** Lint the tree under [roots] (paths relative to the repository root,
+    e.g. [["lib"; "bin"; "bench"; "test"]]), applying [baseline] when
+    given. *)
+let run ?baseline ~roots () =
+  let baseline_entries =
+    match baseline with
+    | None -> Ok []
+    | Some file -> Allow.load_baseline file
+  in
+  match baseline_entries with
+  | Error msg -> Error msg
+  | Ok baseline -> (
+      match
+        List.find_opt (fun root -> not (Sys.file_exists root)) roots
+      with
+      | Some missing -> Error (Printf.sprintf "no such path: %s" missing)
+      | None ->
+          let mls, mlis =
+            List.fold_left
+              (fun (mls, mlis) root ->
+                let m, i = walk (normalize root) in
+                (mls @ m, mlis @ i))
+              ([], []) roots
+          in
+          let mls = List.map normalize mls in
+          let mli_set = List.map normalize mlis in
+          let read path = In_channel.with_open_text path In_channel.input_all in
+          let parsed =
+            List.map
+              (fun path ->
+                let source = read path in
+                (path, source, parse_source ~path source))
+              mls
+          in
+          let ctx =
+            Rules.collect_ctx
+              (List.filter_map
+                 (fun (path, _, r) ->
+                   match r with Ok s -> Some (path, s) | Error _ -> None)
+                 parsed)
+          in
+          let all_findings, suppressed =
+            List.fold_left
+              (fun (acc, sup) (path, source, r) ->
+                let raw =
+                  match r with
+                  | Ok structure -> Rules.scan ctx ~path structure
+                  | Error parse_finding -> [ parse_finding ]
+                in
+                let has_mli =
+                  List.exists (String.equal (path ^ "i")) mli_set
+                in
+                let raw =
+                  match missing_mli_finding ~path ~has_mli with
+                  | Some f -> raw @ [ f ]
+                  | None -> raw
+                in
+                let allows = Allow.scan source in
+                let kept, silenced =
+                  List.partition
+                    (fun f -> not (Allow.suppressed ~allows f))
+                    raw
+                in
+                (acc @ kept, sup + List.length silenced))
+              ([], 0) parsed
+          in
+          let findings, baselined =
+            List.partition
+              (fun f -> not (Allow.baselined ~baseline f))
+              all_findings
+          in
+          Ok
+            {
+              findings = List.sort Finding.compare findings;
+              suppressed;
+              baselined = List.length baselined;
+              files_scanned = List.length mls;
+            })
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+
+let render_text report =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Format.asprintf "@[<v>%a@]@." Finding.pp f))
+    report.findings;
+  Buffer.add_string buf
+    (match report.findings with
+    | [] ->
+        Printf.sprintf
+          "ddbm-lint: clean (%d files scanned, %d suppressed, %d baselined)\n"
+          report.files_scanned report.suppressed report.baselined
+    | fs ->
+        Printf.sprintf
+          "ddbm-lint: %d finding%s (%d files scanned, %d suppressed, %d \
+           baselined)\n"
+          (List.length fs)
+          (match fs with [ _ ] -> "" | _ -> "s")
+          report.files_scanned report.suppressed report.baselined);
+  Buffer.contents buf
+
+let render_json report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"tool\":\"ddbm-lint\",\"version\":1,";
+  Buffer.add_string buf
+    (Printf.sprintf "\"files_scanned\":%d," report.files_scanned);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"counts\":{\"reported\":%d,\"suppressed\":%d,\"baselined\":%d},"
+       (List.length report.findings)
+       report.suppressed report.baselined);
+  Buffer.add_string buf "\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Finding.to_json f))
+    report.findings;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf

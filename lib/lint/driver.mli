@@ -1,0 +1,29 @@
+(** Walks the tree, parses every implementation, applies the rules and
+    the suppressions, and renders the report. *)
+
+type report = {
+  findings : Finding.t list;  (** neither suppressed nor baselined *)
+  suppressed : int;  (** silenced by [(* lint: allow ... *)] comments *)
+  baselined : int;  (** silenced by the baseline file *)
+  files_scanned : int;
+}
+
+val clean : report -> bool
+
+val mli_required : path:string -> bool
+(** Rule D5 applies to [path] (an [.ml] under [lib/desim/] or
+    [lib/mach/]). *)
+
+val scan_sources : (string * string) list -> report
+(** Lint in-memory [(path, source)] pairs: the test-fixture entry point.
+    Allow comments apply; the baseline and rule D5 (which need a file
+    system) do not. The D6 variant context is collected from the given
+    sources. *)
+
+val run : ?baseline:string -> roots:string list -> unit -> (report, string) result
+(** Lint every [.ml] under [roots] (repository-root-relative paths).
+    [baseline] names the baseline file; [Error] reports an unreadable
+    baseline or a missing root. *)
+
+val render_text : report -> string
+val render_json : report -> string

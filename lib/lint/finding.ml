@@ -1,0 +1,126 @@
+(** A single determinism-hazard finding. *)
+
+type rule =
+  | Poly_compare  (** D1 *)
+  | Hashtbl_order  (** D2 *)
+  | Ambient  (** D3 *)
+  | Float_eq  (** D4 *)
+  | Missing_mli  (** D5 *)
+  | Catch_all_event  (** D6 *)
+  | Parse_error  (** P0: the file could not be parsed at all *)
+
+let all_rules =
+  [
+    Poly_compare;
+    Hashtbl_order;
+    Ambient;
+    Float_eq;
+    Missing_mli;
+    Catch_all_event;
+    Parse_error;
+  ]
+
+let code = function
+  | Poly_compare -> "D1"
+  | Hashtbl_order -> "D2"
+  | Ambient -> "D3"
+  | Float_eq -> "D4"
+  | Missing_mli -> "D5"
+  | Catch_all_event -> "D6"
+  | Parse_error -> "P0"
+
+let name = function
+  | Poly_compare -> "poly-compare"
+  | Hashtbl_order -> "hashtbl-order"
+  | Ambient -> "ambient"
+  | Float_eq -> "float-eq"
+  | Missing_mli -> "missing-mli"
+  | Catch_all_event -> "catch-all-event"
+  | Parse_error -> "parse-error"
+
+let rule_index = function
+  | Poly_compare -> 0
+  | Hashtbl_order -> 1
+  | Ambient -> 2
+  | Float_eq -> 3
+  | Missing_mli -> 4
+  | Catch_all_event -> 5
+  | Parse_error -> 6
+
+let rule_equal a b = Int.equal (rule_index a) (rule_index b)
+
+let rule_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let matches r =
+    String.equal s (String.lowercase_ascii (code r)) || String.equal s (name r)
+  in
+  List.find_opt matches all_rules
+
+(** One-line description of the hazard class, for the catalogue. *)
+let describe = function
+  | Poly_compare ->
+      "polymorphic compare/(=)/(<>)/Hashtbl.hash on non-scalar operands"
+  | Hashtbl_order ->
+      "hash-order-dependent Hashtbl.iter/fold/to_seq result escapes unsorted"
+  | Ambient ->
+      "ambient nondeterminism (Random, wall clock) outside lib/desim/rng.ml"
+  | Float_eq -> "float (=)/(<>) comparison"
+  | Missing_mli -> "module in lib/desim or lib/mach without an .mli"
+  | Catch_all_event ->
+      "catch-all _ branch over the Event.t / coordinator-message variants"
+  | Parse_error -> "file could not be parsed"
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+  hint : string;
+}
+
+let v ~rule ~file ~line ~col ~msg ~hint = { rule; file; line; col; msg; hint }
+
+(* Deterministic report order: file, position, rule. *)
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = Int.compare (rule_index a.rule) (rule_index b.rule) in
+        if c <> 0 then c else String.compare a.msg b.msg
+
+let pp fmt t =
+  Format.fprintf fmt "%s:%d:%d: %s %s: %s@,  hint: %s" t.file t.line t.col
+    (code t.rule) (name t.rule) t.msg t.hint
+
+(* --- JSON ---------------------------------------------------------- *)
+
+(* Hand-rolled, like lib/core/trace_export.ml: no external dependency,
+   byte-stable output. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"name\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"msg\":\"%s\",\"hint\":\"%s\"}"
+    (code t.rule) (name t.rule) (json_escape t.file) t.line t.col
+    (json_escape t.msg) (json_escape t.hint)

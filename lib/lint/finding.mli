@@ -1,0 +1,48 @@
+(** A single determinism-hazard finding reported by ddbm-lint. *)
+
+type rule =
+  | Poly_compare  (** D1 *)
+  | Hashtbl_order  (** D2 *)
+  | Ambient  (** D3 *)
+  | Float_eq  (** D4 *)
+  | Missing_mli  (** D5 *)
+  | Catch_all_event  (** D6 *)
+  | Parse_error  (** P0: the file could not be parsed at all *)
+
+val all_rules : rule list
+
+val code : rule -> string
+(** Short id, e.g. ["D1"]. *)
+
+val name : rule -> string
+(** Mnemonic name, e.g. ["poly-compare"]. *)
+
+val describe : rule -> string
+(** One-line description of the hazard class. *)
+
+val rule_equal : rule -> rule -> bool
+
+val rule_of_string : string -> rule option
+(** Accepts either the code ("D1", case-insensitive) or the name
+    ("poly-compare"). *)
+
+type t = {
+  rule : rule;
+  file : string;  (** path relative to the repository root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as in compiler locations *)
+  msg : string;
+  hint : string;  (** suggested fix *)
+}
+
+val v :
+  rule:rule -> file:string -> line:int -> col:int -> msg:string -> hint:string -> t
+
+val compare : t -> t -> int
+(** Deterministic report order: file, position, rule, message. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One JSON object; keys [rule], [name], [file], [line], [col], [msg],
+    [hint]. *)

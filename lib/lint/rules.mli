@@ -1,0 +1,22 @@
+(** The determinism-hazard rules (D1-D4, D6), implemented over the
+    untyped parsetree. D5 (missing interfaces) lives in {!Driver}, which
+    sees the file system. *)
+
+type ctx
+(** Constructor names of the protected variant types (D6), collected
+    from the tree being scanned. *)
+
+val empty_ctx : ctx
+(** No protected variants known: D6 never fires. *)
+
+val collect_ctx : (string * Parsetree.structure) list -> ctx
+(** Extract the protected variant constructors from parsed files: type
+    [t] of [lib/mach/event.ml] and types [cohort_msg]/[coord_msg] of
+    [lib/core/messages.ml] (matched by path suffix). *)
+
+val scan : ctx -> path:string -> Parsetree.structure -> Finding.t list
+(** All rule violations in one parsed implementation, in traversal
+    order. [path] must be the repository-root-relative path: rule D3
+    exempts [lib/desim/rng.ml], and rule D6 only applies under [lib/]
+    and [bin/]. Suppression comments are not consulted here (see
+    {!Allow}). *)

@@ -1,0 +1,52 @@
+(** Additive response-time decomposition of a committed transaction
+    (the paper's Section 4-5 analysis vocabulary, made measurable).
+
+    The response time of a committed transaction — origination to commit,
+    spanning restarts — is partitioned into mutually exclusive wall-clock
+    components observed on the coordinator/critical-cohort timeline. By
+    construction the seven components sum to the measured response time
+    (up to float rounding); the conformance suite asserts this per
+    transaction. *)
+
+type t = {
+  restart : float;
+      (** everything before the committing attempt began — aborted
+          attempts in full plus the restart delays between attempts *)
+  setup : float;  (** committing attempt's coordinator process startup *)
+  useful_cpu : float;
+      (** page-processing CPU on the work-phase critical path *)
+  disk : float;  (** critical-path disk reads of the work phase *)
+  blocked : float;
+      (** critical-path concurrency control blocking (lock waits,
+          conversion waits, CC request processing) *)
+  msg_other : float;
+      (** rest of the work phase — messages, cohort startup, replica
+          round trips, and queueing not attributed above *)
+  commit : float;  (** two-phase commit, prepare through last ack *)
+}
+
+val zero : t
+val total : t -> float
+val add : t -> t -> t
+val scale : t -> float -> t
+
+(** Assemble a decomposition from the coordinator-timeline phase widths
+    and the critical-path cohort resources of the work phase.
+    [msg_other] is the work-phase residual, so the components sum to
+    [restart + setup + exec + commit] exactly. Shared by the machine and
+    the event-fold {!Timeline} reconstructor so both produce
+    bit-identical results. *)
+val assemble :
+  restart:float ->
+  setup:float ->
+  exec:float ->
+  blocked:float ->
+  disk:float ->
+  cpu:float ->
+  commit:float ->
+  t
+
+(** Stable (name, getter) listing used by CSV export and result diffs. *)
+val fields : (string * (t -> float)) list
+
+val pp : Format.formatter -> t -> unit

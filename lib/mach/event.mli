@@ -1,0 +1,94 @@
+(** Typed lifecycle events of the simulated machine.
+
+    Unlike the free-form string {!Desim.Trace}, these events carry the
+    transaction, node and page identifiers needed to reconstruct a
+    per-transaction timeline ({!Ddbm.Timeline}) or to export a trace for
+    Perfetto. Events are emitted by the machine only while a
+    {!Tracer.t} is attached, so tracing costs nothing otherwise. *)
+
+type lock_mode = Read | Write
+
+val lock_mode_name : lock_mode -> string
+
+(** One row of the time-series sampler, for a processing node.
+    Utilizations are means over the sampling interval just ended; queue
+    lengths are instantaneous. *)
+type node_sample = {
+  cpu_util : float;
+  disk_util : float;  (** mean over the node's disks *)
+  cpu_queue : int;  (** jobs in the processor-sharing class *)
+  disk_queue : int;  (** operations waiting or in service, all disks *)
+}
+
+type sample = {
+  active : int;  (** transactions currently in the system *)
+  host_cpu_util : float;
+  nodes : node_sample array;
+}
+
+type t =
+  | Submit of { tid : int }  (** terminal submitted a new transaction *)
+  | Attempt_start of { tid : int; attempt : int }
+  | Setup_done of { tid : int; attempt : int }
+      (** coordinator process startup finished; work phase begins *)
+  | Cohort_load of { tid : int; attempt : int; node : int }
+      (** load-cohort message sent to [node] *)
+  | Cohort_start of { tid : int; attempt : int; node : int }
+      (** cohort process running at [node] *)
+  | Lock_request of {
+      tid : int;
+      attempt : int;
+      node : int;
+      page : Ids.Page.t;
+      mode : lock_mode;
+    }
+  | Lock_grant of {
+      tid : int;
+      attempt : int;
+      node : int;
+      page : Ids.Page.t;
+      mode : lock_mode;
+      waited : float;  (** CC blocking time; 0 when granted immediately *)
+    }
+  | Lock_release of { tid : int; attempt : int; node : int }
+      (** all CC footprint at [node] released (commit or abort) *)
+  | Disk_access of {
+      tid : int;
+      attempt : int;
+      node : int;
+      write : bool;
+      dur : float;  (** queueing + service *)
+    }
+  | Cpu_slice of { tid : int; attempt : int; node : int; dur : float }
+      (** page-processing CPU, wall time under processor sharing *)
+  | Msg_send of { src : Ids.node_ref; dst : Ids.node_ref }
+  | Msg_recv of { src : Ids.node_ref; dst : Ids.node_ref }
+  | Work_done of { tid : int; attempt : int; node : int }
+      (** coordinator received [node]'s Work_done *)
+  | Prepare of { tid : int; attempt : int }
+      (** coordinator broadcast Do_prepare; 2PC begins *)
+  | Vote of { tid : int; attempt : int; node : int; yes : bool }
+  | Decision of { tid : int; attempt : int; commit : bool }
+  | Committed of { tid : int; attempt : int; response : float }
+  | Aborted of { tid : int; attempt : int; reason : Txn.abort_reason }
+  | Wound of {
+      tid : int;
+      attempt : int;
+      from_node : int;
+      reason : Txn.abort_reason;
+    }  (** a CC manager or the Snoop demanded this transaction's abort *)
+  | Restart_wait of { tid : int; attempt : int; delay : float }
+  | Snoop_round of { node : int; edges : int; victims : int }
+  | Sample of sample
+
+val name : t -> string
+
+(** Transaction ids carried by the event, if any. *)
+val txn_of : t -> (int * int) option
+
+(** Flat field listing for serialization; {!Sample} payloads are handled
+    by exporters directly (they are the only nested events). *)
+type field = I of int | F of float | S of string | B of bool
+
+val fields : t -> (string * field) list
+val pp : Format.formatter -> t -> unit

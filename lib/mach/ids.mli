@@ -1,0 +1,22 @@
+(** Identifier types shared across the machine model. *)
+
+(** A node of the database machine: the single host node (terminals,
+    coordinators) or one of the processing nodes (data, cohorts). *)
+type node_ref = Host | Proc of int
+
+val node_ref_equal : node_ref -> node_ref -> bool
+val pp_node_ref : Format.formatter -> node_ref -> unit
+
+(** A page of a file; files model relation partitions. *)
+module Page : sig
+  type t = { file : int; index : int }
+
+  val make : file:int -> index:int -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Hashtable keyed by pages. *)
+module Page_table : Hashtbl.S with type key = Page.t

@@ -100,7 +100,7 @@ let record_abort t ~(reason : Txn.abort_reason) =
 
 let abort_reason_counts t =
   Hashtbl.fold (fun name n acc -> (name, n) :: acc) t.abort_reasons []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let window_duration t = Engine.now t.eng -. t.window_start
 

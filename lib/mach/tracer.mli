@@ -1,0 +1,18 @@
+(** Dispatch point for typed {!Event} streams.
+
+    The machine emits events through a tracer only when one is attached
+    (and constructs them inside a closure passed to its guard), so a run
+    without observers pays nothing. Multiple sinks — the timeline
+    reconstructor, file exporters — can observe the same run. *)
+
+type sink = time:float -> Event.t -> unit
+
+type t
+
+val create : unit -> t
+
+(** Sinks observe events in attachment order. *)
+val attach : t -> sink -> unit
+
+val active : t -> bool
+val emit : t -> time:float -> Event.t -> unit

@@ -63,7 +63,7 @@ let draw_partition_ops t rng ~file =
      would: this gives the approximate global lock-ordering discipline
      that keeps 2PL's deadlock rate at the modest levels the paper
      reports (see DESIGN.md). *)
-  let pages = List.sort compare pages in
+  let pages = List.sort Int.compare pages in
   List.map
     (fun index ->
       {

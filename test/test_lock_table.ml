@@ -77,7 +77,9 @@ let test_upgrade_sole_holder () =
   Cc_harness.settle h;
   Alcotest.(check bool) "upgrade immediate" true (!s = `Granted && !x = `Granted);
   Alcotest.(check bool) "held in X" true
-    (Lock_table.held locks t0 p = Some Lock_table.X)
+    (match Lock_table.held locks t0 p with
+    | Some Lock_table.X -> true
+    | Some Lock_table.S | None -> false)
 
 let test_upgrade_waits_for_other_reader () =
   let h, locks, _ = mk () in
@@ -130,7 +132,9 @@ let test_release_rejects_waiters () =
   Alcotest.(check bool) "t1 rejected" true (!s1 = `Rejected);
   (* the holder is untouched *)
   Alcotest.(check bool) "t0 still holds" true
-    (Lock_table.held locks t0 p = Some Lock_table.X)
+    (match Lock_table.held locks t0 p with
+    | Some Lock_table.X -> true
+    | Some Lock_table.S | None -> false)
 
 let test_blockers_reported () =
   let h, locks, _ = mk () in

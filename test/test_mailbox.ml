@@ -60,7 +60,10 @@ let test_waiters_served_fifo () =
   Alcotest.(check (list (pair int int)))
     "longest waiter first"
     [ (0, 0); (1, 1); (2, 2); (3, 3) ]
-    (List.sort compare !served)
+    (List.sort
+       (fun (a, b) (c, d) ->
+         match Int.compare a c with 0 -> Int.compare b d | n -> n)
+       !served)
 
 let test_try_recv_does_not_steal_from_waiter () =
   let eng = Engine.create () in

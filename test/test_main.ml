@@ -29,4 +29,5 @@ let () =
       ("workload", Test_workload.suite);
       ("observability", Test_observability.suite);
       ("conformance", Test_conformance.suite);
+      ("lint", Test_lint.suite);
     ]

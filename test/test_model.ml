@@ -90,7 +90,9 @@ let test_catalog_one_node () =
   let c = Catalog.create (db ~nodes:1 ~degree:1) in
   for f = 0 to Catalog.num_files c - 1 do
     Alcotest.(check bool) "all files at node 0" true
-      (Catalog.node_of c ~file:f = Ids.Proc 0)
+      (match Catalog.node_of c ~file:f with
+      | Ids.Proc 0 -> true
+      | Ids.Proc _ | Ids.Host -> false)
   done
 
 let test_catalog_full_decluster () =

@@ -199,6 +199,9 @@ module Json_check = struct
     let n = String.length s in
     let pos = ref 0 in
     let peek () = if !pos < n then Some s.[!pos] else None in
+    let peek_is c =
+      match peek () with Some x -> Char.equal x c | None -> false
+    in
     let advance () = incr pos in
     let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
     let rec skip_ws () =
@@ -276,7 +279,7 @@ module Json_check = struct
       | Some '{' ->
           advance ();
           skip_ws ();
-          if peek () = Some '}' then advance ()
+          if peek_is '}' then advance ()
           else
             let rec members () =
               skip_ws ();
@@ -296,7 +299,7 @@ module Json_check = struct
       | Some '[' ->
           advance ();
           skip_ws ();
-          if peek () = Some ']' then advance ()
+          if peek_is ']' then advance ()
           else
             let rec elements () =
               value ();

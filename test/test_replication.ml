@@ -18,7 +18,7 @@ let test_copy_nodes_distinct () =
     let copies = Catalog.copy_nodes c ~file in
     Alcotest.(check int) "three copies" 3 (List.length copies);
     Alcotest.(check int) "distinct nodes" 3
-      (List.length (List.sort_uniq compare copies));
+      (List.length (List.sort_uniq Int.compare copies));
     (* primary first *)
     match (Catalog.node_of c ~file, copies) with
     | Ids.Proc p, first :: _ -> Alcotest.(check int) "primary first" p first

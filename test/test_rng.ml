@@ -56,7 +56,7 @@ let test_sample_without_replacement () =
   for _ = 1 to 500 do
     let s = Rng.sample_without_replacement r ~n:20 ~k:8 in
     Alcotest.(check int) "k elements" 8 (List.length s);
-    let sorted = List.sort_uniq compare s in
+    let sorted = List.sort_uniq Int.compare s in
     Alcotest.(check int) "distinct" 8 (List.length sorted);
     List.iter
       (fun x -> if x < 0 || x >= 20 then Alcotest.fail "out of range")
@@ -68,13 +68,13 @@ let test_sample_full () =
   let s = Rng.sample_without_replacement r ~n:5 ~k:5 in
   Alcotest.(check (list int))
     "permutation of 0..4" [ 0; 1; 2; 3; 4 ]
-    (List.sort compare s)
+    (List.sort Int.compare s)
 
 let test_permutation () =
   let r = Rng.create 10 in
   let p = Rng.permutation r 10 in
   let sorted = Array.copy p in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int))
     "permutation contents"
     (Array.init 10 Fun.id)

@@ -82,7 +82,10 @@ let test_mailbox_multiple_receivers () =
   Alcotest.(check (list (pair int string)))
     "handed out in order"
     [ (1, "x"); (2, "y") ]
-    (List.sort compare !got)
+    (List.sort
+       (fun (a, x) (b, y) ->
+         match Int.compare a b with 0 -> String.compare x y | n -> n)
+       !got)
 
 let test_mailbox_try_recv () =
   let mb = Mailbox.create () in

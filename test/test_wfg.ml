@@ -68,7 +68,7 @@ let test_two_disjoint_cycles () =
   let g = mk_cycle_graph h txns [ (0, 1); (1, 0); (2, 3); (3, 2) ] in
   let victims = Wfg.break_all_cycles g in
   Alcotest.(check int) "two victims" 2 (List.length victims);
-  let tids = List.sort compare (List.map (fun (t : Txn.t) -> t.Txn.tid) victims) in
+  let tids = List.sort Int.compare (List.map (fun (t : Txn.t) -> t.Txn.tid) victims) in
   Alcotest.(check (list int)) "youngest of each" [ 1; 3 ] tids
 
 let test_of_edges () =

@@ -35,7 +35,7 @@ let plan_errors params catalog ~terminal ~relation (plan : Plan.t) =
         if c.Plan.ops <> [] then Some c.Plan.node else None)
       plan.Plan.cohorts
   in
-  if List.sort compare cohort_nodes <> List.sort compare primary_nodes then
+  if List.sort Int.compare cohort_nodes <> List.sort Int.compare primary_nodes then
     add "terminal %d: primary cohorts at nodes [%s], expected [%s]" terminal
       (String.concat ";" (List.map string_of_int cohort_nodes))
       (String.concat ";" (List.map string_of_int primary_nodes));
