@@ -177,6 +177,7 @@ let run_observability ~out =
           restart_delay_floor = 0.5;
           fresh_restart_plan = false;
         };
+      faults = Fault_plan.zero;
     }
   in
   (* best of [reps] to damp scheduler noise *)
@@ -241,6 +242,114 @@ let run_observability ~out =
     out
 
 (* ------------------------------------------------------------------ *)
+(* Fault-machinery overhead: a zero plan must cost nothing (it installs
+   no runtime at all); an armed-but-quiet plan (runtime installed, no
+   fault ever fires) prices the timeout/judge machinery itself; a lossy
+   plan shows the real degradation and the availability/goodput metrics
+   working. *)
+
+let run_faults ~out =
+  let open Ddbm_model in
+  let d = Params.default in
+  let params faults =
+    {
+      d with
+      Params.database =
+        {
+          d.Params.database with
+          Params.num_proc_nodes = 8;
+          partitioning_degree = 8;
+          file_size = 120;
+        };
+      workload =
+        { d.Params.workload with Params.think_time = 1.; num_terminals = 64 };
+      cc = { d.Params.cc with Params.algorithm = Params.Twopl };
+      run =
+        {
+          Params.seed = 1;
+          warmup = 5.;
+          measure = 30.;
+          restart_delay_floor = 0.5;
+          fresh_restart_plan = false;
+        };
+      faults;
+    }
+  in
+  (* armed: the fault runtime (timeouts, message judge, decision log) is
+     installed, but the only scheduled fault lies far past the horizon *)
+  let armed_plan =
+    {
+      Fault_plan.zero with
+      Fault_plan.crashes =
+        [ { Fault_plan.target = Ids.Proc 0; at = 1e6; duration = 1. } ];
+      fault_seed = 1;
+    }
+  in
+  let lossy_plan =
+    {
+      Fault_plan.zero with
+      Fault_plan.msg_loss = 0.05;
+      msg_dup = 0.01;
+      msg_delay = 0.001;
+      timeout = 0.5;
+      timeout_cap = 2.;
+      max_retries = 6;
+      fault_seed = 1;
+    }
+  in
+  let measure faults =
+    let reps = 3 in
+    let best = ref 0. in
+    let last = ref None in
+    for _ = 1 to reps do
+      let r = Ddbm.Machine.run (params faults) in
+      if r.Ddbm.Sim_result.events_per_sec > !best then
+        best := r.Ddbm.Sim_result.events_per_sec;
+      last := Some r
+    done;
+    (!best, Option.get !last)
+  in
+  let off, off_r = measure Fault_plan.zero in
+  let armed, _ = measure armed_plan in
+  let lossy, lossy_r = measure lossy_plan in
+  let overhead base x = (base -. x) /. base *. 100. in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"config\": \"2pl, 8 nodes, 64 terminals, 35 s simulated\",\n\
+    \  \"events_per_sec_faults_off\": %.0f,\n\
+    \  \"events_per_sec_armed_quiet\": %.0f,\n\
+    \  \"events_per_sec_lossy\": %.0f,\n\
+    \  \"overhead_armed_pct\": %.2f,\n\
+    \  \"overhead_lossy_pct\": %.2f,\n\
+    \  \"off_throughput\": %.4f,\n\
+    \  \"lossy_throughput\": %.4f,\n\
+    \  \"lossy_goodput\": %.4f,\n\
+    \  \"lossy_availability\": %.6f,\n\
+    \  \"lossy_timeouts\": %d,\n\
+    \  \"lossy_retries\": %d,\n\
+    \  \"lossy_msgs_dropped\": %d\n\
+     }\n"
+    off armed lossy (overhead off armed) (overhead off lossy)
+    off_r.Ddbm.Sim_result.throughput lossy_r.Ddbm.Sim_result.throughput
+    lossy_r.Ddbm.Sim_result.goodput lossy_r.Ddbm.Sim_result.availability
+    lossy_r.Ddbm.Sim_result.timeouts lossy_r.Ddbm.Sim_result.retries
+    lossy_r.Ddbm.Sim_result.msgs_dropped;
+  close_out oc;
+  Printf.printf
+    "== fault-machinery overhead ==\n\
+     faults off   %10.0f events/s\n\
+     armed quiet  %10.0f events/s (%.1f%% overhead)\n\
+     lossy 5%%     %10.0f events/s (tput %.2f -> %.2f tx/s, availability \
+     %.4f)\n\
+     written to %s\n\n\
+     %!"
+    off armed
+    (overhead off armed)
+    lossy off_r.Ddbm.Sim_result.throughput lossy_r.Ddbm.Sim_result.throughput
+    lossy_r.Ddbm.Sim_result.availability out
+
+(* ------------------------------------------------------------------ *)
 
 let profile_conv =
   let parse s =
@@ -287,12 +396,23 @@ let main =
       & opt string "BENCH_observability.json"
       & info [ "obs-out" ] ~docv:"FILE"
           ~doc:"Where to write the observability overhead report.")
+  and+ skip_faults =
+    Arg.(
+      value & flag
+      & info [ "no-faults" ] ~doc:"Skip the fault-machinery overhead benchmark.")
+  and+ faults_out =
+    Arg.(
+      value
+      & opt string "BENCH_faults.json"
+      & info [ "faults-out" ] ~docv:"FILE"
+          ~doc:"Where to write the fault-machinery overhead report.")
   and+ verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log each run.")
   in
   if not skip_figs then run_figures ~profile ~ids ~thinks ~csv_dir ~verbose;
   if not skip_micro then run_micro ();
-  if not skip_obs then run_observability ~out:obs_out
+  if not skip_obs then run_observability ~out:obs_out;
+  if not skip_faults then run_faults ~out:faults_out
 
 let () =
   exit

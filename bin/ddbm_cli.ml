@@ -14,6 +14,13 @@ let algorithm_conv =
   let print fmt a = Format.pp_print_string fmt (Params.cc_algorithm_name a) in
   Arg.conv (parse, print)
 
+let faults_conv =
+  let parse s =
+    match Fault_plan.of_spec s with Ok p -> Ok p | Error e -> Error (`Msg e)
+  in
+  let print fmt p = Format.pp_print_string fmt (Fault_plan.to_spec p) in
+  Arg.conv (parse, print)
+
 let params_term =
   let open Term.Syntax in
   let+ algorithm =
@@ -85,6 +92,20 @@ let params_term =
       & info [ "measure" ] ~docv:"SECONDS" ~doc:"Measurement window length.")
   and+ seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  and+ faults =
+    Arg.(
+      value
+      & opt faults_conv Fault_plan.zero
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault plan, e.g. \
+             'loss=0.05,dup=0.01,delay=0.002,crash=0\\@10+5,crash=host\\@30+2,\\
+             crash-rate=0.01,mttr=2,timeout=1,timeout-cap=8,retries=4,\\
+             fault-seed=7'. Message-loss/duplication/extra-delay \
+             probabilities apply to commit-protocol traffic; crash=TGT\\@AT+DUR \
+             downs host or procN at time AT for DUR seconds; crash-rate \
+             adds Poisson crashes with mean repair time mttr. All faults \
+             draw from fault-seed only, so runs replay bit-for-bit.")
   in
   let degree = Option.value degree ~default:nodes in
   let default = Params.default in
@@ -113,6 +134,7 @@ let params_term =
       };
     cc = { default.Params.cc with Params.algorithm };
     run = { default.Params.run with Params.seed; warmup; measure };
+    faults;
   }
 
 (* --- observability ------------------------------------------------- *)
@@ -357,9 +379,9 @@ let replay_cmd =
            else a.Ddbm_check.Replay.kind);
         if a.Ddbm_check.Replay.detail <> "" then
           Format.printf "recorded failure: %s@." a.Ddbm_check.Replay.detail;
-        List.iter
-          (fun fault -> Format.printf "injected fault: %s@." fault)
-          a.Ddbm_check.Replay.faults;
+        (let plan = a.Ddbm_check.Replay.params.Params.faults in
+         if not (Fault_plan.is_zero plan) then
+           Format.printf "fault plan: %s@." (Fault_plan.to_spec plan));
         match outcome.Ddbm_check.Conformance.reproduced with
         | None ->
             Option.iter

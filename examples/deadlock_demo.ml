@@ -92,6 +92,7 @@ let global_deadlock_demo () =
     Net.create ~inst_per_msg:1_000. ~cpu_of:(function
       | Ids.Proc i -> cpus.(i)
       | Ids.Host -> cpus.(0))
+      ()
   in
   let edges_of = function
     | 0 -> node0.Cc_intf.cc_edges ()

@@ -30,6 +30,7 @@ let run ~algorithm ~nodes ~think =
         (let scale = 8. /. float_of_int nodes in
          { Params.seed = 3; warmup = 40. *. scale; measure = 250. *. scale;
            restart_delay_floor = 0.5; fresh_restart_plan = false });
+      faults = Fault_plan.zero;
     }
   in
   Ddbm.Machine.run params

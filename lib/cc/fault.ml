@@ -1,13 +1,16 @@
-(** Test-only fault injection points.
+(** Chaos switches: named behavioral faults in the CC layer.
 
     The conformance harness must be able to prove that its end-to-end
     serializability audit catches real concurrency control bugs, not just
     that correct algorithms pass it. Each flag here deliberately breaks
-    one protocol decision; all flags are off by default and are never set
-    outside tests and replay runs.
+    one protocol decision; all flags are off by default.
 
-    Active faults are recorded in replay artifacts so that
-    [ddbm_cli replay] reproduces the same broken machine. *)
+    The flags are process-global (the lock table reads them on its hot
+    path), but they are {e managed} exclusively through the typed fault
+    plan: [Machine.create] calls {!apply} with the plan's [chaos] names,
+    overwriting every flag to exactly the plan's set. A run therefore
+    cannot inherit chaos state from a previous run, and the active set is
+    always recorded in replay artifacts with the rest of the plan. *)
 
 (** When set, the lock table grants a read-to-write conversion even when
     the converter is not the sole holder — two readers of the same page
@@ -17,6 +20,9 @@ let broken_lock_conversion = ref false
 
 let all = [ ("broken-lock-conversion", broken_lock_conversion) ]
 
+(** Registered chaos names, for validation and docs. *)
+let names = List.map fst all
+
 (** Names of the currently active faults. *)
 let active () =
   List.filter_map (fun (name, flag) -> if !flag then Some name else None) all
@@ -24,10 +30,21 @@ let active () =
 (** Turn all faults off (test teardown). *)
 let reset () = List.iter (fun (_, flag) -> flag := false) all
 
-(** Activate a fault by name. *)
-let set name =
-  match List.assoc_opt name all with
-  | Some flag ->
-      flag := true;
-      Ok ()
-  | None -> Error (Printf.sprintf "unknown fault %S" name)
+(** [apply names] overwrites the whole registry: exactly the listed
+    flags are set, all others cleared. Rejects unknown names (with the
+    registry left fully cleared, never half-applied). *)
+let apply names_to_set =
+  reset ();
+  List.fold_left
+    (fun acc name ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () -> (
+          match List.assoc_opt name all with
+          | Some flag ->
+              flag := true;
+              Ok ()
+          | None ->
+              reset ();
+              Error (Printf.sprintf "unknown chaos fault %S" name)))
+    (Ok ()) names_to_set

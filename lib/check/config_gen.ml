@@ -30,7 +30,7 @@ let clamp_degree ~partitions ~limit degree =
 let build ~nodes ~relations ~partitions ~degree ~file_size ~replication
     ~terminals ~think ~exec_pattern ~pages ~write_prob ~inst_per_page
     ~inst_per_startup ~inst_per_msg ~inst_per_cc_req ~disks ~logging
-    ~detection_interval ~seed ~measure ~fresh_restart_plan =
+    ~detection_interval ~seed ~measure ~fresh_restart_plan ~faults =
   let d = Params.default in
   {
     Params.database =
@@ -69,7 +69,54 @@ let build ~nodes ~relations ~partitions ~degree ~file_size ~replication
         restart_delay_floor = 0.25;
         fresh_restart_plan;
       };
+    faults;
   }
+
+(* Fault plans for the conformance sweep: mostly zero (the paper's
+   failure-free machine), sometimes message faults and/or crashes. The
+   serializability audit, conservation, and determinism must hold under
+   any of them. *)
+let gen_faults ~nodes : Fault_plan.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let z = Fault_plan.zero in
+  let* zero_plan = frequencyl [ (2, true); (3, false) ] in
+  if zero_plan then return z
+  else
+    let* msg_loss = oneofl [ 0.; 0.; 0.02; 0.1; 0.3 ] in
+    let* msg_dup = oneofl [ 0.; 0.; 0.05 ] in
+    let* msg_delay = oneofl [ 0.; 0.; 0.005 ] in
+    let* crashes =
+      let* kind = oneofl [ `None; `None; `Proc; `Host ] in
+      match kind with
+      | `None -> return []
+      | `Proc ->
+          let* target = int_range 0 (nodes - 1) in
+          let* at = oneofl [ 1.; 2.5; 4. ] in
+          let* duration = oneofl [ 0.5; 1.; 2. ] in
+          return [ { Fault_plan.target = Ids.Proc target; at; duration } ]
+      | `Host ->
+          let* at = oneofl [ 1.; 2.5; 4. ] in
+          let* duration = oneofl [ 0.5; 1. ] in
+          return [ { Fault_plan.target = Ids.Host; at; duration } ]
+    in
+    let* crash_rate = oneofl [ 0.; 0.; 0.; 0.05 ] in
+    let* timeout = oneofl [ 0.25; 1. ] in
+    let* max_retries = oneofl [ 2; 4 ] in
+    let* fault_seed = int_range 1 1_000_000 in
+    return
+      {
+        z with
+        Fault_plan.crashes;
+        crash_rate;
+        mean_repair = 1.;
+        msg_loss;
+        msg_dup;
+        msg_delay;
+        timeout;
+        timeout_cap = 4. *. timeout;
+        max_retries;
+        fault_seed;
+      }
 
 let gen : Params.t QCheck.Gen.t =
   let open QCheck.Gen in
@@ -103,11 +150,12 @@ let gen : Params.t QCheck.Gen.t =
   let* seed = int_range 1 1_000_000 in
   let* measure = oneofl [ 5.; 8. ] in
   let* fresh_restart_plan = bool in
+  let* faults = gen_faults ~nodes in
   return
     (build ~nodes ~relations ~partitions ~degree ~file_size ~replication
        ~terminals ~think ~exec_pattern ~pages ~write_prob ~inst_per_page
        ~inst_per_startup ~inst_per_msg ~inst_per_cc_req ~disks ~logging
-       ~detection_interval ~seed ~measure ~fresh_restart_plan)
+       ~detection_interval ~seed ~measure ~fresh_restart_plan ~faults)
 
 (* Candidate simplifications, each kept only if still valid. *)
 let shrink (p : Params.t) : Params.t QCheck.Iter.t =
@@ -145,6 +193,18 @@ let shrink (p : Params.t) : Params.t QCheck.Iter.t =
                        ~limit:nodes d.Params.partitioning_degree;
                    replication = Stdlib.min d.Params.replication nodes;
                  };
+               (* crash targets must stay in range on the smaller machine *)
+               faults =
+                 {
+                   p.Params.faults with
+                   Fault_plan.crashes =
+                     List.filter
+                       (fun (c : Fault_plan.crash) ->
+                         match c.Fault_plan.target with
+                         | Ids.Host -> true
+                         | Ids.Proc i -> i < nodes)
+                       p.Params.faults.Fault_plan.crashes;
+                 };
              };
            ]
          else []);
@@ -170,6 +230,45 @@ let shrink (p : Params.t) : Params.t QCheck.Iter.t =
          else []);
         (if run.Params.measure > 5. then
            [ { p with Params.run = { run with Params.measure = 5. } } ]
+         else []);
+        (* fault-plan simplifications: all the way to zero first, then
+           one fault family at a time *)
+        (let fp = p.Params.faults in
+         (if Fault_plan.is_zero fp then []
+          else [ { p with Params.faults = Fault_plan.zero } ])
+         @ (if fp.Fault_plan.crashes <> [] then
+              [
+                {
+                  p with
+                  Params.faults = { fp with Fault_plan.crashes = [] };
+                };
+              ]
+            else [])
+         @ (if fp.Fault_plan.crash_rate > 0. then
+              [
+                {
+                  p with
+                  Params.faults = { fp with Fault_plan.crash_rate = 0. };
+                };
+              ]
+            else [])
+         @
+         if
+           fp.Fault_plan.msg_loss > 0. || fp.Fault_plan.msg_dup > 0.
+           || fp.Fault_plan.msg_delay > 0.
+         then
+           [
+             {
+               p with
+               Params.faults =
+                 {
+                   fp with
+                   Fault_plan.msg_loss = 0.;
+                   msg_dup = 0.;
+                   msg_delay = 0.;
+                 };
+             };
+           ]
          else []);
       ]
   in

@@ -111,12 +111,7 @@ let check ?(algorithms = Ddbm_cc.Registry.all) ?artifact_dir params :
       Option.map
         (fun dir ->
           Replay.write ~dir
-            {
-              Replay.params = f.params;
-              kind = f.kind;
-              detail = f.detail;
-              faults = Ddbm_cc.Fault.active ();
-            })
+            { Replay.params = f.params; kind = f.kind; detail = f.detail })
         artifact_dir
     in
     Error (f, artifact)
@@ -173,46 +168,37 @@ type replay_outcome = {
   trace_tail : string list;  (** last traced events of the failing run *)
 }
 
-(** Load an artifact, re-activate its recorded faults, and re-execute its
-    (seed, params, algorithm) with audit, invariants, determinism check
-    and an event trace attached. [instrument] is applied to every
-    machine (see {!check_algorithm_traced}). Faults are reset
-    afterwards. *)
+(** Load an artifact and re-execute its (seed, params, algorithm) with
+    audit, invariants, determinism check and an event trace attached.
+    The fault plan — chaos switches included — rides in the artifact's
+    parameters, so [Machine.create] re-applies it; nothing needs
+    resetting afterwards. [instrument] is applied to every machine (see
+    {!check_algorithm_traced}). *)
 let replay_file ?(trace_capacity = 5_000) ?instrument path :
     (replay_outcome, string) result =
   match Replay.load path with
   | Error msg -> Error msg
-  | Ok artifact ->
-      Fun.protect ~finally:Ddbm_cc.Fault.reset (fun () ->
-          let fault_errs =
-            List.filter_map
-              (fun name ->
-                match Ddbm_cc.Fault.set name with
-                | Ok () -> None
-                | Error msg -> Some msg)
-              artifact.Replay.faults
+  | Ok artifact -> (
+      match
+        check_algorithm_traced ~trace_capacity ?instrument
+          artifact.Replay.params
+      with
+      | exception Invalid_argument msg -> Error msg
+      | outcome, trace ->
+          let trace_tail =
+            match trace with
+            | Some tr ->
+                List.map Desim.Trace.format_event (Desim.Trace.events tr)
+            | None -> []
           in
-          match fault_errs with
-          | _ :: _ -> Error (String.concat "; " fault_errs)
-          | [] ->
-              let outcome, trace =
-                check_algorithm_traced ~trace_capacity ?instrument
-                  artifact.Replay.params
-              in
-              let trace_tail =
-                match trace with
-                | Some tr ->
-                    List.map Desim.Trace.format_event (Desim.Trace.events tr)
-                | None -> []
-              in
-              Ok
-                (match outcome with
-                | Ok (result, _) ->
-                    {
-                      artifact;
-                      reproduced = None;
-                      result = Some result;
-                      trace_tail = [];
-                    }
-                | Error f ->
-                    { artifact; reproduced = Some f; result = None; trace_tail }))
+          Ok
+            (match outcome with
+            | Ok (result, _) ->
+                {
+                  artifact;
+                  reproduced = None;
+                  result = Some result;
+                  trace_tail = [];
+                }
+            | Error f ->
+                { artifact; reproduced = Some f; result = None; trace_tail }))

@@ -78,8 +78,40 @@ let check (r : Ddbm.Sim_result.t) : string list =
   let terminals = float_of_int p.Params.workload.Params.num_terminals in
   if not (active >= 0. && active <= terminals +. 1e-6) then
     add "mean_active %.17g outside [0, terminals = %g]" active terminals;
-  (* NO_DC grants every request: nothing can abort *)
+  (* fault/availability metrics *)
+  in01 "availability" r.Ddbm.Sim_result.availability;
+  (* goodput counts pages, throughput transactions; every committed
+     transaction touches at least one page *)
+  if r.Ddbm.Sim_result.goodput < r.Ddbm.Sim_result.throughput -. 1e-9 then
+    add "goodput %.17g below throughput %.17g" r.Ddbm.Sim_result.goodput
+      r.Ddbm.Sim_result.throughput;
+  if r.Ddbm.Sim_result.indoubt_mean < 0. then
+    add "indoubt_mean %.17g negative" r.Ddbm.Sim_result.indoubt_mean;
+  if r.Ddbm.Sim_result.indoubt_open_at_end < 0 then
+    add "indoubt_open_at_end %d negative" r.Ddbm.Sim_result.indoubt_open_at_end;
+  (* 2PC termination: no transaction may stay in doubt past the
+     termination-protocol grace, under any fault plan *)
+  if r.Ddbm.Sim_result.indoubt_overdue_at_end <> 0 then
+    add "%d transactions stuck in doubt past the termination grace"
+      r.Ddbm.Sim_result.indoubt_overdue_at_end;
+  let fault_active = Fault_plan.active p.Params.faults in
+  if not fault_active then begin
+    let zero name v = if v <> 0 then add "%s = %d under an inactive fault plan" name v in
+    if not (Float.equal r.Ddbm.Sim_result.availability 1.) then
+      add "availability %.17g under an inactive fault plan"
+        r.Ddbm.Sim_result.availability;
+    zero "timeouts" r.Ddbm.Sim_result.timeouts;
+    zero "retries" r.Ddbm.Sim_result.retries;
+    zero "msgs_dropped" r.Ddbm.Sim_result.msgs_dropped;
+    zero "msgs_duplicated" r.Ddbm.Sim_result.msgs_duplicated;
+    zero "node_crashes" r.Ddbm.Sim_result.node_crashes;
+    zero "orphaned" r.Ddbm.Sim_result.orphaned
+  end;
+  (* NO_DC grants every request: without machine faults nothing can
+     abort (faults add crash/timeout aborts even under NO_DC) *)
   (match r.Ddbm.Sim_result.algorithm with
-  | Params.No_dc -> if aborts <> 0 then add "NO_DC recorded %d aborts" aborts
+  | Params.No_dc ->
+      if (not fault_active) && aborts <> 0 then
+        add "NO_DC recorded %d aborts" aborts
   | _ -> ());
   List.rev !errs

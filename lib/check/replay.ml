@@ -2,9 +2,9 @@
 
     An artifact is a small line-oriented text file — `key = value`, one
     per line — carrying everything needed to re-execute a failing run:
-    the complete parameter record (algorithm and seed included), the
-    failure kind and detail, and any injected faults that were active.
-    Floats are printed with ["%.17g"] so they round-trip bit-for-bit.
+    the complete parameter record (algorithm, seed, and the fault plan
+    included), and the failure kind and detail. Floats are printed with
+    ["%.17g"] so they round-trip bit-for-bit.
 
     `ddbm_cli replay <file>` feeds an artifact back through
     {!Conformance.replay_file}. *)
@@ -14,10 +14,11 @@ open Ddbm_model
 let magic = "ddbm-replay 1"
 
 type artifact = {
-  params : Params.t;  (** full configuration; algorithm in [params.cc] *)
+  params : Params.t;
+      (** full configuration; algorithm in [params.cc], fault plan
+          (including chaos switches) in [params.faults] *)
   kind : string;  (** failure class: audit, invariant, determinism, ... *)
   detail : string;  (** human-readable description of the failure *)
-  faults : string list;  (** injected faults active when it failed *)
 }
 
 (* --- encoding ------------------------------------------------------ *)
@@ -72,6 +73,9 @@ let params_fields (p : Params.t) =
     ("measure", f run.Params.measure);
     ("restart_delay_floor", f run.Params.restart_delay_floor);
     ("fresh_restart_plan", string_of_bool run.Params.fresh_restart_plan);
+    (* the spec value may itself contain '='; split_kv cuts at the first
+       one, so the line round-trips *)
+    ("faults", Fault_plan.to_spec p.Params.faults);
   ]
 
 (** The parameter record as `key = value` lines (no header); also used as
@@ -83,11 +87,13 @@ let params_to_string p =
 
 let artifact_to_string a =
   String.concat "\n"
-    (magic
-     :: Printf.sprintf "kind = %s" (one_line a.kind)
-     :: Printf.sprintf "detail = %s" (one_line a.detail)
-     :: (List.map (fun name -> Printf.sprintf "fault = %s" name) a.faults
-        @ [ params_to_string a.params; "" ]))
+    [
+      magic;
+      Printf.sprintf "kind = %s" (one_line a.kind);
+      Printf.sprintf "detail = %s" (one_line a.detail);
+      params_to_string a.params;
+      "";
+    ]
 
 (* --- decoding ------------------------------------------------------ *)
 
@@ -148,6 +154,21 @@ let params_of_assoc assoc =
   let* measure = field assoc "measure" float_conv in
   let* restart_delay_floor = field assoc "restart_delay_floor" float_conv in
   let* fresh_restart_plan = field assoc "fresh_restart_plan" bool_conv in
+  (* absent in artifacts written before fault plans existed: zero plan *)
+  let* faults =
+    match List.assoc_opt "faults" assoc with
+    | None -> Ok Fault_plan.zero
+    | Some spec -> Fault_plan.of_spec spec
+  in
+  (* legacy artifacts carried chaos switches as separate `fault = name`
+     lines; fold them into the plan *)
+  let faults =
+    let legacy =
+      List.filter_map (fun (k, v) -> if k = "fault" then Some v else None) assoc
+      |> List.filter (fun name -> not (List.mem name faults.Fault_plan.chaos))
+    in
+    { faults with Fault_plan.chaos = faults.Fault_plan.chaos @ legacy }
+  in
   let params =
     {
       Params.database =
@@ -190,6 +211,7 @@ let params_of_assoc assoc =
           restart_delay_floor;
           fresh_restart_plan;
         };
+      faults;
     }
   in
   match Params.validate params with
@@ -223,14 +245,9 @@ let artifact_of_string s =
               if line = "" || line.[0] = '#' then None else split_kv line)
             rest
         in
-        let faults =
-          List.filter_map
-            (fun (k, v) -> if k = "fault" then Some v else None)
-            lines
-        in
         let* params = params_of_assoc lines in
         let get key = Option.value ~default:"" (List.assoc_opt key lines) in
-        Ok { params; kind = get "kind"; detail = get "detail"; faults }
+        Ok { params; kind = get "kind"; detail = get "detail" }
 
 (* --- files --------------------------------------------------------- *)
 

@@ -110,6 +110,7 @@ let params_of_config ?(profile = Quick) ?(seed = 1) (c : config) =
         detection_interval = c.detection_interval;
       };
     run = run_params profile ~think:c.think ~nodes:c.nodes ~seed;
+    faults = Fault_plan.zero;
   }
 
 (** Memoized runner: figures that share configurations share runs. *)

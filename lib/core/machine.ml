@@ -20,6 +20,38 @@ open Desim
 open Ddbm_model
 open Ids
 
+(* Fault runtime, installed only when the fault plan is active
+   ([Fault_plan.active]). A zero plan leaves [t.faults = None]: no
+   timers, no judged messages, no extra RNG draws — the machine is
+   bit-for-bit identical to a fault-free build. *)
+type fault_rt = {
+  plan : Fault_plan.t;
+  link : Faults.Link.t;  (** per-message loss/dup/delay judge *)
+  node_state : Faults.Crashable.t array;
+  host_state : Faults.Crashable.t;
+  crash_rngs : Rng.t array;  (** per proc node, rate-driven crashes *)
+  decisions : (int * int, bool) Hashtbl.t;
+      (** 2PC decision log, (tid, attempt) -> commit; written before any
+          phase-two message is sent and kept for the whole run so the
+          termination protocol can answer late inquiries *)
+  mutable host_down_until : float;
+      (** latest scheduled host recovery; gates terminal admission *)
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable msgs_dropped : int;
+  mutable msgs_duplicated : int;
+  mutable node_crashes : int;
+  mutable orphaned : int;
+  (* availability accounting: windowed downtime per node (reset with the
+     observation windows) plus an unwindowed total feeding the in-doubt
+     overdue grace *)
+  node_down_since : float option array;
+  mutable host_down_since : float option;
+  node_downtime : float array;
+  mutable host_downtime : float;
+  mutable total_downtime : float;
+}
+
 type t = {
   eng : Engine.t;
   params : Params.t;
@@ -33,6 +65,7 @@ type t = {
   live : (int, Messages.attempt_runtime) Hashtbl.t;
   think_rng : Rng.t;
   mutable next_tid : int;
+  mutable faults : fault_rt option;
   mutable snoop : Ddbm_cc.Snoop.t option;
   mutable audit : Audit.t option;
   mutable trace : Trace.t option;
@@ -83,6 +116,11 @@ let create (params : Params.t) =
   (match Params.validate params with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Machine.create: " ^ msg));
+  (* The chaos registry is process-global; overwrite it wholesale from
+     the plan so no state leaks between runs. *)
+  (match Ddbm_cc.Fault.apply params.Params.faults.Fault_plan.chaos with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Machine.create: " ^ msg));
   let eng = Engine.create () in
   let rng = Rng.create params.Params.run.Params.seed in
   let resources = params.Params.resources in
@@ -99,7 +137,7 @@ let create (params : Params.t) =
     | Host -> host.Node.cpu
     | Proc i -> procs.(i).Node.cpu
   in
-  let net = Net.create ~inst_per_msg:resources.Params.inst_per_msg ~cpu_of in
+  let net = Net.create ~eng ~inst_per_msg:resources.Params.inst_per_msg ~cpu_of () in
   let catalog = Catalog.create params.Params.database in
   let workload = Workload.create params catalog (Rng.split rng) in
   let t =
@@ -118,6 +156,7 @@ let create (params : Params.t) =
       live = Hashtbl.create 256;
       think_rng = Rng.split rng;
       next_tid = 0;
+      faults = None;
       snoop = None;
       audit = None;
       trace = None;
@@ -151,7 +190,217 @@ let create (params : Params.t) =
            ~edges_of:(fun i -> (Node.cc procs.(i)).Cc_intf.cc_edges ())
            ~request_abort:(fun ~from_node txn reason ->
              request_abort t ~from_node txn reason));
+  if Fault_plan.active params.Params.faults then begin
+    let plan = params.Params.faults in
+    (* Dedicated fault RNG: the workload/think/node streams above are
+       untouched, so two runs differing only in the fault plan share the
+       same offered load (common random numbers). *)
+    let frng = Rng.create plan.Fault_plan.fault_seed in
+    let link_rng = Rng.split frng in
+    let n = Array.length procs in
+    let f =
+      {
+        plan;
+        link =
+          Faults.Link.create link_rng ~loss:plan.Fault_plan.msg_loss
+            ~dup:plan.Fault_plan.msg_dup ~delay:plan.Fault_plan.msg_delay;
+        node_state = Array.init n (fun _ -> Faults.Crashable.create ());
+        host_state = Faults.Crashable.create ();
+        crash_rngs = Array.init n (fun _ -> Rng.split frng);
+        decisions = Hashtbl.create 256;
+        host_down_until = 0.;
+        timeouts = 0;
+        retries = 0;
+        msgs_dropped = 0;
+        msgs_duplicated = 0;
+        node_crashes = 0;
+        orphaned = 0;
+        node_down_since = Array.make n None;
+        host_down_since = None;
+        node_downtime = Array.make n 0.;
+        host_downtime = 0.;
+        total_downtime = 0.;
+      }
+    in
+    t.faults <- Some f;
+    Net.set_judge t.net
+      (Some
+         (fun ~src ~dst ->
+           let down = function
+             | Host -> not (Faults.Crashable.up f.host_state)
+             | Proc i -> not (Faults.Crashable.up f.node_state.(i))
+           in
+           if down src || down dst then begin
+             f.msgs_dropped <- f.msgs_dropped + 1;
+             emit t (fun () -> Event.Msg_dropped { src; dst });
+             []
+           end
+           else
+             match Faults.Link.judge f.link with
+             | [] ->
+                 f.msgs_dropped <- f.msgs_dropped + 1;
+                 emit t (fun () -> Event.Msg_dropped { src; dst });
+                 []
+             | [ _ ] as verdict -> verdict
+             | verdict ->
+                 f.msgs_duplicated <- f.msgs_duplicated + 1;
+                 verdict))
+  end;
   t
+
+(* ------------------------------------------------------------------ *)
+(* Crashes and recoveries                                              *)
+
+(* A decision in the log means phase two has begun: the attempt's
+   outcome is durable and survives any crash. *)
+let decision_of f (txn : Txn.t) =
+  Hashtbl.find_opt f.decisions (txn.Txn.tid, txn.Txn.attempt)
+
+let log_decision t (txn : Txn.t) commit =
+  match t.faults with
+  | None -> ()
+  | Some f -> Hashtbl.replace f.decisions (txn.Txn.tid, txn.Txn.attempt) commit
+
+let live_sorted t =
+  Hashtbl.fold (fun tid rt acc -> (tid, rt) :: acc) t.live []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let recover_node t f i =
+  if not (Faults.Crashable.up f.node_state.(i)) then begin
+    Faults.Crashable.recover f.node_state.(i);
+    (match f.node_down_since.(i) with
+    | Some since ->
+        let d = Engine.now t.eng -. since in
+        f.node_downtime.(i) <- f.node_downtime.(i) +. d;
+        f.total_downtime <- f.total_downtime +. d;
+        f.node_down_since.(i) <- None
+    | None -> ());
+    emit t (fun () -> Event.Node_recovered { node = Proc i })
+  end
+
+(* A processing-node crash loses the volatile state of every resident
+   cohort that has not yet voted yes: its locks/workspace are torn down
+   (out-of-band [cc_abort]) and the whole attempt is doomed. Prepared
+   (yes-voted) cohorts survive — their state is durable by the vote rule
+   — and are resolved by the 2PC termination protocol. *)
+let crash_node t f i ~duration =
+  if Faults.Crashable.up f.node_state.(i) then begin
+    Faults.Crashable.crash f.node_state.(i);
+    f.node_crashes <- f.node_crashes + 1;
+    f.node_down_since.(i) <- Some (Engine.now t.eng);
+    emit t (fun () -> Event.Node_crashed { node = Proc i });
+    List.iter
+      (fun (_, (rt : Messages.attempt_runtime)) ->
+        let txn = rt.Messages.txn in
+        if
+          Hashtbl.mem rt.Messages.cohort_mbs i
+          && (not (Hashtbl.mem rt.Messages.voted_nodes i))
+          && decision_of f txn = None
+        then begin
+          txn.Txn.doomed <- true;
+          if rt.Messages.doom_reason = None then
+            rt.Messages.doom_reason <- Some Txn.Crashed;
+          (Node.cc t.procs.(i)).Cc_intf.cc_abort txn;
+          f.orphaned <- f.orphaned + 1;
+          emit t (fun () ->
+              Event.Txn_orphaned
+                { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node = i })
+        end)
+      (live_sorted t);
+    ignore
+      (Engine.schedule_after t.eng ~delay:duration (fun () ->
+           recover_node t f i)
+        : Engine.handle)
+  end
+
+let recover_host t f =
+  if not (Faults.Crashable.up f.host_state) then begin
+    Faults.Crashable.recover f.host_state;
+    (match f.host_down_since with
+    | Some since ->
+        let d = Engine.now t.eng -. since in
+        f.host_downtime <- f.host_downtime +. d;
+        f.total_downtime <- f.total_downtime +. d;
+        f.host_down_since <- None
+    | None -> ());
+    emit t (fun () -> Event.Node_recovered { node = Host })
+  end
+
+(* A host crash kills every coordinator whose decision is not yet
+   logged: those attempts abort on recovery (presumed abort). Attempts
+   with a logged decision continue — the coordinator fiber surviving
+   models recovery replaying the decision log. Terminals admit no new
+   transactions while the host is down. *)
+let crash_host t f ~duration =
+  if Faults.Crashable.up f.host_state then begin
+    Faults.Crashable.crash f.host_state;
+    f.node_crashes <- f.node_crashes + 1;
+    f.host_down_since <- Some (Engine.now t.eng);
+    let until = Engine.now t.eng +. duration in
+    if until > f.host_down_until then f.host_down_until <- until;
+    emit t (fun () -> Event.Node_crashed { node = Host });
+    List.iter
+      (fun (_, (rt : Messages.attempt_runtime)) ->
+        let txn = rt.Messages.txn in
+        if decision_of f txn = None then begin
+          txn.Txn.doomed <- true;
+          if rt.Messages.doom_reason = None then
+            rt.Messages.doom_reason <- Some Txn.Crashed
+        end)
+      (live_sorted t);
+    ignore
+      (Engine.schedule_after t.eng ~delay:duration (fun () -> recover_host t f)
+        : Engine.handle)
+  end
+
+let schedule_faults t f =
+  List.iter
+    (fun (c : Fault_plan.crash) ->
+      ignore
+        (Engine.schedule t.eng ~at:c.Fault_plan.at (fun () ->
+             match c.Fault_plan.target with
+             | Host -> crash_host t f ~duration:c.Fault_plan.duration
+             | Proc i -> crash_node t f i ~duration:c.Fault_plan.duration)
+          : Engine.handle))
+    f.plan.Fault_plan.crashes;
+  if f.plan.Fault_plan.crash_rate > 0. then
+    Array.iteri
+      (fun i rng ->
+        let rec arm () =
+          let gap =
+            Rng.exponential rng ~mean:(1. /. f.plan.Fault_plan.crash_rate)
+          in
+          ignore
+            (Engine.schedule_after t.eng ~delay:gap (fun () ->
+                 if Faults.Crashable.up f.node_state.(i) then begin
+                   let duration =
+                     Rng.exponential rng ~mean:f.plan.Fault_plan.mean_repair
+                   in
+                   crash_node t f i ~duration
+                 end;
+                 arm ())
+              : Engine.handle)
+        in
+        arm ())
+      f.crash_rngs
+
+(* Coordinator-side receive: a plain blocking receive when faults are
+   off; otherwise bounded by the plan's (exponentially backed-off)
+   timeout. *)
+let coord_recv t (rt : Messages.attempt_runtime) ~round =
+  match t.faults with
+  | None -> Some (Mailbox.recv rt.Messages.coord_mb)
+  | Some f ->
+      Mailbox.recv_timeout rt.Messages.coord_mb t.eng
+        ~timeout:
+          (Backoff.delay ~base:f.plan.Fault_plan.timeout
+             ~cap:f.plan.Fault_plan.timeout_cap ~round)
+
+let note_timeout t f (txn : Txn.t) ~at_node ~round =
+  f.timeouts <- f.timeouts + 1;
+  emit t (fun () ->
+      Event.Timeout_fired
+        { tid = txn.Txn.tid; attempt = txn.Txn.attempt; at_node; round })
 
 (* ------------------------------------------------------------------ *)
 (* Cohort process                                                      *)
@@ -243,9 +492,40 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
         Event.Lock_release
           { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node = my_node })
   in
+  (* Cohort-protocol traffic rides the faulty channel; everything else
+     (replica-write RPCs, abort requests, Snoop rounds) is modeled as a
+     reliable control plane. *)
   let send_coord msg =
-    Net.send t.net ~src:self ~dst:Host (fun () ->
+    Net.send ~faulty:true t.net ~src:self ~dst:Host (fun () ->
         Mailbox.send rt.Messages.coord_mb msg)
+  in
+  let recv_cohort ~round =
+    match t.faults with
+    | None -> Some (Mailbox.recv mb)
+    | Some f ->
+        Mailbox.recv_timeout mb t.eng
+          ~timeout:
+            (Backoff.delay ~base:f.plan.Fault_plan.timeout
+               ~cap:f.plan.Fault_plan.timeout_cap ~round)
+  in
+  (* 2PC termination protocol: ask the coordinator (if still live on
+     this attempt) what was decided; otherwise answer from the host's
+     decision log — no entry means presumed abort. *)
+  let send_inquiry () =
+    Net.send ~faulty:true t.net ~src:self ~dst:Host (fun () ->
+        match Hashtbl.find_opt t.live txn.Txn.tid with
+        | Some rt' when Txn.same_attempt rt'.Messages.txn txn ->
+            Mailbox.send rt'.Messages.coord_mb (Messages.Inquiry (txn, my_node))
+        | Some _ | None ->
+            let commit =
+              match t.faults with
+              | Some f -> (
+                  match decision_of f txn with Some c -> c | None -> false)
+              | None -> false
+            in
+            Net.send_async ~faulty:true t.net ~src:Host ~dst:self (fun () ->
+                Mailbox.send mb
+                  (if commit then Messages.Do_commit else Messages.Do_abort)))
   in
   let initiate_deferred_writes () =
     let write_one () =
@@ -310,41 +590,76 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
                 dur = cpu_dur }))
       cplan.Plan.ops;
     send_coord (Messages.Work_done my_node);
-    let rec protocol () =
-      match Mailbox.recv mb with
-      | Messages.Do_prepare ->
-          (* algorithms that defer replica write permission to the commit
-             protocol obtain it now; the write intent arrived with the
-             prepare message, so no extra messages are charged. O2PL and
-             2PL-D may block here (covered by the Snoop); OPT merely
-             registers the writes for certification. *)
-          (if
-             (not (write_all_at_access t.params.Params.cc.Params.algorithm))
-             && cplan.Plan.apply_ops <> []
-           then
-             List.iter
-               (fun page -> cc_access ~work:false Event.Write page)
-               cplan.Plan.apply_ops);
-          (* optional logging model: an updating cohort forces its log
-             page to disk before it can vote yes (footnote 5) *)
-          if
-            resources.Params.model_logging
-            && (cplan.Plan.apply_ops <> []
-               || List.exists (fun (op : Plan.page_op) -> op.Plan.update)
-                    cplan.Plan.ops)
-          then begin
-            let t0 = Engine.now t.eng in
-            Disk.write (Node.random_disk node);
-            emit t (fun () ->
-                Event.Disk_access
-                  { tid = txn.Txn.tid; attempt = txn.Txn.attempt;
-                    node = my_node; write = true;
-                    dur = Engine.now t.eng -. t0 })
-          end;
-          let vote = cc.Cc_intf.cc_prepare txn in
-          send_coord (Messages.Vote (cplan.Plan.node, vote));
-          protocol ()
-      | Messages.Do_commit ->
+    let my_vote = ref None in
+    let rec protocol ~round =
+      match recv_cohort ~round with
+      | None -> (
+          match t.faults with
+          | None -> assert false
+          | Some f ->
+              note_timeout t f txn ~at_node:self ~round;
+              f.retries <- f.retries + 1;
+              (match !my_vote with
+              | None ->
+                  (* the coordinator may have missed our Work_done *)
+                  send_coord (Messages.Work_done my_node)
+              | Some true ->
+                  (* in doubt: run the termination protocol *)
+                  send_inquiry ()
+              | Some false -> send_coord (Messages.Vote (my_node, false)));
+              protocol ~round:(round + 1))
+      | Some Messages.Do_prepare -> (
+          match !my_vote with
+          | Some v ->
+              (* retransmitted prepare: re-vote from memory; the CC
+                 prepare step must not run twice *)
+              send_coord (Messages.Vote (my_node, v));
+              protocol ~round:1
+          | None ->
+              (* algorithms that defer replica write permission to the
+                 commit protocol obtain it now; the write intent arrived
+                 with the prepare message, so no extra messages are
+                 charged. O2PL and 2PL-D may block here (covered by the
+                 Snoop); OPT merely registers the writes for
+                 certification. *)
+              (if
+                 (not
+                    (write_all_at_access t.params.Params.cc.Params.algorithm))
+                 && cplan.Plan.apply_ops <> []
+               then
+                 List.iter
+                   (fun page -> cc_access ~work:false Event.Write page)
+                   cplan.Plan.apply_ops);
+              (* optional logging model: an updating cohort forces its log
+                 page to disk before it can vote yes (footnote 5) *)
+              if
+                resources.Params.model_logging
+                && (cplan.Plan.apply_ops <> []
+                   || List.exists (fun (op : Plan.page_op) -> op.Plan.update)
+                        cplan.Plan.ops)
+              then begin
+                let t0 = Engine.now t.eng in
+                Disk.write (Node.random_disk node);
+                emit t (fun () ->
+                    Event.Disk_access
+                      { tid = txn.Txn.tid; attempt = txn.Txn.attempt;
+                        node = my_node; write = true;
+                        dur = Engine.now t.eng -. t0 })
+              end;
+              let vote = cc.Cc_intf.cc_prepare txn in
+              my_vote := Some vote;
+              (* a yes vote makes the cohort's state durable (in doubt)
+                 before the vote can possibly reach the coordinator *)
+              if vote then begin
+                Hashtbl.replace rt.Messages.voted_nodes my_node ();
+                Metrics.record_prepared t.metrics ~tid:txn.Txn.tid
+                  ~attempt:txn.Txn.attempt ~node:my_node
+              end;
+              send_coord (Messages.Vote (my_node, vote));
+              protocol ~round:1)
+      | Some Messages.Do_commit ->
+          Metrics.record_decided t.metrics ~tid:txn.Txn.tid
+            ~attempt:txn.Txn.attempt ~node:my_node;
           initiate_deferred_writes ();
           (* snapshot the installs and perform them in the same event *)
           let installed = cc.Cc_intf.cc_installed txn in
@@ -364,54 +679,78 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
                   if primary page then Audit.record_install a txn page)
                 installed)
             t.audit;
-          send_coord (Messages.Done_ack cplan.Plan.node)
-      | Messages.Do_abort ->
+          send_coord (Messages.Done_ack my_node)
+      | Some Messages.Do_abort ->
+          Metrics.record_decided t.metrics ~tid:txn.Txn.tid
+            ~attempt:txn.Txn.attempt ~node:my_node;
           cc.Cc_intf.cc_abort txn;
           release ();
-          send_coord (Messages.Done_ack cplan.Plan.node)
+          send_coord (Messages.Done_ack my_node)
     in
-    protocol ()
+    protocol ~round:1
   with Txn.Aborted reason ->
     cc.Cc_intf.cc_abort txn;
     release ();
     (match reason with
     | Txn.Bto_conflict | Txn.Cert_failed | Txn.Died ->
         (* self-inflicted: the coordinator does not know yet *)
-        send_coord (Messages.Cohort_aborted (cplan.Plan.node, reason))
+        send_coord (Messages.Cohort_aborted (my_node, reason))
     | Txn.Local_deadlock | Txn.Global_deadlock | Txn.Wounded | Txn.Peer_abort
-      ->
+    | Txn.Crashed | Txn.Timed_out ->
         ());
-    (* wait for the coordinator's abort command, then acknowledge *)
-    let rec drain () =
-      match Mailbox.recv mb with
-      | Messages.Do_abort -> ()
-      | Messages.Do_prepare | Messages.Do_commit -> drain ()
+    (* wait for the coordinator's abort command, then acknowledge; under
+       faults the command may be lost, so inquire on timeout (a finished
+       attempt is answered from the decision log: presumed abort) *)
+    let rec drain ~round =
+      match recv_cohort ~round with
+      | Some Messages.Do_abort -> ()
+      | Some (Messages.Do_prepare | Messages.Do_commit) -> drain ~round
+      | None ->
+          (match t.faults with
+          | None -> assert false
+          | Some f ->
+              note_timeout t f txn ~at_node:self ~round;
+              f.retries <- f.retries + 1;
+              send_inquiry ());
+          drain ~round:(round + 1)
     in
-    drain ();
-    send_coord (Messages.Done_ack cplan.Plan.node)
+    drain ~round:1;
+    send_coord (Messages.Done_ack my_node)
 
 (* ------------------------------------------------------------------ *)
 (* Coordinator (runs inside the submitting terminal's process)         *)
 
 let load_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) =
-  let mb = Mailbox.create () in
-  Hashtbl.replace rt.Messages.cohort_mbs cplan.Plan.node mb;
+  let node_idx = cplan.Plan.node in
+  let mb =
+    (* a retransmitted load (lost first copy) reuses the mailbox *)
+    match Hashtbl.find_opt rt.Messages.cohort_mbs node_idx with
+    | Some mb -> mb
+    | None ->
+        let mb = Mailbox.create () in
+        Hashtbl.replace rt.Messages.cohort_mbs node_idx mb;
+        mb
+  in
   emit t (fun () ->
       Event.Cohort_load
         {
           tid = rt.Messages.txn.Txn.tid;
           attempt = rt.Messages.txn.Txn.attempt;
-          node = cplan.Plan.node;
+          node = node_idx;
         });
-  let node = t.procs.(cplan.Plan.node) in
+  let node = t.procs.(node_idx) in
   let startup = t.params.Params.resources.Params.inst_per_startup in
-  Net.send t.net ~src:Host ~dst:(Proc cplan.Plan.node) (fun () ->
-      Cpu.submit node.Node.cpu ~instructions:startup (fun () ->
-          Engine.spawn t.eng (fun () -> run_cohort t rt cplan mb)))
+  Net.send ~faulty:true t.net ~src:Host ~dst:(Proc node_idx) (fun () ->
+      (* a duplicated load must not spawn a twin cohort *)
+      if not (Hashtbl.mem rt.Messages.arrived_nodes node_idx) then begin
+        Hashtbl.replace rt.Messages.arrived_nodes node_idx ();
+        Cpu.submit node.Node.cpu ~instructions:startup (fun () ->
+            Engine.spawn t.eng (fun () -> run_cohort t rt cplan mb))
+      end)
 
 let send_cohort t (rt : Messages.attempt_runtime) ~node_idx msg =
   let mb = Hashtbl.find rt.Messages.cohort_mbs node_idx in
-  Net.send t.net ~src:Host ~dst:(Proc node_idx) (fun () ->
+  Net.send ~faulty:true t.net ~src:Host ~dst:(Proc node_idx) (fun () ->
       (match msg with
       | Messages.Do_abort ->
           (* unblock the cohort if it is stuck in a CC queue *)
@@ -423,65 +762,169 @@ let loaded_nodes (rt : Messages.attempt_runtime) =
   Hashtbl.fold (fun node _ acc -> node :: acc) rt.Messages.cohort_mbs []
   |> List.sort Int.compare
 
-(* Wait for [target] Work_done messages; an abort trigger interrupts.
-   Records the node of each Work_done as it is processed, so that when
-   the work phase completes, [last_work_node] identifies the cohort on
-   its critical path (under parallel execution). *)
-let await_work t (rt : Messages.attempt_runtime) ~target =
-  let rec go done_ =
-    if done_ >= target then `Done
-    else
-      match Mailbox.recv rt.Messages.coord_mb with
-      | Messages.Work_done node ->
-          rt.Messages.last_work_node <- node;
-          emit t (fun () ->
-              Event.Work_done
-                {
-                  tid = rt.Messages.txn.Txn.tid;
-                  attempt = rt.Messages.txn.Txn.attempt;
-                  node;
-                });
-          go (done_ + 1)
-      | Messages.Cohort_aborted (_, reason) -> `Abort reason
-      | Messages.Abort_request (txn, reason)
-        when Txn.same_attempt txn rt.Messages.txn ->
-          `Abort reason
-      | Messages.Abort_request _ | Messages.Vote _ | Messages.Done_ack _ ->
-          go done_
-  in
-  go 0
+let pending_sorted pending =
+  Hashtbl.fold (fun node () acc -> node :: acc) pending []
+  |> List.sort Int.compare
 
-let await_acks (rt : Messages.attempt_runtime) ~target =
-  let rec go got =
-    if got >= target then ()
+let cohort_plan_of (txn : Txn.t) node =
+  List.find_opt
+    (fun (c : Plan.cohort_plan) -> c.Plan.node = node)
+    txn.Txn.plan.Plan.cohorts
+
+(* Wait for one Work_done per node in [nodes]; an abort trigger
+   interrupts. Records the node of each Work_done as it is processed, so
+   that when the work phase completes, [last_work_node] identifies the
+   cohort on its critical path (under parallel execution). Under faults,
+   a timeout re-sends any load message whose delivery was never observed
+   (bounded by the retry budget); cohorts that did arrive own the
+   retransmission of their Work_done, so the coordinator waits for them
+   at the capped timeout without charging its budget. *)
+let await_work t (rt : Messages.attempt_runtime) ~nodes =
+  let txn = rt.Messages.txn in
+  let pending = Hashtbl.create 8 in
+  List.iter (fun n -> Hashtbl.replace pending n ()) nodes;
+  let rec go ~round =
+    if Hashtbl.length pending = 0 then `Done
     else
-      match Mailbox.recv rt.Messages.coord_mb with
-      | Messages.Done_ack _ -> go (got + 1)
-      | Messages.Work_done _ | Messages.Cohort_aborted _ | Messages.Vote _
-      | Messages.Abort_request _ ->
-          go got
+      match coord_recv t rt ~round with
+      | Some (Messages.Work_done node) ->
+          if Hashtbl.mem pending node then begin
+            Hashtbl.remove pending node;
+            rt.Messages.last_work_node <- node;
+            emit t (fun () ->
+                Event.Work_done
+                  { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node });
+            go ~round:1
+          end
+          else go ~round
+      | Some (Messages.Cohort_aborted (_, reason)) -> `Abort reason
+      | Some (Messages.Abort_request (tx, reason))
+        when Txn.same_attempt tx txn ->
+          `Abort reason
+      | Some (Messages.Inquiry _) ->
+          (* a cohort only inquires pre-prepare when its Cohort_aborted
+             was lost and it is draining: treat as a peer abort *)
+          `Abort Txn.Peer_abort
+      | Some (Messages.Abort_request _ | Messages.Vote _ | Messages.Done_ack _)
+        ->
+          go ~round
+      | None -> (
+          match t.faults with
+          | None -> assert false
+          | Some f -> (
+              note_timeout t f txn ~at_node:Host ~round;
+              match rt.Messages.doom_reason with
+              | Some reason -> `Abort reason
+              | None ->
+                  let missing_loads =
+                    pending_sorted pending
+                    |> List.filter (fun n ->
+                           not (Hashtbl.mem rt.Messages.arrived_nodes n))
+                  in
+                  if missing_loads = [] then go ~round:(round + 1)
+                  else if
+                    Backoff.exhausted
+                      ~max_retries:f.plan.Fault_plan.max_retries ~round
+                  then `Abort Txn.Timed_out
+                  else begin
+                    List.iter
+                      (fun n ->
+                        f.retries <- f.retries + 1;
+                        Option.iter (load_cohort t rt) (cohort_plan_of txn n))
+                      missing_loads;
+                    go ~round:(round + 1)
+                  end))
   in
-  go 0
+  go ~round:1
+
+(* Collect one Done_ack per node in [nodes]. Under faults the decision
+   is re-sent on timeout; the commit decision is logged and must reach
+   every cohort, so its retries are unbounded ([bounded:false]), while
+   the abort path gives up after the retry budget and reports the
+   unreachable cohorts for out-of-band cleanup. *)
+let await_acks t (rt : Messages.attempt_runtime) ~nodes ~decision ~bounded =
+  let txn = rt.Messages.txn in
+  let pending = Hashtbl.create 8 in
+  List.iter (fun n -> Hashtbl.replace pending n ()) nodes;
+  let rec go ~round =
+    if Hashtbl.length pending = 0 then `Done
+    else
+      match coord_recv t rt ~round with
+      | Some (Messages.Done_ack node) ->
+          if Hashtbl.mem pending node then begin
+            Hashtbl.remove pending node;
+            go ~round:1
+          end
+          else go ~round
+      | Some (Messages.Inquiry (_, node)) ->
+          if Hashtbl.mem pending node then
+            send_cohort t rt ~node_idx:node decision;
+          go ~round
+      | Some
+          ( Messages.Work_done _ | Messages.Cohort_aborted _ | Messages.Vote _
+          | Messages.Abort_request _ ) ->
+          go ~round
+      | None -> (
+          match t.faults with
+          | None -> assert false
+          | Some f ->
+              note_timeout t f txn ~at_node:Host ~round;
+              if
+                bounded
+                && Backoff.exhausted ~max_retries:f.plan.Fault_plan.max_retries
+                     ~round
+              then `Orphaned (pending_sorted pending)
+              else begin
+                List.iter
+                  (fun n ->
+                    f.retries <- f.retries + 1;
+                    send_cohort t rt ~node_idx:n decision)
+                  (pending_sorted pending);
+                go ~round:(round + 1)
+              end)
+  in
+  go ~round:1
 
 (* Broadcast the abort decision, collect acknowledgements, and return
-   the abort reason. *)
+   the abort reason. The decision is logged before any phase-two send;
+   cohorts that stay unreachable past the retry budget are force-cleaned
+   out of band (their locks released via [cc_abort]) and counted as
+   orphaned — the late inquiry they eventually make is answered from the
+   decision log. *)
 let abort_attempt t (rt : Messages.attempt_runtime) reason =
   let txn = rt.Messages.txn in
   txn.Txn.phase <- Txn.Decided_abort;
   txn.Txn.doomed <- true;
+  log_decision t txn false;
   emit t (fun () ->
       Event.Decision
         { tid = txn.Txn.tid; attempt = txn.Txn.attempt; commit = false });
   let loaded = loaded_nodes rt in
   List.iter (fun node_idx -> send_cohort t rt ~node_idx Messages.Do_abort) loaded;
-  await_acks rt ~target:(List.length loaded);
+  (match await_acks t rt ~nodes:loaded ~decision:Messages.Do_abort ~bounded:true with
+  | `Done -> ()
+  | `Orphaned missing -> (
+      match t.faults with
+      | None -> ()
+      | Some f ->
+          List.iter
+            (fun n ->
+              (Node.cc t.procs.(n)).Cc_intf.cc_abort txn;
+              f.orphaned <- f.orphaned + 1;
+              emit t (fun () ->
+                  Event.Txn_orphaned
+                    { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node = n }))
+            missing));
   txn.Txn.phase <- Txn.Finished;
   reason
 
+(* The commit decision is durable before phase two begins; its delivery
+   is retried (with capped backoff) until every cohort acknowledges. *)
 let commit_attempt t (rt : Messages.attempt_runtime) =
   let txn = rt.Messages.txn in
   let cohorts = txn.Txn.plan.Plan.cohorts in
   txn.Txn.phase <- Txn.Decided_commit;
+  log_decision t txn true;
   emit t (fun () ->
       Event.Decision
         { tid = txn.Txn.tid; attempt = txn.Txn.attempt; commit = true });
@@ -489,13 +932,18 @@ let commit_attempt t (rt : Messages.attempt_runtime) =
     (fun (c : Plan.cohort_plan) ->
       send_cohort t rt ~node_idx:c.Plan.node Messages.Do_commit)
     cohorts;
-  await_acks rt ~target:(List.length cohorts);
+  (match
+     await_acks t rt
+       ~nodes:(List.map (fun (c : Plan.cohort_plan) -> c.Plan.node) cohorts)
+       ~decision:Messages.Do_commit ~bounded:false
+   with
+  | `Done -> ()
+  | `Orphaned _ -> assert false (* unbounded retries never orphan *));
   txn.Txn.phase <- Txn.Finished
 
 let run_two_phase_commit t (rt : Messages.attempt_runtime) =
   let txn = rt.Messages.txn in
   let cohorts = txn.Txn.plan.Plan.cohorts in
-  let n = List.length cohorts in
   txn.Txn.phase <- Txn.Voting;
   txn.Txn.commit_ts <-
     Some (Timestamp.Clock.make t.clock ~time:(Engine.now t.eng));
@@ -505,23 +953,60 @@ let run_two_phase_commit t (rt : Messages.attempt_runtime) =
     (fun (c : Plan.cohort_plan) ->
       send_cohort t rt ~node_idx:c.Plan.node Messages.Do_prepare)
     cohorts;
-  let rec collect_votes got =
-    if got >= n then `All_yes
+  let pending = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Plan.cohort_plan) -> Hashtbl.replace pending c.Plan.node ())
+    cohorts;
+  let rec collect_votes ~round =
+    if Hashtbl.length pending = 0 then `All_yes
     else
-      match Mailbox.recv rt.Messages.coord_mb with
-      | Messages.Vote (node, yes) ->
-          emit t (fun () ->
-              Event.Vote
-                { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node; yes });
-          if yes then collect_votes (got + 1) else `Abort Txn.Cert_failed
-      | Messages.Cohort_aborted (_, reason) -> `Abort reason
-      | Messages.Abort_request (tx, reason) when Txn.same_attempt tx txn ->
+      match coord_recv t rt ~round with
+      | Some (Messages.Vote (node, yes)) ->
+          if Hashtbl.mem pending node then begin
+            Hashtbl.remove pending node;
+            emit t (fun () ->
+                Event.Vote
+                  { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node; yes });
+            if yes then collect_votes ~round:1 else `Abort Txn.Cert_failed
+          end
+          else collect_votes ~round
+      | Some (Messages.Cohort_aborted (_, reason)) -> `Abort reason
+      | Some (Messages.Abort_request (tx, reason))
+        when Txn.same_attempt tx txn ->
           `Abort reason
-      | Messages.Abort_request _ | Messages.Work_done _ | Messages.Done_ack _
+      | Some (Messages.Inquiry (_, node)) ->
+          (* an in-doubt cohort whose vote we may have missed: re-prompt
+             it (it re-votes from memory). No round reset — a draining
+             cohort's inquiries must not starve the timeout. *)
+          if Hashtbl.mem pending node then
+            send_cohort t rt ~node_idx:node Messages.Do_prepare;
+          collect_votes ~round
+      | Some
+          (Messages.Abort_request _ | Messages.Work_done _ | Messages.Done_ack _)
         ->
-          collect_votes got
+          collect_votes ~round
+      | None -> (
+          match t.faults with
+          | None -> assert false
+          | Some f -> (
+              note_timeout t f txn ~at_node:Host ~round;
+              match rt.Messages.doom_reason with
+              | Some reason -> `Abort reason
+              | None ->
+                  if
+                    Backoff.exhausted ~max_retries:f.plan.Fault_plan.max_retries
+                      ~round
+                  then `Abort Txn.Timed_out
+                  else begin
+                    List.iter
+                      (fun n ->
+                        f.retries <- f.retries + 1;
+                        send_cohort t rt ~node_idx:n Messages.Do_prepare)
+                      (pending_sorted pending);
+                    collect_votes ~round:(round + 1)
+                  end))
   in
-  match collect_votes 0 with
+  match collect_votes ~round:1 with
   | `All_yes ->
       commit_attempt t rt;
       `Committed
@@ -550,13 +1035,14 @@ let run_attempt t (txn : Txn.t) =
         match t.params.Params.workload.Params.exec_pattern with
         | Params.Parallel ->
             List.iter (load_cohort t rt) cohorts;
-            await_work t rt ~target:(List.length cohorts)
+            await_work t rt
+              ~nodes:(List.map (fun (c : Plan.cohort_plan) -> c.Plan.node) cohorts)
         | Params.Sequential ->
             let rec go = function
               | [] -> `Done
               | c :: rest -> (
                   load_cohort t rt c;
-                  match await_work t rt ~target:1 with
+                  match await_work t rt ~nodes:[ c.Plan.node ] with
                   | `Done -> go rest
                   | `Abort reason -> `Abort reason)
             in
@@ -630,12 +1116,30 @@ let make_attempt t ~tid ~attempt ~origin_time ~startup_ts ~plan =
     doomed = false;
   }
 
+(* Terminals live at the host: while it is down no new transaction (or
+   restart) can be admitted. The wait is a loop because the host may
+   crash again before the recovery the terminal slept towards. *)
+let rec await_host_up t =
+  match t.faults with
+  | None -> ()
+  | Some f ->
+      if not (Faults.Crashable.up f.host_state) then begin
+        Engine.wait (Float.max 1e-9 (f.host_down_until -. Engine.now t.eng));
+        await_host_up t
+      end
+
+let plan_pages (plan : Plan.t) =
+  List.fold_left
+    (fun acc (c : Plan.cohort_plan) -> acc + List.length c.Plan.ops)
+    0 plan.Plan.cohorts
+
 let run_terminal t ~index =
   Engine.spawn t.eng ~name:(Printf.sprintf "terminal-%d" index) (fun () ->
       let rec session () =
         let think = Workload.think_time t.workload in
         if think > 0. then
           Engine.wait (Rng.exponential t.think_rng ~mean:think);
+        await_host_up t;
         let plan = Workload.generate_plan t.workload ~terminal:index in
         let origin_time = Engine.now t.eng in
         Metrics.record_submit t.metrics;
@@ -659,7 +1163,8 @@ let run_terminal t ~index =
                       attempt = k;
                       response = Engine.now t.eng -. origin_time;
                     });
-              Metrics.record_commit t.metrics ~origin_time ~decomp
+              Metrics.record_commit t.metrics ~origin_time
+                ~pages:(plan_pages txn.Txn.plan) ~decomp
           | Aborted reason ->
               Option.iter (fun a -> Audit.record_abort a txn) t.audit;
               tracef t ~tag:"abort" (fun () ->
@@ -671,6 +1176,7 @@ let run_terminal t ~index =
               emit t (fun () ->
                   Event.Restart_wait { tid; attempt = k; delay });
               Engine.wait delay;
+              await_host_up t;
               let plan =
                 if t.params.Params.run.Params.fresh_restart_plan then
                   Workload.generate_plan t.workload ~terminal:index
@@ -692,12 +1198,61 @@ let reset_observation_windows t =
   Array.iter Node.reset_windows t.procs;
   Array.iter
     (fun node -> Stats.Tally.reset (Node.cc node).Cc_intf.cc_blocking)
-    t.procs
+    t.procs;
+  (* availability is measured over the observation window: discard
+     warm-up downtime and clip any open down-spell to the window start *)
+  Option.iter
+    (fun f ->
+      let now = Engine.now t.eng in
+      Array.fill f.node_downtime 0 (Array.length f.node_downtime) 0.;
+      f.host_downtime <- 0.;
+      Array.iteri
+        (fun i since -> if since <> None then f.node_down_since.(i) <- Some now)
+        f.node_down_since;
+      if f.host_down_since <> None then f.host_down_since <- Some now)
+    t.faults
 
 let mean_over array f =
   if Array.length array = 0 then 0.
   else Array.fold_left (fun acc x -> acc +. f x) 0. array
        /. float_of_int (Array.length array)
+
+(* Fraction of node-seconds (host + proc nodes) spent up over the
+   observation window. *)
+let availability t =
+  match t.faults with
+  | None -> 1.
+  | Some f ->
+      let window = Metrics.window_duration t.metrics in
+      if window <= 0. then 1.
+      else begin
+        let now = Engine.now t.eng in
+        let open_since = function Some s -> now -. s | None -> 0. in
+        let down = ref (f.host_downtime +. open_since f.host_down_since) in
+        Array.iteri
+          (fun i acc -> down := !down +. acc +. open_since f.node_down_since.(i))
+          f.node_downtime;
+        let nodes = float_of_int (Array.length f.node_state + 1) in
+        1. -. Float.min 1. (Float.max 0. (!down /. (nodes *. window)))
+      end
+
+(* Grace period after which an open in-doubt interval counts as overdue
+   (i.e. the termination protocol failed): the full retry envelope, a
+   generous allowance for repeated inquiry loss, and any downtime — a
+   cohort at a crashed node legitimately stays in doubt until repair. *)
+let indoubt_grace t f =
+  let p = f.plan in
+  let open_downtime =
+    let now = Engine.now t.eng in
+    let open_since = function Some s -> now -. s | None -> 0. in
+    Array.fold_left
+      (fun acc s -> acc +. open_since s)
+      (open_since f.host_down_since) f.node_down_since
+  in
+  Backoff.total ~base:p.Fault_plan.timeout ~cap:p.Fault_plan.timeout_cap
+    ~max_retries:p.Fault_plan.max_retries
+  +. (20. *. p.Fault_plan.timeout_cap)
+  +. f.total_downtime +. open_downtime
 
 let collect_result t ~wall_seconds =
   let blocking_total, blocking_count =
@@ -729,6 +1284,21 @@ let collect_result t ~wall_seconds =
     host_cpu_util = Node.cpu_utilization t.host;
     mean_active = Metrics.mean_active t.metrics;
     messages = Net.messages_sent t.net;
+    availability = availability t;
+    goodput = Metrics.goodput t.metrics;
+    timeouts = (match t.faults with None -> 0 | Some f -> f.timeouts);
+    retries = (match t.faults with None -> 0 | Some f -> f.retries);
+    msgs_dropped = (match t.faults with None -> 0 | Some f -> f.msgs_dropped);
+    msgs_duplicated =
+      (match t.faults with None -> 0 | Some f -> f.msgs_duplicated);
+    node_crashes = (match t.faults with None -> 0 | Some f -> f.node_crashes);
+    orphaned = (match t.faults with None -> 0 | Some f -> f.orphaned);
+    indoubt_mean = Metrics.indoubt_mean t.metrics;
+    indoubt_open_at_end = Metrics.indoubt_open t.metrics;
+    indoubt_overdue_at_end =
+      (match t.faults with
+      | None -> 0
+      | Some f -> Metrics.indoubt_overdue t.metrics ~grace:(indoubt_grace t f));
     decomp = Metrics.decomp_mean t.metrics;
     sim_events = Engine.events_processed t.eng;
     sim_end = Engine.now t.eng;
@@ -857,6 +1427,7 @@ let execute ?(log = false) t =
   for index = 0 to t.params.Params.workload.Params.num_terminals - 1 do
     run_terminal t ~index
   done;
+  Option.iter (fun f -> schedule_faults t f) t.faults;
   Option.iter Ddbm_cc.Snoop.start t.snoop;
   (* lint: allow ambient - wall-clock cost is reported, never simulated *)
   let wall_start = Sys.time () in

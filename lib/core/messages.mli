@@ -15,10 +15,7 @@ type cohort_msg =
   | Do_commit
   | Do_abort
 
-let cohort_msg_name = function
-  | Do_prepare -> "do-prepare"
-  | Do_commit -> "do-commit"
-  | Do_abort -> "do-abort"
+val cohort_msg_name : cohort_msg -> string
 
 (** Cohort (or CC manager) -> coordinator. *)
 type coord_msg =
@@ -35,13 +32,7 @@ type coord_msg =
           coordinator if any; otherwise answered from the host's decision
           log (presumed abort). *)
 
-let coord_msg_name = function
-  | Work_done _ -> "work-done"
-  | Cohort_aborted _ -> "cohort-aborted"
-  | Vote _ -> "vote"
-  | Done_ack _ -> "done-ack"
-  | Abort_request _ -> "abort-request"
-  | Inquiry _ -> "inquiry"
+val coord_msg_name : coord_msg -> string
 
 (** Work-phase resource usage of one cohort, accumulated as wall-clock
     deltas around its CC, disk, and CPU operations; feeds the
@@ -76,23 +67,7 @@ type attempt_runtime = {
           every receive timeout *)
 }
 
-let make_runtime txn =
-  {
-    txn;
-    coord_mb = Mailbox.create ();
-    cohort_mbs = Hashtbl.create 8;
-    usage = Hashtbl.create 8;
-    last_work_node = -1;
-    arrived_nodes = Hashtbl.create 8;
-    voted_nodes = Hashtbl.create 8;
-    doom_reason = None;
-  }
+val make_runtime : Txn.t -> attempt_runtime
 
 (** The usage record of [node], created on first access. *)
-let usage rt node =
-  match Hashtbl.find_opt rt.usage node with
-  | Some u -> u
-  | None ->
-      let u = { u_blocked = 0.; u_disk = 0.; u_cpu = 0. } in
-      Hashtbl.replace rt.usage node u;
-      u
+val usage : attempt_runtime -> int -> cohort_usage

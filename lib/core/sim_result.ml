@@ -25,6 +25,27 @@ type t = {
   host_cpu_util : float;
   mean_active : float;  (** time-average number of in-flight transactions *)
   messages : int;
+  availability : float;
+      (** fraction of node-seconds (host + processing nodes) up over the
+          observation window; 1.0 under a zero fault plan *)
+  goodput : float;
+      (** committed page accesses per second — useful work, as opposed to
+          per-transaction [throughput] *)
+  timeouts : int;  (** protocol receive timeouts that fired *)
+  retries : int;  (** messages re-sent after a timeout *)
+  msgs_dropped : int;  (** messages lost by the faulty channel *)
+  msgs_duplicated : int;  (** messages duplicated by the faulty channel *)
+  node_crashes : int;  (** crash events (host and processing nodes) *)
+  orphaned : int;
+      (** cohorts force-cleaned out of band: crash victims and abort-path
+          cohorts unreachable past the retry budget *)
+  indoubt_mean : float;
+      (** mean time a yes-voted cohort waited for the 2PC decision *)
+  indoubt_open_at_end : int;
+      (** cohorts still awaiting a decision when the run ended *)
+  indoubt_overdue_at_end : int;
+      (** open in-doubt intervals older than the termination-protocol
+          grace — must be 0: no transaction stays in doubt forever *)
   decomp : Decomp.t;
       (** mean per-transaction response-time decomposition; components
           sum to [mean_response] up to float rounding *)
@@ -49,7 +70,15 @@ let pp fmt t =
     (algorithm_name t) t.throughput t.mean_response t.response_ci95 t.commits
     t.aborts t.abort_ratio t.proc_cpu_util t.proc_disk_util t.host_cpu_util
     t.mean_blocking t.blocked_requests t.mean_active t.messages Decomp.pp
-    t.decomp
+    t.decomp;
+  if Fault_plan.active t.params.Params.faults then
+    Format.fprintf fmt
+      "@ faults: avail %.4f, goodput %.2f pages/s, %d crashes, %d dropped, \
+       %d dup, %d timeouts, %d retries, %d orphaned, in-doubt %.4f s \
+       (%d open, %d overdue)"
+      t.availability t.goodput t.node_crashes t.msgs_dropped t.msgs_duplicated
+      t.timeouts t.retries t.orphaned t.indoubt_mean t.indoubt_open_at_end
+      t.indoubt_overdue_at_end
 
 (** CSV header matching {!to_csv_row}. *)
 let csv_header =
@@ -57,7 +86,9 @@ let csv_header =
    inst_per_msg,throughput,mean_response,response_ci95,response_p50,\
    response_p95,commits,aborts,completions,\
    abort_ratio,mean_blocking,blocked_requests,proc_cpu_util,proc_disk_util,\
-   host_cpu_util,mean_active,messages,sim_events,"
+   host_cpu_util,mean_active,messages,availability,goodput,timeouts,retries,\
+   msgs_dropped,msgs_duplicated,node_crashes,orphaned,indoubt_mean,\
+   indoubt_open_at_end,indoubt_overdue_at_end,sim_events,"
   ^ String.concat "," (List.map fst Decomp.fields)
 
 (** Field-by-field comparison of two results from the *same* (seed,
@@ -100,6 +131,17 @@ let diff a b =
   chk_f "host_cpu_util" (fun r -> r.host_cpu_util);
   chk_f "mean_active" (fun r -> r.mean_active);
   chk_i "messages" (fun r -> r.messages);
+  chk_f "availability" (fun r -> r.availability);
+  chk_f "goodput" (fun r -> r.goodput);
+  chk_i "timeouts" (fun r -> r.timeouts);
+  chk_i "retries" (fun r -> r.retries);
+  chk_i "msgs_dropped" (fun r -> r.msgs_dropped);
+  chk_i "msgs_duplicated" (fun r -> r.msgs_duplicated);
+  chk_i "node_crashes" (fun r -> r.node_crashes);
+  chk_i "orphaned" (fun r -> r.orphaned);
+  chk_f "indoubt_mean" (fun r -> r.indoubt_mean);
+  chk_i "indoubt_open_at_end" (fun r -> r.indoubt_open_at_end);
+  chk_i "indoubt_overdue_at_end" (fun r -> r.indoubt_overdue_at_end);
   List.iter
     (fun (name, get) -> chk_f name (fun r -> get r.decomp))
     Decomp.fields;
@@ -115,7 +157,7 @@ let equal a b = diff a b = []
 let to_csv_row t =
   let p = t.params in
   Printf.sprintf
-    "%s,%g,%d,%d,%d,%g,%g,%.5f,%.5f,%.5f,%.5f,%.5f,%d,%d,%d,%.5f,%.5f,%d,%.4f,%.4f,%.4f,%.3f,%d,%d,%s"
+    "%s,%g,%d,%d,%d,%g,%g,%.5f,%.5f,%.5f,%.5f,%.5f,%d,%d,%d,%.5f,%.5f,%d,%.4f,%.4f,%.4f,%.3f,%d,%.5f,%.5f,%d,%d,%d,%d,%d,%d,%.5f,%d,%d,%d,%s"
     (algorithm_name t) p.Params.workload.Params.think_time
     p.Params.database.Params.num_proc_nodes
     p.Params.database.Params.partitioning_degree
@@ -125,7 +167,9 @@ let to_csv_row t =
     t.response_ci95 t.response_p50 t.response_p95 t.commits t.aborts
     t.completions t.abort_ratio t.mean_blocking t.blocked_requests
     t.proc_cpu_util t.proc_disk_util t.host_cpu_util t.mean_active t.messages
-    t.sim_events
+    t.availability t.goodput t.timeouts t.retries t.msgs_dropped
+    t.msgs_duplicated t.node_crashes t.orphaned t.indoubt_mean
+    t.indoubt_open_at_end t.indoubt_overdue_at_end t.sim_events
     (String.concat ","
        (List.map
           (fun (_, get) -> Printf.sprintf "%.5f" (get t.decomp))

@@ -1,0 +1,80 @@
+(** Output of one simulation run: the paper's metrics (Section 4.1) plus
+    fault/availability metrics and diagnostics. *)
+
+open Ddbm_model
+
+type t = {
+  algorithm : Params.cc_algorithm;
+  params : Params.t;
+  throughput : float;  (** committed transactions per second *)
+  mean_response : float;  (** seconds, origination to successful completion *)
+  response_ci95 : float;  (** batch-means 95% half-width *)
+  response_p50 : float;
+  response_p95 : float;
+  commits : int;
+  aborts : int;
+  completions : int;
+      (** attempt completions counted independently at the terminal loop;
+          conservation: commits + aborts = completions *)
+  abort_ratio : float;  (** aborts per commit *)
+  abort_reasons : (string * int) list;
+  mean_blocking : float;  (** mean CC blocking time per blocked request *)
+  blocked_requests : int;
+  proc_cpu_util : float;  (** mean over processing nodes *)
+  proc_disk_util : float;  (** mean over all processing-node disks *)
+  host_cpu_util : float;
+  mean_active : float;  (** time-average number of in-flight transactions *)
+  messages : int;
+  availability : float;
+      (** fraction of node-seconds (host + processing nodes) up over the
+          observation window; 1.0 under a zero fault plan *)
+  goodput : float;
+      (** committed page accesses per second — useful work, as opposed to
+          per-transaction [throughput] *)
+  timeouts : int;  (** protocol receive timeouts that fired *)
+  retries : int;  (** messages re-sent after a timeout *)
+  msgs_dropped : int;  (** messages lost by the faulty channel *)
+  msgs_duplicated : int;  (** messages duplicated by the faulty channel *)
+  node_crashes : int;  (** crash events (host and processing nodes) *)
+  orphaned : int;
+      (** cohorts force-cleaned out of band: crash victims and abort-path
+          cohorts unreachable past the retry budget *)
+  indoubt_mean : float;
+      (** mean time a yes-voted cohort waited for the 2PC decision *)
+  indoubt_open_at_end : int;
+      (** cohorts still awaiting a decision when the run ended *)
+  indoubt_overdue_at_end : int;
+      (** open in-doubt intervals older than the termination-protocol
+          grace — must be 0: no transaction stays in doubt forever *)
+  decomp : Decomp.t;
+      (** mean per-transaction response-time decomposition; components
+          sum to [mean_response] up to float rounding *)
+  sim_events : int;
+  sim_end : float;
+  wall_seconds : float;
+  events_per_sec : float;
+      (** simulator self-profiling: events processed per wall-clock
+          second (wall-clock-dependent, excluded from {!diff}) *)
+  top_heap_words : int;
+      (** GC heap high-water mark at collection time (process-state
+          dependent, excluded from {!diff}) *)
+}
+
+val algorithm_name : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** CSV header matching {!to_csv_row}. *)
+val csv_header : string
+
+(** Field-by-field comparison of two results from the *same* (seed,
+    params, algorithm), for the determinism check: every simulation
+    output must be bit-for-bit reproducible. [wall_seconds],
+    [events_per_sec] and [top_heap_words] are wall-clock or process-state
+    dependent and excluded. Returns a human-readable line per differing
+    field. *)
+val diff : t -> t -> string list
+
+(** Bit-for-bit equality of everything {!diff} compares. *)
+val equal : t -> t -> bool
+
+val to_csv_row : t -> string

@@ -170,7 +170,9 @@ let sink t : Tracer.sink =
   | Event.Cohort_load _ | Event.Cohort_start _ | Event.Lock_request _
   | Event.Lock_release _ | Event.Msg_send _ | Event.Msg_recv _
   | Event.Vote _ | Event.Decision _ | Event.Wound _ | Event.Restart_wait _
-  | Event.Snoop_round _ | Event.Sample _ ->
+  | Event.Snoop_round _ | Event.Node_crashed _ | Event.Node_recovered _
+  | Event.Msg_dropped _ | Event.Timeout_fired _ | Event.Txn_orphaned _
+  | Event.Sample _ ->
       ()
 
 (** Committed transactions reconstructed so far, oldest first. *)

@@ -171,6 +171,7 @@ module Chrome = struct
     t
 
   let page_name prefix page = Format.asprintf "%s %a" prefix Ids.Page.pp page
+  let pid_of = function Ids.Host -> 0 | Ids.Proc i -> i + 1
 
   let sink t : Tracer.sink =
    fun ~time ev ->
@@ -256,10 +257,20 @@ module Chrome = struct
                 ]
               ())
           nodes
+    | Event.Node_crashed { node } ->
+        event t ~ph:"i" ~pid:(pid_of node) ~tid:0 ~name:"node-crashed"
+          ~ts:time ()
+    | Event.Node_recovered { node } ->
+        event t ~ph:"i" ~pid:(pid_of node) ~tid:0 ~name:"node-recovered"
+          ~ts:time ()
+    | Event.Txn_orphaned { tid; attempt; node } ->
+        event t ~ph:"i" ~pid:(node + 1) ~tid ~name:"txn-orphaned" ~ts:time
+          ~args:[ ("attempt", Event.I attempt) ]
+          ()
     | Event.Submit _ | Event.Setup_done _ | Event.Cohort_load _
     | Event.Cohort_start _ | Event.Lock_request _ | Event.Lock_release _
     | Event.Msg_send _ | Event.Msg_recv _ | Event.Work_done _ | Event.Vote _
-    | Event.Decision _ ->
+    | Event.Decision _ | Event.Msg_dropped _ | Event.Timeout_fired _ ->
         ()
 
   (** Terminate the JSON document (idempotent). *)

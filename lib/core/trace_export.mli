@@ -1,0 +1,40 @@
+(** Trace exporters: JSONL and Chrome trace_event sinks for the typed
+    event stream.
+
+    JSON is emitted by hand (one small, dependency-free printer) in two
+    shapes:
+
+    - {!jsonl_sink}: one JSON object per line per event — the complete
+      stream, including per-interval {!Ddbm_model.Event.Sample} rows
+      with nested per-node utilizations;
+    - {!Chrome}: the Chrome trace_event format (a JSON document with a
+      ["traceEvents"] array), loadable in Perfetto ({:https://ui.perfetto.dev})
+      or [chrome://tracing]. Process 0 is the host node and process
+      [i+1] is processing node [i]; thread ids are transaction ids, so
+      each transaction reads as one horizontal track. Attempts, lock
+      waits, disk accesses and CPU slices become duration slices;
+      wounds, Snoop rounds, restart waits, node crash/recovery and
+      orphaned-cohort cleanups become instants; sampler rows become
+      counter tracks. Raw network messages are deliberately left out of
+      the Chrome view (they dominate event volume); use the JSONL
+      exporter to see them. *)
+
+open Ddbm_model
+
+(** A sink writing one JSON object per event to [out], one per line. *)
+val jsonl_sink : (string -> unit) -> Tracer.sink
+
+module Chrome : sig
+  type t
+
+  (** [create ?num_nodes out] starts a Chrome trace document on [out].
+      When [num_nodes] is given, process-name metadata rows are emitted
+      up front so Perfetto labels the host and node tracks. *)
+  val create : ?num_nodes:int -> (string -> unit) -> t
+
+  (** The sink to attach with [Tracer.attach]. *)
+  val sink : t -> Tracer.sink
+
+  (** Terminate the JSON document (idempotent). *)
+  val close : t -> unit
+end

@@ -1,0 +1,47 @@
+(** Fault-injection primitives for discrete-event simulations.
+
+    Two building blocks, both deterministic: a {!Crashable} up/down state
+    for a resource, and a lossy/duplicating/delaying {!Link} judged by a
+    dedicated {!Rng} stream. Faults scheduled through these primitives
+    are ordinary simulation events, so a seeded run replays exactly. *)
+
+module Crashable : sig
+  (** Up/down state of a simulated resource. The state itself carries no
+      timing; crash and recovery instants are scheduled by the caller as
+      engine events. *)
+
+  type t
+
+  (** A fresh resource, initially up. *)
+  val create : unit -> t
+
+  val up : t -> bool
+
+  (** Number of state transitions so far; lets callers detect that a
+      resource went down and came back between two observations. *)
+  val epoch : t -> int
+
+  (** Take the resource down (no-op when already down). *)
+  val crash : t -> unit
+
+  (** Bring the resource back up (no-op when already up). *)
+  val recover : t -> unit
+end
+
+module Link : sig
+  (** A message-fault judge: per message, decides drop, duplication and
+      extra delivery delay from a dedicated RNG stream. *)
+
+  type t
+
+  (** [create rng ~loss ~dup ~delay]: [loss] and [dup] are per-message
+      probabilities; [delay] is the mean of an exponential extra delivery
+      delay (0 = none). Decisions with a zero parameter consume no
+      randomness. *)
+  val create : Rng.t -> loss:float -> dup:float -> delay:float -> t
+
+  (** Judge one message: the result is one extra-delay value per copy to
+      deliver ([0.] = deliver immediately), or [[]] when the message is
+      dropped. A duplicated message yields two copies. *)
+  val judge : t -> float list
+end

@@ -7,11 +7,18 @@ type 'a t
 
 val create : unit -> 'a t
 
-(** Enqueue a message; wakes the longest-waiting receiver, if any. *)
+(** Enqueue a message; wakes the longest-waiting live receiver, if any. *)
 val send : 'a t -> 'a -> unit
 
 (** Dequeue a message, blocking the calling process while empty. *)
 val recv : 'a t -> 'a
+
+(** [recv_timeout t eng ~timeout] is [Some m] like {!recv}, or [None] if
+    no message arrives within [timeout] simulated seconds. A timed-out
+    receive consumes nothing: the next message goes to the next receiver
+    (or the queue). The timer is armed only when the call actually
+    blocks, so a non-empty mailbox costs no engine event. *)
+val recv_timeout : 'a t -> Engine.t -> timeout:float -> 'a option
 
 (** [try_recv t] is [Some m] without blocking, or [None] when empty. *)
 val try_recv : 'a t -> 'a option

@@ -1,0 +1,16 @@
+let delay ~base ~cap ~round =
+  if round <= 1 then Float.min base cap
+  else
+    (* 2^(round-1) overflows to infinity for huge rounds; min caps it. *)
+    Float.min (base *. (2. ** float_of_int (round - 1))) cap
+
+let deadline ~now ~base ~cap ~round = now +. delay ~base ~cap ~round
+
+let exhausted ~max_retries ~round = round > max_retries
+
+let total ~base ~cap ~max_retries =
+  let rec go acc round =
+    if round > max_retries + 1 then acc
+    else go (acc +. delay ~base ~cap ~round) (round + 1)
+  in
+  go 0. 1

@@ -1,0 +1,22 @@
+(** Capped exponential backoff arithmetic for protocol timeouts.
+
+    Pure functions: the machine decides {e when} to retry, these decide
+    {e how long} to wait. Round numbers start at 1; the wait for round
+    [r] is [min cap (base * 2^(r-1))]. *)
+
+(** Wait before/while attempt [round] ([round >= 1]). Monotone in
+    [round], never above [cap], and [delay ~round:1 = min base cap]. *)
+val delay : base:float -> cap:float -> round:int -> float
+
+(** [now + delay ~base ~cap ~round]. *)
+val deadline : now:float -> base:float -> cap:float -> round:int -> float
+
+(** True once [round] has used up its retry budget: a protocol step may
+    time out [max_retries] times (rounds [1..max_retries]) before the
+    caller gives up. *)
+val exhausted : max_retries:int -> round:int -> bool
+
+(** Total wait across a full budget: the sum of [delay] for rounds
+    [1..max_retries+1] — an upper bound on how long a bounded retry loop
+    can take before declaring failure. *)
+val total : base:float -> cap:float -> max_retries:int -> float

@@ -81,6 +81,16 @@ type t =
     }  (** a CC manager or the Snoop demanded this transaction's abort *)
   | Restart_wait of { tid : int; attempt : int; delay : float }
   | Snoop_round of { node : int; edges : int; victims : int }
+  | Node_crashed of { node : node_ref }
+  | Node_recovered of { node : node_ref }
+  | Msg_dropped of { src : node_ref; dst : node_ref }
+      (** the fault plan's network judge dropped a protocol message *)
+  | Timeout_fired of { tid : int; attempt : int; at_node : node_ref; round : int }
+      (** a 2PC participant's receive timed out; [round] counts the
+          consecutive timeouts behind the capped backoff *)
+  | Txn_orphaned of { tid : int; attempt : int; node : int }
+      (** a cohort's CC footprint was cleaned up out-of-band (node crash
+          or an exhausted abort-retry budget) *)
   | Sample of sample
 
 let name = function
@@ -105,6 +115,11 @@ let name = function
   | Wound _ -> "wound"
   | Restart_wait _ -> "restart-wait"
   | Snoop_round _ -> "snoop-round"
+  | Node_crashed _ -> "node-crashed"
+  | Node_recovered _ -> "node-recovered"
+  | Msg_dropped _ -> "msg-dropped"
+  | Timeout_fired _ -> "timeout-fired"
+  | Txn_orphaned _ -> "txn-orphaned"
   | Sample _ -> "sample"
 
 (** Transaction ids carried by the event, if any. *)
@@ -127,9 +142,13 @@ let txn_of = function
   | Committed { tid; attempt; _ }
   | Aborted { tid; attempt; _ }
   | Wound { tid; attempt; _ }
-  | Restart_wait { tid; attempt; _ } ->
+  | Restart_wait { tid; attempt; _ }
+  | Timeout_fired { tid; attempt; _ }
+  | Txn_orphaned { tid; attempt; _ } ->
       Some (tid, attempt)
-  | Msg_send _ | Msg_recv _ | Snoop_round _ | Sample _ -> None
+  | Msg_send _ | Msg_recv _ | Snoop_round _ | Sample _ | Node_crashed _
+  | Node_recovered _ | Msg_dropped _ ->
+      None
 
 (** Flat field listing for serialization; {!Sample} payloads are handled
     by exporters directly (they are the only nested events). *)
@@ -204,6 +223,19 @@ let fields ev : (string * field) list =
       [ ("tid", I tid); ("attempt", I attempt); ("delay", F delay) ]
   | Snoop_round { node; edges; victims } ->
       [ ("node", I node); ("edges", I edges); ("victims", I victims) ]
+  | Node_crashed { node } -> [ ("node", node_ref node) ]
+  | Node_recovered { node } -> [ ("node", node_ref node) ]
+  | Msg_dropped { src; dst } ->
+      [ ("src", node_ref src); ("dst", node_ref dst) ]
+  | Timeout_fired { tid; attempt; at_node; round } ->
+      [
+        ("tid", I tid);
+        ("attempt", I attempt);
+        ("at_node", node_ref at_node);
+        ("round", I round);
+      ]
+  | Txn_orphaned { tid; attempt; node } ->
+      [ ("tid", I tid); ("attempt", I attempt); ("node", I node) ]
   | Sample { active; host_cpu_util; nodes } ->
       [
         ("active", I active);

@@ -79,6 +79,21 @@ type t =
     }  (** a CC manager or the Snoop demanded this transaction's abort *)
   | Restart_wait of { tid : int; attempt : int; delay : float }
   | Snoop_round of { node : int; edges : int; victims : int }
+  | Node_crashed of { node : Ids.node_ref }
+  | Node_recovered of { node : Ids.node_ref }
+  | Msg_dropped of { src : Ids.node_ref; dst : Ids.node_ref }
+      (** the fault plan's network judge dropped a protocol message *)
+  | Timeout_fired of {
+      tid : int;
+      attempt : int;
+      at_node : Ids.node_ref;
+      round : int;
+    }
+      (** a 2PC participant's receive timed out; [round] counts the
+          consecutive timeouts behind the capped backoff *)
+  | Txn_orphaned of { tid : int; attempt : int; node : int }
+      (** a cohort's CC footprint was cleaned up out-of-band (node crash
+          or an exhausted abort-retry budget) *)
   | Sample of sample
 
 val name : t -> string

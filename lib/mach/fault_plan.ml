@@ -1,0 +1,237 @@
+type crash = { target : Ids.node_ref; at : float; duration : float }
+
+type t = {
+  crashes : crash list;
+  crash_rate : float;
+  mean_repair : float;
+  msg_loss : float;
+  msg_dup : float;
+  msg_delay : float;
+  timeout : float;
+  timeout_cap : float;
+  max_retries : int;
+  fault_seed : int;
+  chaos : string list;
+}
+
+let zero =
+  {
+    crashes = [];
+    crash_rate = 0.;
+    mean_repair = 1.;
+    msg_loss = 0.;
+    msg_dup = 0.;
+    msg_delay = 0.;
+    timeout = 1.;
+    timeout_cap = 8.;
+    max_retries = 4;
+    fault_seed = 0;
+    chaos = [];
+  }
+
+let active t =
+  t.crashes <> [] || t.crash_rate > 0. || t.msg_loss > 0. || t.msg_dup > 0.
+  || t.msg_delay > 0.
+
+let is_zero t = (not (active t)) && t.chaos = []
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+let ( let* ) = Result.bind
+let check cond msg = if cond then Ok () else Error msg
+
+(* Time-like values are capped so the spec codec's "%.17g" never needs an
+   exponent with a '+' in it (which would collide with the crash-entry
+   separator). *)
+let max_time = 1e9
+
+let finite_in ~lo ~hi v = Float.is_finite v && v >= lo && v <= hi
+
+let validate_crash ~num_proc_nodes c =
+  let* () =
+    match c.target with
+    | Ids.Host -> Ok ()
+    | Ids.Proc i ->
+        check
+          (i >= 0 && i < num_proc_nodes)
+          (Printf.sprintf "faults: crash target proc %d out of range" i)
+  in
+  let* () =
+    check (finite_in ~lo:0. ~hi:max_time c.at) "faults: crash time out of range"
+  in
+  check
+    (finite_in ~lo:0. ~hi:max_time c.duration && c.duration > 0.)
+    "faults: crash duration must be positive"
+
+let validate ~num_proc_nodes t =
+  let* () =
+    List.fold_left
+      (fun acc c ->
+        let* () = acc in
+        validate_crash ~num_proc_nodes c)
+      (Ok ()) t.crashes
+  in
+  let* () =
+    check
+      (finite_in ~lo:0. ~hi:max_time t.crash_rate)
+      "faults: crash-rate out of range"
+  in
+  let* () =
+    check
+      (Float.equal t.crash_rate 0. || finite_in ~lo:1e-9 ~hi:max_time t.mean_repair)
+      "faults: mttr must be positive when crash-rate > 0"
+  in
+  let* () =
+    check
+      (finite_in ~lo:0. ~hi:1. t.msg_loss && t.msg_loss < 1.)
+      "faults: loss must be in [0, 1)"
+  in
+  let* () =
+    check (finite_in ~lo:0. ~hi:1. t.msg_dup) "faults: dup must be in [0, 1]"
+  in
+  let* () =
+    check
+      (finite_in ~lo:0. ~hi:max_time t.msg_delay)
+      "faults: delay out of range"
+  in
+  let* () =
+    check
+      (finite_in ~lo:1e-9 ~hi:max_time t.timeout)
+      "faults: timeout must be positive"
+  in
+  let* () =
+    check
+      (finite_in ~lo:t.timeout ~hi:max_time t.timeout_cap)
+      "faults: timeout-cap must be >= timeout"
+  in
+  check (t.max_retries >= 1) "faults: retries must be >= 1"
+
+(* ------------------------------------------------------------------ *)
+(* Spec codec                                                          *)
+
+let g = Printf.sprintf "%.17g"
+
+let target_to_string = function
+  | Ids.Host -> "host"
+  | Ids.Proc i -> string_of_int i
+
+let to_spec t =
+  let items = ref [] in
+  let add s = items := s :: !items in
+  List.iter (fun n -> add ("chaos=" ^ n)) (List.rev t.chaos);
+  if t.fault_seed <> zero.fault_seed then
+    add (Printf.sprintf "fault-seed=%d" t.fault_seed);
+  if t.max_retries <> zero.max_retries then
+    add (Printf.sprintf "retries=%d" t.max_retries);
+  if not (Float.equal t.timeout_cap zero.timeout_cap) then
+    add ("timeout-cap=" ^ g t.timeout_cap);
+  if not (Float.equal t.timeout zero.timeout) then add ("timeout=" ^ g t.timeout);
+  if not (Float.equal t.mean_repair zero.mean_repair) then
+    add ("mttr=" ^ g t.mean_repair);
+  if not (Float.equal t.crash_rate 0.) then add ("crash-rate=" ^ g t.crash_rate);
+  List.iter
+    (fun c ->
+      add
+        (Printf.sprintf "crash=%s@%s+%s" (target_to_string c.target) (g c.at)
+           (g c.duration)))
+    (List.rev t.crashes);
+  if not (Float.equal t.msg_delay 0.) then add ("delay=" ^ g t.msg_delay);
+  if not (Float.equal t.msg_dup 0.) then add ("dup=" ^ g t.msg_dup);
+  if not (Float.equal t.msg_loss 0.) then add ("loss=" ^ g t.msg_loss);
+  String.concat "," !items
+
+let parse_float k v =
+  match float_of_string_opt v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "faults: bad number %S for %s" v k)
+
+let parse_int k v =
+  match int_of_string_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "faults: bad integer %S for %s" v k)
+
+let parse_target v =
+  if v = "host" then Ok Ids.Host
+  else
+    match int_of_string_opt v with
+    | Some i -> Ok (Ids.Proc i)
+    | None -> Error (Printf.sprintf "faults: bad crash target %S" v)
+
+let parse_crash v =
+  match String.index_opt v '@' with
+  | None -> Error (Printf.sprintf "faults: bad crash spec %S (want TGT@AT+DUR)" v)
+  | Some i -> (
+      let tgt = String.sub v 0 i in
+      let rest = String.sub v (i + 1) (String.length v - i - 1) in
+      match String.index_opt rest '+' with
+      | None ->
+          Error (Printf.sprintf "faults: bad crash spec %S (want TGT@AT+DUR)" v)
+      | Some j ->
+          let at_s = String.sub rest 0 j in
+          let dur_s = String.sub rest (j + 1) (String.length rest - j - 1) in
+          let* target = parse_target tgt in
+          let* at = parse_float "crash" at_s in
+          let* duration = parse_float "crash" dur_s in
+          Ok { target; at; duration })
+
+let of_spec s =
+  let items =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  List.fold_left
+    (fun acc item ->
+      let* t = acc in
+      match String.index_opt item '=' with
+      | None -> Error (Printf.sprintf "faults: bad item %S (want key=value)" item)
+      | Some i -> (
+          let k = String.trim (String.sub item 0 i) in
+          let v =
+            String.trim (String.sub item (i + 1) (String.length item - i - 1))
+          in
+          match k with
+          | "loss" ->
+              let* f = parse_float k v in
+              Ok { t with msg_loss = f }
+          | "dup" ->
+              let* f = parse_float k v in
+              Ok { t with msg_dup = f }
+          | "delay" ->
+              let* f = parse_float k v in
+              Ok { t with msg_delay = f }
+          | "crash" ->
+              let* c = parse_crash v in
+              Ok { t with crashes = t.crashes @ [ c ] }
+          | "crash-rate" ->
+              let* f = parse_float k v in
+              Ok { t with crash_rate = f }
+          | "mttr" ->
+              let* f = parse_float k v in
+              Ok { t with mean_repair = f }
+          | "timeout" ->
+              let* f = parse_float k v in
+              Ok { t with timeout = f }
+          | "timeout-cap" ->
+              let* f = parse_float k v in
+              Ok { t with timeout_cap = f }
+          | "retries" ->
+              let* i = parse_int k v in
+              Ok { t with max_retries = i }
+          | "fault-seed" ->
+              let* i = parse_int k v in
+              Ok { t with fault_seed = i }
+          | "chaos" -> Ok { t with chaos = t.chaos @ [ v ] }
+          | _ -> Error (Printf.sprintf "faults: unknown key %S" k)))
+    (Ok zero) items
+  |> fun parsed ->
+  (* range-check everything that does not need the machine size, so the
+     CLI rejects a bad spec before a run starts *)
+  let* t = parsed in
+  let* () = validate ~num_proc_nodes:Stdlib.max_int t in
+  Ok t
+
+let pp fmt t =
+  let s = to_spec t in
+  Format.pp_print_string fmt (if s = "" then "(none)" else s)

@@ -34,6 +34,14 @@ type t = {
       (** windowed (response, decomposition) pairs, newest first; the
           conformance suite checks each decomposition sums to its
           response *)
+  mutable committed_pages : int;
+      (** windowed page accesses of committed transactions; feeds goodput *)
+  indoubt : Stats.Tally.t;
+      (** windowed durations of closed in-doubt intervals: yes-vote sent
+          until the decision arrived at the cohort *)
+  indoubt_open : (int * int * int, float) Hashtbl.t;
+      (** (tid, attempt, node) -> yes-vote time, for still-undecided
+          cohorts; not windowed, so end-of-run stragglers are visible *)
 }
 
 let create eng ~restart_delay_floor =
@@ -54,6 +62,9 @@ let create eng ~restart_delay_floor =
     abort_reasons = Hashtbl.create 8;
     decomp_sum = Decomp.zero;
     decomp_records = [];
+    committed_pages = 0;
+    indoubt = Stats.Tally.create ();
+    indoubt_open = Hashtbl.create 64;
   }
 
 let begin_window t =
@@ -68,6 +79,8 @@ let begin_window t =
   Hashtbl.reset t.abort_reasons;
   t.decomp_sum <- Decomp.zero;
   t.decomp_records <- [];
+  t.committed_pages <- 0;
+  Stats.Tally.reset t.indoubt;
   Stats.Timeseries.set_window t.active_ts ~now:(Engine.now t.eng)
 
 let record_submit t =
@@ -79,9 +92,10 @@ let record_submit t =
     loop before the outcome-specific recorder. *)
 let record_completion t = t.completions <- t.completions + 1
 
-let record_commit t ~origin_time ~decomp =
+let record_commit t ~origin_time ~pages ~decomp =
   let response = Engine.now t.eng -. origin_time in
   t.commits <- t.commits + 1;
+  t.committed_pages <- t.committed_pages + pages;
   Stats.Tally.add t.response response;
   Stats.Batch_means.add t.response_batches response;
   t.response_samples <- response :: t.response_samples;
@@ -108,6 +122,42 @@ let window_duration t = Engine.now t.eng -. t.window_start
 let throughput t =
   let d = window_duration t in
   if d <= 0. then 0. else float_of_int t.commits /. d
+
+(** Committed page accesses per second: useful work, as opposed to
+    per-transaction {!throughput}. Under faults the gap between the two
+    widens as partially-done work is thrown away. *)
+let goodput t =
+  let d = window_duration t in
+  if d <= 0. then 0. else float_of_int t.committed_pages /. d
+
+(* -------------------------------------------------------------- *)
+(* Time blocked in 2PC: a cohort is in doubt from the moment it sends a
+   yes vote until the coordinator's decision reaches it. *)
+
+let record_prepared t ~tid ~attempt ~node =
+  Hashtbl.replace t.indoubt_open (tid, attempt, node) (Engine.now t.eng)
+
+let record_decided t ~tid ~attempt ~node =
+  match Hashtbl.find_opt t.indoubt_open (tid, attempt, node) with
+  | None -> ()
+  | Some start ->
+      Hashtbl.remove t.indoubt_open (tid, attempt, node);
+      Stats.Tally.add t.indoubt (Engine.now t.eng -. start)
+
+(** Mean closed in-doubt interval over the window (seconds). *)
+let indoubt_mean t = Stats.Tally.mean t.indoubt
+
+(** Cohorts still awaiting a 2PC decision right now. *)
+let indoubt_open t = Hashtbl.length t.indoubt_open
+
+(** Open in-doubt intervals older than [grace] seconds — transactions the
+    termination protocol should already have resolved. *)
+let indoubt_overdue t ~grace =
+  let now = Engine.now t.eng in
+  (* a count is the same in any iteration order *)
+  Hashtbl.fold (* lint: allow hashtbl-order *)
+    (fun _ start acc -> if now -. start > grace then acc + 1 else acc)
+    t.indoubt_open 0
 
 let mean_response t = Stats.Tally.mean t.response
 

@@ -17,10 +17,11 @@ val begin_window : t -> unit
 val record_submit : t -> unit
 
 (** A transaction committed; response time is measured from its first
-    submission, spanning any restarts. [decomp] is the transaction's
-    response-time decomposition, whose components must sum to the
-    response. *)
-val record_commit : t -> origin_time:float -> decomp:Decomp.t -> unit
+    submission, spanning any restarts. [pages] is the number of page
+    accesses in the committed plan (feeds {!goodput}); [decomp] is the
+    transaction's response-time decomposition, whose components must sum
+    to the response. *)
+val record_commit : t -> origin_time:float -> pages:int -> decomp:Decomp.t -> unit
 
 (** A transaction attempt aborted. *)
 val record_abort : t -> reason:Txn.abort_reason -> unit
@@ -35,6 +36,29 @@ val window_duration : t -> float
 
 (** Committed transactions per second over the measurement window. *)
 val throughput : t -> float
+
+(** Committed page accesses per second — useful work, as opposed to
+    per-transaction {!throughput}. Under faults the gap between the two
+    widens as partially-done work is thrown away. *)
+val goodput : t -> float
+
+(** A cohort sent a yes vote: it is now in doubt (blocked in 2PC) until
+    the coordinator's decision reaches it. *)
+val record_prepared : t -> tid:int -> attempt:int -> node:int -> unit
+
+(** The decision reached the cohort; closes the in-doubt interval (no-op
+    when none is open). *)
+val record_decided : t -> tid:int -> attempt:int -> node:int -> unit
+
+(** Mean closed in-doubt interval over the window, seconds. *)
+val indoubt_mean : t -> float
+
+(** Cohorts still awaiting a 2PC decision right now. *)
+val indoubt_open : t -> int
+
+(** Open in-doubt intervals older than [grace] seconds — transactions the
+    termination protocol should already have resolved. *)
+val indoubt_overdue : t -> grace:float -> int
 
 val mean_response : t -> float
 

@@ -116,6 +116,9 @@ type t = {
   resources : resources;
   cc : cc;
   run : run;
+  faults : Fault_plan.t;
+      (** seeded fault plan ({!Fault_plan.zero} = the paper's failure-free
+          machine; a zero plan is a true no-op) *)
 }
 
 (** Parameter values of Table 4 (the "fixed" column): 8 processing nodes,
@@ -156,6 +159,7 @@ let default =
     cc = { algorithm = Twopl; detection_interval = 1.0 };
     run =
       { seed = 1; warmup = 60.; measure = 600.; restart_delay_floor = 0.5; fresh_restart_plan = false };
+    faults = Fault_plan.zero;
   }
 
 let num_files t = t.database.num_relations * t.database.partitions_per_relation
@@ -210,4 +214,7 @@ let validate t =
       (0. <= r.min_disk_time && r.min_disk_time <= r.max_disk_time)
       "disk times must satisfy 0 <= min <= max"
   in
-  check (t.cc.detection_interval > 0.) "detection_interval must be positive"
+  let* () =
+    check (t.cc.detection_interval > 0.) "detection_interval must be positive"
+  in
+  Fault_plan.validate ~num_proc_nodes:d.num_proc_nodes t.faults

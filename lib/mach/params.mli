@@ -97,6 +97,9 @@ type t = {
   resources : resources;
   cc : cc;
   run : run;
+  faults : Fault_plan.t;
+      (** seeded fault plan ({!Fault_plan.zero} = the paper's failure-free
+          machine; a zero plan is a true no-op) *)
 }
 
 (** Parameter values of Table 4 (the "fixed" column): 8 processing nodes,

@@ -14,6 +14,8 @@ type abort_reason =
   | Cert_failed  (** OPT: local certification rejected a read/write *)
   | Died  (** wait-die: the younger requester aborted itself *)
   | Peer_abort  (** another cohort of the same transaction aborted *)
+  | Crashed  (** a participating node (or the host) crashed mid-attempt *)
+  | Timed_out  (** a 2PC step exhausted its retry budget *)
 
 let abort_reason_name = function
   | Local_deadlock -> "local-deadlock"
@@ -23,6 +25,8 @@ let abort_reason_name = function
   | Cert_failed -> "cert-failed"
   | Died -> "died"
   | Peer_abort -> "peer-abort"
+  | Crashed -> "crashed"
+  | Timed_out -> "timed-out"
 
 (** Raised inside a cohort process to unwind to its abort handler. *)
 exception Aborted of abort_reason

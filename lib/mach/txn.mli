@@ -14,6 +14,8 @@ type abort_reason =
   | Cert_failed  (** OPT: local certification rejected a read/write *)
   | Died  (** wait-die: the younger requester aborted itself *)
   | Peer_abort  (** another cohort of the same transaction aborted *)
+  | Crashed  (** a participating node (or the host) crashed mid-attempt *)
+  | Timed_out  (** a 2PC step exhausted its retry budget *)
 
 val abort_reason_name : abort_reason -> string
 

@@ -76,6 +76,7 @@ let hot_2pl_params =
         restart_delay_floor = 0.25;
         fresh_restart_plan = false;
       };
+      faults = Fault_plan.zero;
   }
 
 let test_clean_machine_conforms () =
@@ -86,14 +87,22 @@ let test_clean_machine_conforms () =
       Alcotest.fail (Ddbm_check.Conformance.failure_to_string f)
 
 let test_injected_fault_caught_and_replayed () =
-  Ddbm_cc.Fault.reset ();
+  (* the chaos fault travels in the parameters: Machine.create applies
+     it, so the replay artifact alone reproduces the failure *)
+  let broken_params =
+    {
+      hot_2pl_params with
+      Params.faults =
+        {
+          Fault_plan.zero with
+          Fault_plan.chaos = [ "broken-lock-conversion" ];
+        };
+    }
+  in
   Fun.protect ~finally:Ddbm_cc.Fault.reset (fun () ->
-      (match Ddbm_cc.Fault.set "broken-lock-conversion" with
-      | Ok () -> ()
-      | Error msg -> Alcotest.fail msg);
       match
         Ddbm_check.Conformance.check ~algorithms:[ Params.Twopl ]
-          ~artifact_dir:(artifact_dir ()) hot_2pl_params
+          ~artifact_dir:(artifact_dir ()) broken_params
       with
       | Ok () ->
           Alcotest.fail
@@ -125,7 +134,6 @@ let test_replay_without_fault_is_clean () =
       Ddbm_check.Replay.params = hot_2pl_params;
       kind = "audit";
       detail = "synthetic artifact for a clean machine";
-      faults = [];
     }
   in
   let path = Ddbm_check.Replay.write ~dir:(artifact_dir ()) a in
@@ -158,12 +166,24 @@ let prop_codec_roundtrip =
       | Error msg -> QCheck.Test.fail_report msg)
 
 let test_artifact_roundtrip () =
+  (* the fault plan — chaos fault and machine faults alike — rides in
+     the params and must survive the artifact codec *)
   let a =
     {
-      Ddbm_check.Replay.params = hot_2pl_params;
+      Ddbm_check.Replay.params =
+        {
+          hot_2pl_params with
+          Params.faults =
+            {
+              Fault_plan.zero with
+              Fault_plan.msg_loss = 0.1;
+              crashes = [ { Fault_plan.target = Ids.Proc 1; at = 2.5; duration = 1. } ];
+              fault_seed = 99;
+              chaos = [ "broken-lock-conversion" ];
+            };
+        };
       kind = "audit";
       detail = "serialization graph has a cycle through T3.1";
-      faults = [ "broken-lock-conversion" ];
     }
   in
   let path = Ddbm_check.Replay.write ~dir:(artifact_dir ()) a in
@@ -174,9 +194,7 @@ let test_artifact_roundtrip () =
         (b.Ddbm_check.Replay.params = a.Ddbm_check.Replay.params);
       Alcotest.(check string) "kind" a.Ddbm_check.Replay.kind b.Ddbm_check.Replay.kind;
       Alcotest.(check string) "detail" a.Ddbm_check.Replay.detail
-        b.Ddbm_check.Replay.detail;
-      Alcotest.(check (list string))
-        "faults" a.Ddbm_check.Replay.faults b.Ddbm_check.Replay.faults
+        b.Ddbm_check.Replay.detail
 
 let test_load_rejects_garbage () =
   let dir = artifact_dir () in

@@ -29,5 +29,6 @@ let () =
       ("workload", Test_workload.suite);
       ("observability", Test_observability.suite);
       ("conformance", Test_conformance.suite);
+      ("faults", Test_faults.suite);
       ("lint", Test_lint.suite);
     ]

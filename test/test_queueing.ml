@@ -104,6 +104,7 @@ let test_machine_littles_law () =
       run =
         { Params.seed = 2; warmup = 60.; measure = 400.;
           restart_delay_floor = 0.5; fresh_restart_plan = false };
+      faults = Fault_plan.zero;
     }
   in
   let r = Ddbm.Machine.run params in
@@ -130,6 +131,7 @@ let test_machine_interactive_response_law () =
       run =
         { Params.seed = 3; warmup = 80.; measure = 400.;
           restart_delay_floor = 0.5; fresh_restart_plan = false };
+      faults = Fault_plan.zero;
     }
   in
   let r = Ddbm.Machine.run params in
