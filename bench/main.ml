@@ -177,6 +177,7 @@ let run_observability ~out =
           restart_delay_floor = 0.5;
           fresh_restart_plan = false;
         };
+      durability = Params.default_durability;
       faults = Fault_plan.zero;
     }
   in
@@ -350,6 +351,114 @@ let run_faults ~out =
     lossy_r.Ddbm.Sim_result.availability out
 
 (* ------------------------------------------------------------------ *)
+(* Durability & recovery: under a rate-driven crash plan with the log
+   disk on, primary/backup failover (replicas=1) must strictly beat the
+   doom-every-resident-cohort baseline (replicas=0) on goodput without
+   hurting availability, and neither run may lose a committed
+   transaction. (Availability counts node-seconds up, so under one
+   crash plan it is identical by construction; failover's gain is the
+   committed work salvaged while nodes are down.) *)
+
+let run_recovery ~out =
+  let open Ddbm_model in
+  let d = Params.default in
+  let crashy =
+    {
+      Fault_plan.zero with
+      Fault_plan.crash_rate = 0.02;
+      mean_repair = 1.5;
+      msg_loss = 0.02;
+      timeout = 0.5;
+      timeout_cap = 2.;
+      max_retries = 4;
+      fault_seed = 31;
+    }
+  in
+  let params replicas =
+    {
+      d with
+      Params.database =
+        {
+          d.Params.database with
+          Params.num_proc_nodes = 8;
+          partitioning_degree = 8;
+          file_size = 120;
+        };
+      workload =
+        { d.Params.workload with Params.think_time = 1.; num_terminals = 64 };
+      cc = { d.Params.cc with Params.algorithm = Params.Twopl };
+      run =
+        {
+          Params.seed = 1;
+          warmup = 5.;
+          measure = 30.;
+          restart_delay_floor = 0.5;
+          fresh_restart_plan = false;
+        };
+      durability =
+        {
+          Params.log_disk = true;
+          log_min_time = 0.002;
+          log_max_time = 0.006;
+          log_force = Params.At_prepare;
+          replicas;
+        };
+      faults = crashy;
+    }
+  in
+  let doom = Ddbm.Machine.run (params 0) in
+  let failover = Ddbm.Machine.run (params 1) in
+  let improved =
+    failover.Ddbm.Sim_result.availability >= doom.Ddbm.Sim_result.availability
+    && failover.Ddbm.Sim_result.goodput > doom.Ddbm.Sim_result.goodput
+  in
+  let line tag (r : Ddbm.Sim_result.t) =
+    Printf.sprintf
+      "  \"%s\": {\"availability\": %.6f, \"goodput\": %.4f, \"throughput\": \
+       %.4f, \"recoveries\": %d, \"mean_recovery_time\": %.4f, \"failovers\": \
+       %d, \"orphaned\": %d, \"lost_commits\": %d}"
+      tag r.Ddbm.Sim_result.availability r.Ddbm.Sim_result.goodput
+      r.Ddbm.Sim_result.throughput r.Ddbm.Sim_result.recoveries
+      r.Ddbm.Sim_result.mean_recovery_time r.Ddbm.Sim_result.failovers
+      r.Ddbm.Sim_result.orphaned r.Ddbm.Sim_result.lost_commits
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"config\": \"2pl, 8 nodes, 64 terminals, log disk + rate-driven \
+     crashes, 35 s simulated\",\n\
+     %s,\n\
+     %s,\n\
+    \  \"failover_improves\": %b\n\
+     }\n"
+    (line "replicas_0" doom)
+    (line "replicas_1" failover)
+    improved;
+  close_out oc;
+  Printf.printf
+    "== durability & recovery ==\n\
+     replicas=0  availability %.4f, goodput %6.2f pages/s, %d recoveries, %d \
+     orphaned, %d lost\n\
+     replicas=1  availability %.4f, goodput %6.2f pages/s, %d recoveries, %d \
+     failovers, %d lost\n\
+     failover improves goodput without hurting availability: %b\n\
+     written to %s\n\n\
+     %!"
+    doom.Ddbm.Sim_result.availability doom.Ddbm.Sim_result.goodput
+    doom.Ddbm.Sim_result.recoveries doom.Ddbm.Sim_result.orphaned
+    doom.Ddbm.Sim_result.lost_commits failover.Ddbm.Sim_result.availability
+    failover.Ddbm.Sim_result.goodput failover.Ddbm.Sim_result.recoveries
+    failover.Ddbm.Sim_result.failovers failover.Ddbm.Sim_result.lost_commits
+    improved out;
+  if doom.Ddbm.Sim_result.lost_commits <> 0
+     || failover.Ddbm.Sim_result.lost_commits <> 0
+     || not improved
+  then begin
+    Printf.eprintf "BENCH_recovery: durability acceptance FAILED\n%!";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let profile_conv =
   let parse s =
@@ -406,13 +515,25 @@ let main =
       & opt string "BENCH_faults.json"
       & info [ "faults-out" ] ~docv:"FILE"
           ~doc:"Where to write the fault-machinery overhead report.")
+  and+ skip_recovery =
+    Arg.(
+      value & flag
+      & info [ "no-recovery" ]
+          ~doc:"Skip the durability & recovery benchmark.")
+  and+ recovery_out =
+    Arg.(
+      value
+      & opt string "BENCH_recovery.json"
+      & info [ "recovery-out" ] ~docv:"FILE"
+          ~doc:"Where to write the durability & recovery report.")
   and+ verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log each run.")
   in
   if not skip_figs then run_figures ~profile ~ids ~thinks ~csv_dir ~verbose;
   if not skip_micro then run_micro ();
   if not skip_obs then run_observability ~out:obs_out;
-  if not skip_faults then run_faults ~out:faults_out
+  if not skip_faults then run_faults ~out:faults_out;
+  if not skip_recovery then run_recovery ~out:recovery_out
 
 let () =
   exit

@@ -82,6 +82,32 @@ let params_term =
       & info [ "logging" ]
           ~doc:"Model forced log writes at prepare (off by default, per \
                 the paper's footnote 5).")
+  and+ log_disk =
+    Arg.(
+      value & flag
+      & info [ "log-disk" ]
+          ~doc:"Model a per-node log disk: cohorts append write-ahead-log \
+                records and block on FCFS log forces, and recovery \
+                replays the durable log after a crash.")
+  and+ log_force =
+    Arg.(
+      value
+      & opt (enum [ ("prepare", Params.At_prepare); ("commit", Params.At_commit) ])
+          Params.At_prepare
+      & info [ "log-force" ] ~docv:"POLICY"
+          ~doc:
+            "Log force policy with --log-disk: 'prepare' (default) forces \
+             only the prepare record before voting; 'commit' additionally \
+             forces the commit record before acknowledging.")
+  and+ replicas =
+    Arg.(
+      value & opt int 0
+      & info [ "replicas" ] ~docv:"K"
+          ~doc:
+            "Ship each updating cohort's write-set to $(docv) backup \
+             nodes at work-done; when the primary crashes mid-transaction \
+             the coordinator fails over to a live backup instead of \
+             aborting (0 = off).")
   and+ warmup =
     Arg.(
       value & opt float 60.
@@ -134,6 +160,8 @@ let params_term =
       };
     cc = { default.Params.cc with Params.algorithm };
     run = { default.Params.run with Params.seed; warmup; measure };
+    durability =
+      { Params.default_durability with Params.log_disk; log_force; replicas };
     faults;
   }
 

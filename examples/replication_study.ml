@@ -28,6 +28,7 @@ let run ~algorithm ~replication ~inst_per_msg =
       run =
         { Params.seed = 13; warmup = 30.; measure = 200.;
           restart_delay_floor = 0.5; fresh_restart_plan = false };
+      durability = Params.default_durability;
       faults = Fault_plan.zero;
     }
   in

@@ -30,7 +30,7 @@ let clamp_degree ~partitions ~limit degree =
 let build ~nodes ~relations ~partitions ~degree ~file_size ~replication
     ~terminals ~think ~exec_pattern ~pages ~write_prob ~inst_per_page
     ~inst_per_startup ~inst_per_msg ~inst_per_cc_req ~disks ~logging
-    ~detection_interval ~seed ~measure ~fresh_restart_plan ~faults =
+    ~detection_interval ~seed ~measure ~fresh_restart_plan ~durability ~faults =
   let d = Params.default in
   {
     Params.database =
@@ -69,6 +69,7 @@ let build ~nodes ~relations ~partitions ~degree ~file_size ~replication
         restart_delay_floor = 0.25;
         fresh_restart_plan;
       };
+    durability;
     faults;
   }
 
@@ -118,6 +119,21 @@ let gen_faults ~nodes : Fault_plan.t QCheck.Gen.t =
         fault_seed;
       }
 
+(* Durability blocks for the conformance sweep: mostly off (the paper's
+   machine), sometimes a log disk and/or a backup replica — the
+   no-lost-commit invariant must hold under every combination with every
+   fault plan. *)
+let gen_durability ~nodes : Params.durability QCheck.Gen.t =
+  let open QCheck.Gen in
+  let dd = Params.default_durability in
+  let* off = frequencyl [ (2, true); (3, false) ] in
+  if off then return dd
+  else
+    let* log_disk = frequencyl [ (1, false); (3, true) ] in
+    let* log_force = oneofl [ Params.At_prepare; Params.At_prepare; Params.At_commit ] in
+    let* replicas = if nodes = 1 then return 0 else oneofl [ 0; 1; 1 ] in
+    return { dd with Params.log_disk; log_force; replicas }
+
 let gen : Params.t QCheck.Gen.t =
   let open QCheck.Gen in
   let* nodes = oneofl powers_of_two in
@@ -150,12 +166,14 @@ let gen : Params.t QCheck.Gen.t =
   let* seed = int_range 1 1_000_000 in
   let* measure = oneofl [ 5.; 8. ] in
   let* fresh_restart_plan = bool in
+  let* durability = gen_durability ~nodes in
   let* faults = gen_faults ~nodes in
   return
     (build ~nodes ~relations ~partitions ~degree ~file_size ~replication
        ~terminals ~think ~exec_pattern ~pages ~write_prob ~inst_per_page
        ~inst_per_startup ~inst_per_msg ~inst_per_cc_req ~disks ~logging
-       ~detection_interval ~seed ~measure ~fresh_restart_plan ~faults)
+       ~detection_interval ~seed ~measure ~fresh_restart_plan ~durability
+       ~faults)
 
 (* Candidate simplifications, each kept only if still valid. *)
 let shrink (p : Params.t) : Params.t QCheck.Iter.t =
@@ -193,6 +211,13 @@ let shrink (p : Params.t) : Params.t QCheck.Iter.t =
                        ~limit:nodes d.Params.partitioning_degree;
                    replication = Stdlib.min d.Params.replication nodes;
                  };
+               (* replica count must stay in range on the smaller machine *)
+               durability =
+                 {
+                   p.Params.durability with
+                   Params.replicas =
+                     Stdlib.min p.Params.durability.Params.replicas (nodes - 1);
+                 };
                (* crash targets must stay in range on the smaller machine *)
                faults =
                  {
@@ -227,6 +252,19 @@ let shrink (p : Params.t) : Params.t QCheck.Iter.t =
          else []);
         (if run.Params.fresh_restart_plan then
            [ { p with Params.run = { run with Params.fresh_restart_plan = false } } ]
+         else []);
+        (* durability simplifications: all off first, then one knob at a
+           time *)
+        (let dur = p.Params.durability in
+         (if dur <> Params.default_durability then
+            [ { p with Params.durability = Params.default_durability } ]
+          else [])
+         @ (if dur.Params.replicas > 0 then
+              [ { p with Params.durability = { dur with Params.replicas = 0 } } ]
+            else [])
+         @
+         if dur.Params.log_disk then
+           [ { p with Params.durability = { dur with Params.log_disk = false } } ]
          else []);
         (if run.Params.measure > 5. then
            [ { p with Params.run = { run with Params.measure = 5. } } ]

@@ -1,0 +1,69 @@
+(** Cross-algorithm conformance engine.
+
+    For one parameter record this module runs *every* registered
+    concurrency control algorithm with the serializability auditor
+    attached and asserts, per algorithm: the committed history is
+    serializable, the {!Invariants} hold, and the run is bit-for-bit
+    deterministic; and across algorithms, that the per-terminal plan
+    streams agree (common random numbers). Failures shrink at the QCheck
+    layer and are written as replay artifacts ({!Replay}). *)
+
+open Ddbm_model
+
+type failure = {
+  params : Params.t;  (** configuration, algorithm included *)
+  kind : string;  (** audit | invariant | determinism | agreement *)
+  detail : string;
+}
+
+val failure_to_string : failure -> string
+
+(** One fully instrumented run: audit + plan fingerprints, optionally an
+    event trace and caller instrumentation (e.g. typed-event sinks or
+    the time-series sampler), applied between creation and execution. *)
+val run_instrumented :
+  ?trace_capacity:int ->
+  ?instrument:(Ddbm.Machine.t -> unit) ->
+  Params.t ->
+  Ddbm.Sim_result.t * Ddbm.Audit.t * int list array * Desim.Trace.t option
+
+(** Audit + invariants + determinism for [params] as given (single
+    algorithm). Returns the first run's result and fingerprints for the
+    cross-algorithm checks, plus the event trace (when requested) for
+    post-mortems either way. [instrument] is applied to *both* runs of
+    the determinism check. *)
+val check_algorithm_traced :
+  ?trace_capacity:int ->
+  ?instrument:(Ddbm.Machine.t -> unit) ->
+  Params.t ->
+  (Ddbm.Sim_result.t * int list array, failure) result * Desim.Trace.t option
+
+val check_algorithm :
+  Params.t -> (Ddbm.Sim_result.t * int list array, failure) result
+
+(** Run every algorithm in [algorithms] on [params] (the algorithm field
+    of [params] is overridden), checking each in isolation and then the
+    cross-algorithm workload agreement. On failure, writes a replay
+    artifact into [artifact_dir] (when given) and returns the failure
+    along with the artifact path. *)
+val check :
+  ?algorithms:Params.cc_algorithm list ->
+  ?artifact_dir:string ->
+  Params.t ->
+  (unit, failure * string option) result
+
+type replay_outcome = {
+  artifact : Replay.artifact;
+  reproduced : failure option;  (** [None]: the run is clean now *)
+  result : Ddbm.Sim_result.t option;
+      (** measured result of the (first) replayed run, when it completed *)
+  trace_tail : string list;  (** last traced events of the failing run *)
+}
+
+(** Load an artifact and re-execute its (seed, params, algorithm) with
+    audit, invariants, determinism check and an event trace attached. *)
+val replay_file :
+  ?trace_capacity:int ->
+  ?instrument:(Ddbm.Machine.t -> unit) ->
+  string ->
+  (replay_outcome, string) result

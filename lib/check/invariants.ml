@@ -94,6 +94,29 @@ let check (r : Ddbm.Sim_result.t) : string list =
   if r.Ddbm.Sim_result.indoubt_overdue_at_end <> 0 then
     add "%d transactions stuck in doubt past the termination grace"
       r.Ddbm.Sim_result.indoubt_overdue_at_end;
+  (* durability: a committed transaction is never lost — under every
+     fault plan, every updating cohort of every commit must leave durable
+     evidence (installs, a durable decision record, or a durable prepare
+     plus the logged decision) *)
+  if r.Ddbm.Sim_result.lost_commits <> 0 then
+    add "%d committed transactions lost durable coverage"
+      r.Ddbm.Sim_result.lost_commits;
+  if r.Ddbm.Sim_result.recoveries < 0 then
+    add "recoveries %d negative" r.Ddbm.Sim_result.recoveries;
+  if r.Ddbm.Sim_result.mean_recovery_time < 0. then
+    add "mean_recovery_time %.17g negative"
+      r.Ddbm.Sim_result.mean_recovery_time;
+  in01 "log_disk_util" r.Ddbm.Sim_result.log_disk_util;
+  if not p.Params.durability.Params.log_disk then begin
+    (* the durability model off must cost nothing and record nothing *)
+    if r.Ddbm.Sim_result.log_forces <> 0 then
+      add "log_forces = %d without a log disk" r.Ddbm.Sim_result.log_forces;
+    if not (Float.equal r.Ddbm.Sim_result.log_disk_util 0.) then
+      add "log_disk_util %.17g without a log disk"
+        r.Ddbm.Sim_result.log_disk_util;
+    if r.Ddbm.Sim_result.recoveries <> 0 then
+      add "recoveries = %d without a log disk" r.Ddbm.Sim_result.recoveries
+  end;
   let fault_active = Fault_plan.active p.Params.faults in
   if not fault_active then begin
     let zero name v = if v <> 0 then add "%s = %d under an inactive fault plan" name v in
@@ -105,8 +128,12 @@ let check (r : Ddbm.Sim_result.t) : string list =
     zero "msgs_dropped" r.Ddbm.Sim_result.msgs_dropped;
     zero "msgs_duplicated" r.Ddbm.Sim_result.msgs_duplicated;
     zero "node_crashes" r.Ddbm.Sim_result.node_crashes;
-    zero "orphaned" r.Ddbm.Sim_result.orphaned
+    zero "orphaned" r.Ddbm.Sim_result.orphaned;
+    zero "failovers" r.Ddbm.Sim_result.failovers;
+    zero "recoveries" r.Ddbm.Sim_result.recoveries
   end;
+  if p.Params.durability.Params.replicas = 0 && r.Ddbm.Sim_result.failovers <> 0
+  then add "failovers = %d without replication" r.Ddbm.Sim_result.failovers;
   (* NO_DC grants every request: without machine faults nothing can
      abort (faults add crash/timeout aborts even under NO_DC) *)
   (match r.Ddbm.Sim_result.algorithm with

@@ -1,0 +1,14 @@
+(** Metric conservation and sanity invariants over a {!Ddbm.Sim_result.t}.
+
+    These hold for *every* configuration and every concurrency control
+    algorithm; a violation means the machine model (not the workload) is
+    broken. Covered: commit/abort conservation, utilization and
+    availability ranges, response-time floors, abort-reason accounting,
+    2PC termination (nothing stays in doubt past the grace), zero fault
+    metrics under an inactive fault plan, and durability — no committed
+    transaction may ever be lost ([lost_commits] = 0), with the log
+    metrics zero when the durability model is off. *)
+
+(** All violations found in [r], as human-readable strings (empty when
+    the result is conserving and sane). *)
+val check : Ddbm.Sim_result.t -> string list

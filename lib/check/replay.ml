@@ -41,6 +41,7 @@ let params_fields (p : Params.t) =
   and w = p.Params.workload
   and r = p.Params.resources
   and c = p.Params.cc
+  and dur = p.Params.durability
   and run = p.Params.run in
   let f = Printf.sprintf "%.17g" in
   [
@@ -68,6 +69,11 @@ let params_fields (p : Params.t) =
     ("inst_per_cc_req", f r.Params.inst_per_cc_req);
     ("model_logging", string_of_bool r.Params.model_logging);
     ("detection_interval", f c.Params.detection_interval);
+    ("log_disk", string_of_bool dur.Params.log_disk);
+    ("log_min_time", f dur.Params.log_min_time);
+    ("log_max_time", f dur.Params.log_max_time);
+    ("log_force", Params.log_force_name dur.Params.log_force);
+    ("replicas", string_of_int dur.Params.replicas);
     ("seed", string_of_int run.Params.seed);
     ("warmup", f run.Params.warmup);
     ("measure", f run.Params.measure);
@@ -149,6 +155,23 @@ let params_of_assoc assoc =
   let* inst_per_cc_req = field assoc "inst_per_cc_req" float_conv in
   let* model_logging = field assoc "model_logging" bool_conv in
   let* detection_interval = field assoc "detection_interval" float_conv in
+  (* the durability block is absent in artifacts written before the WAL
+     subsystem existed: default to durability-off, the paper's machine *)
+  let opt_field key conv default =
+    match List.assoc_opt key assoc with
+    | None -> Ok default
+    | Some v -> (
+        match conv v with
+        | Some x -> Ok x
+        | None ->
+            Error (Printf.sprintf "replay artifact: bad value %S for %S" v key))
+  in
+  let dd = Params.default_durability in
+  let* log_disk = opt_field "log_disk" bool_conv dd.Params.log_disk in
+  let* log_min_time = opt_field "log_min_time" float_conv dd.Params.log_min_time in
+  let* log_max_time = opt_field "log_max_time" float_conv dd.Params.log_max_time in
+  let* log_force = opt_field "log_force" Params.log_force_of_string dd.Params.log_force in
+  let* replicas = opt_field "replicas" int_conv dd.Params.replicas in
   let* seed = field assoc "seed" int_conv in
   let* warmup = field assoc "warmup" float_conv in
   let* measure = field assoc "measure" float_conv in
@@ -211,6 +234,8 @@ let params_of_assoc assoc =
           restart_delay_floor;
           fresh_restart_plan;
         };
+      durability =
+        { Params.log_disk; log_min_time; log_max_time; log_force; replicas };
       faults;
     }
   in

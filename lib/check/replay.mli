@@ -1,0 +1,43 @@
+(** Self-contained replay artifacts for conformance failures.
+
+    An artifact is a small line-oriented text file — `key = value`, one
+    per line — carrying everything needed to re-execute a failing run:
+    the complete parameter record (algorithm, seed, fault plan, and
+    durability model included), and the failure kind and detail. Floats
+    are printed with ["%.17g"] so they round-trip bit-for-bit.
+
+    `ddbm_cli replay <file>` feeds an artifact back through
+    {!Conformance.replay_file}. *)
+
+open Ddbm_model
+
+type artifact = {
+  params : Params.t;
+      (** full configuration; algorithm in [params.cc], fault plan
+          (including chaos switches) in [params.faults] *)
+  kind : string;  (** failure class: audit, invariant, determinism, ... *)
+  detail : string;  (** human-readable description of the failure *)
+}
+
+(** One-line [key=value;...] rendering of a parameter record; total — every
+    valid record encodes. *)
+val params_to_string : Params.t -> string
+
+(** Inverse of {!params_to_string}. Unknown keys are rejected; optional
+    keys added by later schema versions default when absent, so old
+    artifacts stay readable. *)
+val params_of_string : string -> (Params.t, string) result
+
+(** Multi-line artifact codec (header with {i magic} line included). *)
+val artifact_to_string : artifact -> string
+
+val artifact_of_string : string -> (artifact, string) result
+
+(** Deterministic filename derived from the artifact's content hash. *)
+val artifact_filename : artifact -> string
+
+(** Write the artifact into [dir] (created if missing) under its
+    {!artifact_filename}; returns the full path. *)
+val write : dir:string -> artifact -> string
+
+val load : string -> (artifact, string) result

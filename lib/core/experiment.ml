@@ -110,6 +110,7 @@ let params_of_config ?(profile = Quick) ?(seed = 1) (c : config) =
         detection_interval = c.detection_interval;
       };
     run = run_params profile ~think:c.think ~nodes:c.nodes ~seed;
+    durability = Params.default_durability;
     faults = Fault_plan.zero;
   }
 

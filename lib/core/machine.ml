@@ -30,6 +30,9 @@ type fault_rt = {
   node_state : Faults.Crashable.t array;
   host_state : Faults.Crashable.t;
   crash_rngs : Rng.t array;  (** per proc node, rate-driven crashes *)
+  jitter_rng : Rng.t;
+      (** drives the optional timeout jitter; untouched (and never drawn
+          from) when the plan's [timeout_jitter] is zero *)
   decisions : (int * int, bool) Hashtbl.t;
       (** 2PC decision log, (tid, attempt) -> commit; written before any
           phase-two message is sent and kept for the whole run so the
@@ -42,6 +45,8 @@ type fault_rt = {
   mutable msgs_duplicated : int;
   mutable node_crashes : int;
   mutable orphaned : int;
+  mutable failovers : int;
+      (** cohorts resurrected at their backup node after a primary crash *)
   (* availability accounting: windowed downtime per node (reset with the
      observation windows) plus an unwindowed total feeding the in-doubt
      overdue grace *)
@@ -64,7 +69,18 @@ type t = {
   workload : Workload.t;
   live : (int, Messages.attempt_runtime) Hashtbl.t;
   think_rng : Rng.t;
+  wal : Wal.t array option;
+      (** one write-ahead log per processing node when the durability
+          model is on ([durability.log_disk]); [None] otherwise — the
+          zero-config machine pays nothing *)
   mutable next_tid : int;
+  mutable recoveries : int;  (** completed crash-recovery passes *)
+  mutable recovery_time : float;  (** summed recovery durations *)
+  mutable committed_cov : (int * int * int list) list;
+      (** durability coverage obligations, newest first: (tid, attempt,
+          updating-cohort nodes after failover relocation) of every fully
+          committed transaction; checked against the WALs at end of run
+          ([lost_commits] must be 0) *)
   mutable faults : fault_rt option;
   mutable snoop : Ddbm_cc.Snoop.t option;
   mutable audit : Audit.t option;
@@ -140,6 +156,21 @@ let create (params : Params.t) =
   let net = Net.create ~eng ~inst_per_msg:resources.Params.inst_per_msg ~cpu_of () in
   let catalog = Catalog.create params.Params.database in
   let workload = Workload.create params catalog (Rng.split rng) in
+  (* [think_rng] must be split before any durability stream so the
+     offered load is unchanged by turning the log model on or off. *)
+  let think_rng = Rng.split rng in
+  let wal =
+    let d = params.Params.durability in
+    if d.Params.log_disk then begin
+      let wal_rng = Rng.split rng in
+      Some
+        (Array.init (Array.length procs) (fun _ ->
+             Wal.create eng (Rng.split wal_rng)
+               ~min_time:d.Params.log_min_time
+               ~max_time:d.Params.log_max_time))
+    end
+    else None
+  in
   let t =
     {
       eng;
@@ -154,8 +185,12 @@ let create (params : Params.t) =
       catalog;
       workload;
       live = Hashtbl.create 256;
-      think_rng = Rng.split rng;
+      think_rng;
+      wal;
       next_tid = 0;
+      recoveries = 0;
+      recovery_time = 0.;
+      committed_cov = [];
       faults = None;
       snoop = None;
       audit = None;
@@ -198,6 +233,10 @@ let create (params : Params.t) =
     let frng = Rng.create plan.Fault_plan.fault_seed in
     let link_rng = Rng.split frng in
     let n = Array.length procs in
+    (* split order matters for reproducibility: the crash streams must
+       see the same splits as before the jitter stream existed *)
+    let crash_rngs = Array.init n (fun _ -> Rng.split frng) in
+    let jitter_rng = Rng.split frng in
     let f =
       {
         plan;
@@ -206,7 +245,8 @@ let create (params : Params.t) =
             ~dup:plan.Fault_plan.msg_dup ~delay:plan.Fault_plan.msg_delay;
         node_state = Array.init n (fun _ -> Faults.Crashable.create ());
         host_state = Faults.Crashable.create ();
-        crash_rngs = Array.init n (fun _ -> Rng.split frng);
+        crash_rngs;
+        jitter_rng;
         decisions = Hashtbl.create 256;
         host_down_until = 0.;
         timeouts = 0;
@@ -215,6 +255,7 @@ let create (params : Params.t) =
         msgs_duplicated = 0;
         node_crashes = 0;
         orphaned = 0;
+        failovers = 0;
         node_down_since = Array.make n None;
         host_down_since = None;
         node_downtime = Array.make n 0.;
@@ -265,6 +306,95 @@ let live_sorted t =
   Hashtbl.fold (fun tid rt acc -> (tid, rt) :: acc) t.live []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
+let loaded_nodes (rt : Messages.attempt_runtime) =
+  Hashtbl.fold (fun node _ acc -> node :: acc) rt.Messages.cohort_mbs []
+  |> List.sort Int.compare
+
+let cohort_plan_of (txn : Txn.t) node =
+  List.find_opt
+    (fun (c : Plan.cohort_plan) -> c.Plan.node = node)
+    txn.Txn.plan.Plan.cohorts
+
+(* Primary/backup replication: each processing node's backup is its ring
+   successor. *)
+let backup_of t i = (i + 1) mod Array.length t.procs
+
+(* Where the cohort originally planned at [node] now runs: its backup
+   after a failover, [node] itself otherwise. *)
+let resident_node (rt : Messages.attempt_runtime) node =
+  match Hashtbl.find_opt rt.Messages.relocated node with
+  | Some b -> b
+  | None -> node
+
+(* Crash recovery at a processing node (WAL model on): an analysis scan
+   of the durable log, one control-plane round trip resolving the
+   in-doubt set against the host's decision log, a redo pass installing
+   the durable updates of commit-decided transactions onto the data
+   disks, and a truncating checkpoint. A cohort fiber that later receives
+   the (retried) Do_commit finds its installs already done and only
+   releases its CC footprint and acknowledges. In-doubt attempts that are
+   still live stay in doubt — the ordinary termination protocol resolves
+   them — and finished attempts without a logged decision are presumed
+   aborted. *)
+let spawn_recovery t f i wal =
+  Engine.spawn t.eng (fun () ->
+      emit t (fun () -> Event.Recovery_started { node = i });
+      let t0 = Engine.now t.eng in
+      Wal.scan wal;
+      let doubts = Wal.in_doubt wal in
+      let resolved = ref [] in
+      if doubts <> [] then begin
+        let got : unit Ivar.t = Ivar.create () in
+        Net.send t.net ~src:(Proc i) ~dst:Host (fun () ->
+            let answers =
+              List.map
+                (fun (tid, attempt) ->
+                  let live =
+                    match Hashtbl.find_opt t.live tid with
+                    | Some rt -> Int.equal rt.Messages.txn.Txn.attempt attempt
+                    | None -> false
+                  in
+                  (tid, attempt, live, Hashtbl.find_opt f.decisions (tid, attempt)))
+                doubts
+            in
+            Net.send_async t.net ~src:Host ~dst:(Proc i) (fun () ->
+                resolved := answers;
+                Ivar.fill got ()));
+        Ivar.read got
+      end;
+      (* a re-crash while recovering abandons the pass; the next recovery
+         starts over from the durable log *)
+      if Faults.Crashable.up f.node_state.(i) then begin
+        let redone = ref 0 in
+        let node = t.procs.(i) in
+        let inst = t.params.Params.resources.Params.inst_per_update in
+        List.iter
+          (fun (tid, attempt, live, decision) ->
+            match decision with
+            | Some true ->
+                for _ = 1 to Wal.redo_pages wal ~tid ~attempt do
+                  Cpu.consume node.Node.cpu ~instructions:inst;
+                  Disk.write (Node.random_disk node)
+                done;
+                Wal.append wal (Wal.Commit { tid; attempt });
+                Wal.mark_installed wal ~tid ~attempt;
+                incr redone
+            | Some false -> Wal.append wal (Wal.Abort { tid; attempt })
+            | None ->
+                if not live then Wal.append wal (Wal.Abort { tid; attempt }))
+          !resolved;
+        Wal.append wal (Wal.Checkpoint { active = List.length doubts });
+        Wal.force wal;
+        if Faults.Crashable.up f.node_state.(i) then begin
+          let dur = Engine.now t.eng -. t0 in
+          t.recoveries <- t.recoveries + 1;
+          t.recovery_time <- t.recovery_time +. dur;
+          emit t (fun () ->
+              Event.Recovery_completed
+                { node = i; duration = dur; redone = !redone })
+        end
+      end)
+
 let recover_node t f i =
   if not (Faults.Crashable.up f.node_state.(i)) then begin
     Faults.Crashable.recover f.node_state.(i);
@@ -275,42 +405,10 @@ let recover_node t f i =
         f.total_downtime <- f.total_downtime +. d;
         f.node_down_since.(i) <- None
     | None -> ());
-    emit t (fun () -> Event.Node_recovered { node = Proc i })
-  end
-
-(* A processing-node crash loses the volatile state of every resident
-   cohort that has not yet voted yes: its locks/workspace are torn down
-   (out-of-band [cc_abort]) and the whole attempt is doomed. Prepared
-   (yes-voted) cohorts survive — their state is durable by the vote rule
-   — and are resolved by the 2PC termination protocol. *)
-let crash_node t f i ~duration =
-  if Faults.Crashable.up f.node_state.(i) then begin
-    Faults.Crashable.crash f.node_state.(i);
-    f.node_crashes <- f.node_crashes + 1;
-    f.node_down_since.(i) <- Some (Engine.now t.eng);
-    emit t (fun () -> Event.Node_crashed { node = Proc i });
-    List.iter
-      (fun (_, (rt : Messages.attempt_runtime)) ->
-        let txn = rt.Messages.txn in
-        if
-          Hashtbl.mem rt.Messages.cohort_mbs i
-          && (not (Hashtbl.mem rt.Messages.voted_nodes i))
-          && decision_of f txn = None
-        then begin
-          txn.Txn.doomed <- true;
-          if rt.Messages.doom_reason = None then
-            rt.Messages.doom_reason <- Some Txn.Crashed;
-          (Node.cc t.procs.(i)).Cc_intf.cc_abort txn;
-          f.orphaned <- f.orphaned + 1;
-          emit t (fun () ->
-              Event.Txn_orphaned
-                { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node = i })
-        end)
-      (live_sorted t);
-    ignore
-      (Engine.schedule_after t.eng ~delay:duration (fun () ->
-           recover_node t f i)
-        : Engine.handle)
+    emit t (fun () -> Event.Node_recovered { node = Proc i });
+    match t.wal with
+    | Some wals -> spawn_recovery t f i wals.(i)
+    | None -> ()
   end
 
 let recover_host t f =
@@ -353,47 +451,17 @@ let crash_host t f ~duration =
         : Engine.handle)
   end
 
-let schedule_faults t f =
-  List.iter
-    (fun (c : Fault_plan.crash) ->
-      ignore
-        (Engine.schedule t.eng ~at:c.Fault_plan.at (fun () ->
-             match c.Fault_plan.target with
-             | Host -> crash_host t f ~duration:c.Fault_plan.duration
-             | Proc i -> crash_node t f i ~duration:c.Fault_plan.duration)
-          : Engine.handle))
-    f.plan.Fault_plan.crashes;
-  if f.plan.Fault_plan.crash_rate > 0. then
-    Array.iteri
-      (fun i rng ->
-        let rec arm () =
-          let gap =
-            Rng.exponential rng ~mean:(1. /. f.plan.Fault_plan.crash_rate)
-          in
-          ignore
-            (Engine.schedule_after t.eng ~delay:gap (fun () ->
-                 if Faults.Crashable.up f.node_state.(i) then begin
-                   let duration =
-                     Rng.exponential rng ~mean:f.plan.Fault_plan.mean_repair
-                   in
-                   crash_node t f i ~duration
-                 end;
-                 arm ())
-              : Engine.handle)
-        in
-        arm ())
-      f.crash_rngs
-
 (* Coordinator-side receive: a plain blocking receive when faults are
-   off; otherwise bounded by the plan's (exponentially backed-off)
-   timeout. *)
+   off; otherwise bounded by the plan's (exponentially backed-off,
+   optionally jittered) timeout. *)
 let coord_recv t (rt : Messages.attempt_runtime) ~round =
   match t.faults with
   | None -> Some (Mailbox.recv rt.Messages.coord_mb)
   | Some f ->
       Mailbox.recv_timeout rt.Messages.coord_mb t.eng
         ~timeout:
-          (Backoff.delay ~base:f.plan.Fault_plan.timeout
+          (Backoff.delay_jittered ~jitter:f.plan.Fault_plan.timeout_jitter
+             ~rng:f.jitter_rng ~base:f.plan.Fault_plan.timeout
              ~cap:f.plan.Fault_plan.timeout_cap ~round)
 
 let note_timeout t f (txn : Txn.t) ~at_node ~round =
@@ -456,15 +524,54 @@ let acquire_replica_writes t (txn : Txn.t) ~from_node page =
     | None -> ()
   end
 
-let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
-    =
+(* [proxy] runs the cohort's commit-protocol role at its backup node
+   after a primary crash: the work-phase resources were already spent at
+   the primary, the CC footprint stays at the primary's manager
+   (modeling dependency-logged lock state shipped with the write-set),
+   and logging/installs happen at the backup. Protocol messages still
+   carry the original node id, so the coordinator is oblivious to the
+   relocation beyond its routing table. *)
+let run_cohort ?(proxy = false) t (rt : Messages.attempt_runtime)
+    (cplan : Plan.cohort_plan) mb =
   let txn = rt.Messages.txn in
+  let tid = txn.Txn.tid in
+  let attempt = txn.Txn.attempt in
   let my_node = cplan.Plan.node in
-  let node = t.procs.(my_node) in
-  let cc = Node.cc node in
-  let self = Proc my_node in
+  let exec_node = if proxy then backup_of t my_node else my_node in
+  let node = t.procs.(exec_node) in
+  let cc = Node.cc t.procs.(my_node) in
+  let self = Proc exec_node in
   let resources = t.params.Params.resources in
+  let durability = t.params.Params.durability in
   let usage = Messages.usage rt my_node in
+  let wal = match t.wal with Some w -> Some w.(exec_node) | None -> None in
+  let is_updater =
+    cplan.Plan.apply_ops <> []
+    || List.exists (fun (op : Plan.page_op) -> op.Plan.update) cplan.Plan.ops
+  in
+  let wal_append record =
+    match wal with
+    | Some w when is_updater -> Wal.append w record
+    | Some _ | None -> ()
+  in
+  (* Log forces: blocking FCFS writes on this node's log disk. A prepare
+     force gates the cohort's yes vote and accrues to the decomposition's
+     [log] component (via the decision-gating cohort); a commit force
+     happens after the decision and only shows in log-disk utilization. *)
+  let wal_force ~accrue w =
+    let t0 = Engine.now t.eng in
+    Wal.force w;
+    let dur = Engine.now t.eng -. t0 in
+    if accrue then usage.Messages.u_log <- usage.Messages.u_log +. dur;
+    emit t (fun () ->
+        Event.Log_forced { tid; attempt; node = my_node; dur })
+  in
+  (* The primary's fiber exits silently once a backup proxy has taken
+     over: no sends, no [cc_abort] — the footprint now belongs to the
+     proxy. Only ever true when [proxy] is false. *)
+  let relocated_away () =
+    (not proxy) && Hashtbl.mem rt.Messages.relocated my_node
+  in
   (* Timed CC access: the wall time from request to grant (lock waits,
      conversion waits, CC request processing) accrues to the work-phase
      usage record feeding the response-time decomposition. [work:false]
@@ -505,7 +612,8 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
     | Some f ->
         Mailbox.recv_timeout mb t.eng
           ~timeout:
-            (Backoff.delay ~base:f.plan.Fault_plan.timeout
+            (Backoff.delay_jittered ~jitter:f.plan.Fault_plan.timeout_jitter
+               ~rng:f.jitter_rng ~base:f.plan.Fault_plan.timeout
                ~cap:f.plan.Fault_plan.timeout_cap ~round)
   in
   (* 2PC termination protocol: ask the coordinator (if still live on
@@ -539,57 +647,74 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
     List.iter (fun (_ : Ids.Page.t) -> write_one ()) cplan.Plan.apply_ops
   in
   try
-    emit t (fun () ->
-        Event.Cohort_start
-          { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node = my_node });
-    (* Work phase: each page access is a CC request, a disk read, and a
-       slice of CPU. The transaction manager knows at access time whether
-       the page will be updated, so the read lock of an update access is
-       converted to a write lock immediately at access time (a zero-width
-       upgrade window, matching the paper's model) and the page's disk
-       write is deferred to after commit. *)
-    List.iter
-      (fun (op : Plan.page_op) ->
-        check_doomed txn;
-        cc_access Event.Read op.Plan.page;
-        if op.Plan.update then begin
-          check_doomed txn;
-          cc_access Event.Write op.Plan.page;
-          (* read-one/write-all: lock the remote copies now unless the
-             algorithm defers them to the commit protocol. The round
-             trips land in the decomposition's message/other residual. *)
-          if
-            write_all_at_access t.params.Params.cc.Params.algorithm
-            && t.params.Params.database.Params.replication > 1
-          then begin
-            check_doomed txn;
-            acquire_replica_writes t txn ~from_node:my_node op.Plan.page
-          end
-        end;
-        (* permission fully granted: the auditor observes the version
-           this access sees, atomically with the grant *)
-        Option.iter (fun a -> Audit.record_read a txn op.Plan.page) t.audit;
-        check_doomed txn;
-        let t0 = Engine.now t.eng in
-        Disk.read (Node.random_disk node);
-        let disk_dur = Engine.now t.eng -. t0 in
-        usage.Messages.u_disk <- usage.Messages.u_disk +. disk_dur;
-        emit t (fun () ->
-            Event.Disk_access
-              { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node = my_node;
-                write = false; dur = disk_dur });
-        check_doomed txn;
-        let t0 = Engine.now t.eng in
-        Cpu.consume node.Node.cpu
-          ~instructions:(Workload.draw_page_instructions t.workload);
-        let cpu_dur = Engine.now t.eng -. t0 in
-        usage.Messages.u_cpu <- usage.Messages.u_cpu +. cpu_dur;
-        emit t (fun () ->
-            Event.Cpu_slice
-              { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node = my_node;
-                dur = cpu_dur }))
-      cplan.Plan.ops;
-    send_coord (Messages.Work_done my_node);
+    (if proxy then
+       (* the coordinator may have never seen the primary's Work_done;
+          a duplicate is ignored *)
+       send_coord (Messages.Work_done my_node)
+     else begin
+       emit t (fun () ->
+           Event.Cohort_start { tid; attempt; node = my_node });
+       wal_append (Wal.Begin { tid; attempt });
+       (* Work phase: each page access is a CC request, a disk read, and
+          a slice of CPU. The transaction manager knows at access time
+          whether the page will be updated, so the read lock of an update
+          access is converted to a write lock immediately at access time
+          (a zero-width upgrade window, matching the paper's model) and
+          the page's disk write is deferred to after commit. *)
+       List.iter
+         (fun (op : Plan.page_op) ->
+           check_doomed txn;
+           cc_access Event.Read op.Plan.page;
+           if op.Plan.update then begin
+             check_doomed txn;
+             cc_access Event.Write op.Plan.page;
+             wal_append (Wal.Update { tid; attempt; page = op.Plan.page });
+             (* read-one/write-all: lock the remote copies now unless the
+                algorithm defers them to the commit protocol. The round
+                trips land in the decomposition's message/other residual. *)
+             if
+               write_all_at_access t.params.Params.cc.Params.algorithm
+               && t.params.Params.database.Params.replication > 1
+             then begin
+               check_doomed txn;
+               acquire_replica_writes t txn ~from_node:my_node op.Plan.page
+             end
+           end;
+           (* permission fully granted: the auditor observes the version
+              this access sees, atomically with the grant *)
+           Option.iter (fun a -> Audit.record_read a txn op.Plan.page) t.audit;
+           check_doomed txn;
+           let t0 = Engine.now t.eng in
+           Disk.read (Node.random_disk node);
+           let disk_dur = Engine.now t.eng -. t0 in
+           usage.Messages.u_disk <- usage.Messages.u_disk +. disk_dur;
+           emit t (fun () ->
+               Event.Disk_access
+                 { tid; attempt; node = my_node; write = false; dur = disk_dur });
+           check_doomed txn;
+           let t0 = Engine.now t.eng in
+           Cpu.consume node.Node.cpu
+             ~instructions:(Workload.draw_page_instructions t.workload);
+           let cpu_dur = Engine.now t.eng -. t0 in
+           usage.Messages.u_cpu <- usage.Messages.u_cpu +. cpu_dur;
+           emit t (fun () ->
+               Event.Cpu_slice { tid; attempt; node = my_node; dur = cpu_dur }))
+         cplan.Plan.ops;
+       (* Primary/backup replication: ship the write-set to the backup
+          before reporting the work done, so a crash of this node can be
+          survived by failing the cohort over instead of dooming the
+          attempt. One faulty-channel message; registration at the backup
+          is marked on delivery. *)
+       if
+         durability.Params.replicas > 0 && is_updater
+         && Array.length t.procs > 1
+       then begin
+         let b = backup_of t my_node in
+         Net.send ~faulty:true t.net ~src:self ~dst:(Proc b) (fun () ->
+             Hashtbl.replace rt.Messages.shipped_nodes my_node ())
+       end;
+       send_coord (Messages.Work_done my_node)
+     end);
     let my_vote = ref None in
     let rec protocol ~round =
       match recv_cohort ~round with
@@ -597,17 +722,20 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
           match t.faults with
           | None -> assert false
           | Some f ->
-              note_timeout t f txn ~at_node:self ~round;
-              f.retries <- f.retries + 1;
-              (match !my_vote with
-              | None ->
-                  (* the coordinator may have missed our Work_done *)
-                  send_coord (Messages.Work_done my_node)
-              | Some true ->
-                  (* in doubt: run the termination protocol *)
-                  send_inquiry ()
-              | Some false -> send_coord (Messages.Vote (my_node, false)));
-              protocol ~round:(round + 1))
+              if relocated_away () then ()
+              else begin
+                note_timeout t f txn ~at_node:self ~round;
+                f.retries <- f.retries + 1;
+                (match !my_vote with
+                | None ->
+                    (* the coordinator may have missed our Work_done *)
+                    send_coord (Messages.Work_done my_node)
+                | Some true ->
+                    (* in doubt: run the termination protocol *)
+                    send_inquiry ()
+                | Some false -> send_coord (Messages.Vote (my_node, false)));
+                protocol ~round:(round + 1)
+              end)
       | Some Messages.Do_prepare -> (
           match !my_vote with
           | Some v ->
@@ -616,6 +744,10 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
               send_coord (Messages.Vote (my_node, v));
               protocol ~round:1
           | None ->
+              (* from here the cohort may block inside its CC manager, so
+                 a crash can no longer fail it over to the backup — a
+                 proxy would double-drive the manager *)
+              Hashtbl.replace rt.Messages.preparing_nodes my_node ();
               (* algorithms that defer replica write permission to the
                  commit protocol obtain it now; the write intent arrived
                  with the prepare message, so no extra messages are
@@ -632,35 +764,59 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
                    cplan.Plan.apply_ops);
               (* optional logging model: an updating cohort forces its log
                  page to disk before it can vote yes (footnote 5) *)
-              if
-                resources.Params.model_logging
-                && (cplan.Plan.apply_ops <> []
-                   || List.exists (fun (op : Plan.page_op) -> op.Plan.update)
-                        cplan.Plan.ops)
-              then begin
+              if resources.Params.model_logging && is_updater then begin
                 let t0 = Engine.now t.eng in
                 Disk.write (Node.random_disk node);
                 emit t (fun () ->
                     Event.Disk_access
-                      { tid = txn.Txn.tid; attempt = txn.Txn.attempt;
-                        node = my_node; write = true;
+                      { tid; attempt; node = my_node; write = true;
                         dur = Engine.now t.eng -. t0 })
               end;
+              (* a proxy replays the shipped write-set into its own
+                 node's log; replica installs are logged where they will
+                 be applied *)
+              if proxy then begin
+                wal_append (Wal.Begin { tid; attempt });
+                List.iter
+                  (fun (op : Plan.page_op) ->
+                    if op.Plan.update then
+                      wal_append (Wal.Update { tid; attempt; page = op.Plan.page }))
+                  cplan.Plan.ops
+              end;
+              List.iter
+                (fun page -> wal_append (Wal.Update { tid; attempt; page }))
+                cplan.Plan.apply_ops;
               let vote = cc.Cc_intf.cc_prepare txn in
               my_vote := Some vote;
               (* a yes vote makes the cohort's state durable (in doubt)
-                 before the vote can possibly reach the coordinator *)
+                 before the vote can possibly reach the coordinator: the
+                 prepare record is forced regardless of the force
+                 policy *)
+              (match wal with
+              | Some w when is_updater ->
+                  if vote then begin
+                    Wal.append w (Wal.Prepare { tid; attempt });
+                    wal_force ~accrue:true w
+                  end
+                  else Wal.append w (Wal.Abort { tid; attempt })
+              | Some _ | None -> ());
               if vote then begin
                 Hashtbl.replace rt.Messages.voted_nodes my_node ();
-                Metrics.record_prepared t.metrics ~tid:txn.Txn.tid
-                  ~attempt:txn.Txn.attempt ~node:my_node
+                Metrics.record_prepared t.metrics ~tid ~attempt ~node:my_node
               end;
               send_coord (Messages.Vote (my_node, vote));
               protocol ~round:1)
       | Some Messages.Do_commit ->
-          Metrics.record_decided t.metrics ~tid:txn.Txn.tid
-            ~attempt:txn.Txn.attempt ~node:my_node;
-          initiate_deferred_writes ();
+          Metrics.record_decided t.metrics ~tid ~attempt ~node:my_node;
+          (* crash recovery may have already redone this cohort's
+             installs from the durable log; the late Do_commit then only
+             releases the CC footprint and acknowledges *)
+          let already_installed =
+            match wal with
+            | Some w -> Wal.installed w ~tid ~attempt
+            | None -> false
+          in
+          if not already_installed then initiate_deferred_writes ();
           (* snapshot the installs and perform them in the same event *)
           let installed = cc.Cc_intf.cc_installed txn in
           cc.Cc_intf.cc_commit txn;
@@ -679,12 +835,20 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
                   if primary page then Audit.record_install a txn page)
                 installed)
             t.audit;
+          (match wal with
+          | Some w when is_updater ->
+              Wal.append w (Wal.Commit { tid; attempt });
+              (match durability.Params.log_force with
+              | Params.At_commit -> wal_force ~accrue:false w
+              | Params.At_prepare -> ());
+              Wal.mark_installed w ~tid ~attempt
+          | Some _ | None -> ());
           send_coord (Messages.Done_ack my_node)
       | Some Messages.Do_abort ->
-          Metrics.record_decided t.metrics ~tid:txn.Txn.tid
-            ~attempt:txn.Txn.attempt ~node:my_node;
+          Metrics.record_decided t.metrics ~tid ~attempt ~node:my_node;
           cc.Cc_intf.cc_abort txn;
           release ();
+          wal_append (Wal.Abort { tid; attempt });
           send_coord (Messages.Done_ack my_node)
     in
     protocol ~round:1
@@ -717,6 +881,114 @@ let run_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) mb
     drain ~round:1;
     send_coord (Messages.Done_ack my_node)
 
+(* A processing-node crash loses volatile state, including the WAL's
+   un-forced tail. A resident cohort that has not yet voted is a
+   casualty: with primary/backup replication on, if its write-set was
+   delivered to a live backup and it is not already mid-prepare, a proxy
+   fiber at the backup takes over its commit-protocol role (failover);
+   otherwise the attempt is doomed and the cohort's CC footprint
+   force-cleaned out of band, exactly as without replication. Prepared
+   (voted) cohorts are in doubt: their durable prepare record and the
+   termination protocol finish them after repair. *)
+let crash_node t f i ~duration =
+  if Faults.Crashable.up f.node_state.(i) then begin
+    Faults.Crashable.crash f.node_state.(i);
+    f.node_crashes <- f.node_crashes + 1;
+    f.node_down_since.(i) <- Some (Engine.now t.eng);
+    (match t.wal with
+    | Some wals -> Wal.on_crash wals.(i)
+    | None -> ());
+    emit t (fun () -> Event.Node_crashed { node = Proc i });
+    let replicas = t.params.Params.durability.Params.replicas in
+    let startup = t.params.Params.resources.Params.inst_per_startup in
+    List.iter
+      (fun (_, (rt : Messages.attempt_runtime)) ->
+        let txn = rt.Messages.txn in
+        if decision_of f txn = None then
+          List.iter
+            (fun orig ->
+              if
+                Int.equal (resident_node rt orig) i
+                && not (Hashtbl.mem rt.Messages.voted_nodes orig)
+              then begin
+                let b = backup_of t orig in
+                let cplan =
+                  if
+                    replicas > 0 && b <> orig
+                    && Hashtbl.mem rt.Messages.shipped_nodes orig
+                    && (not (Hashtbl.mem rt.Messages.preparing_nodes orig))
+                    && (not (Hashtbl.mem rt.Messages.relocated orig))
+                    && Faults.Crashable.up f.node_state.(b)
+                  then cohort_plan_of txn orig
+                  else None
+                in
+                match cplan with
+                | Some cplan ->
+                    (* failover: route the coordinator to the backup and
+                       hand the (possibly in-flight) protocol messages to
+                       a fresh mailbox owned by the proxy *)
+                    Hashtbl.replace rt.Messages.relocated orig b;
+                    let mb = Mailbox.create () in
+                    Hashtbl.replace rt.Messages.cohort_mbs orig mb;
+                    f.failovers <- f.failovers + 1;
+                    emit t (fun () ->
+                        Event.Cohort_resurrected
+                          { tid = txn.Txn.tid; attempt = txn.Txn.attempt;
+                            node = orig; backup = b });
+                    Cpu.submit t.procs.(b).Node.cpu ~instructions:startup
+                      (fun () ->
+                        Engine.spawn t.eng (fun () ->
+                            run_cohort ~proxy:true t rt cplan mb))
+                | None ->
+                    txn.Txn.doomed <- true;
+                    if rt.Messages.doom_reason = None then
+                      rt.Messages.doom_reason <- Some Txn.Crashed;
+                    (Node.cc t.procs.(orig)).Cc_intf.cc_abort txn;
+                    f.orphaned <- f.orphaned + 1;
+                    emit t (fun () ->
+                        Event.Txn_orphaned
+                          { tid = txn.Txn.tid; attempt = txn.Txn.attempt;
+                            node = orig })
+              end)
+            (loaded_nodes rt))
+      (live_sorted t);
+    ignore
+      (Engine.schedule_after t.eng ~delay:duration (fun () ->
+           recover_node t f i)
+        : Engine.handle)
+  end
+
+let schedule_faults t f =
+  List.iter
+    (fun (c : Fault_plan.crash) ->
+      ignore
+        (Engine.schedule t.eng ~at:c.Fault_plan.at (fun () ->
+             match c.Fault_plan.target with
+             | Host -> crash_host t f ~duration:c.Fault_plan.duration
+             | Proc i -> crash_node t f i ~duration:c.Fault_plan.duration)
+          : Engine.handle))
+    f.plan.Fault_plan.crashes;
+  if f.plan.Fault_plan.crash_rate > 0. then
+    Array.iteri
+      (fun i rng ->
+        let rec arm () =
+          let gap =
+            Rng.exponential rng ~mean:(1. /. f.plan.Fault_plan.crash_rate)
+          in
+          ignore
+            (Engine.schedule_after t.eng ~delay:gap (fun () ->
+                 if Faults.Crashable.up f.node_state.(i) then begin
+                   let duration =
+                     Rng.exponential rng ~mean:f.plan.Fault_plan.mean_repair
+                   in
+                   crash_node t f i ~duration
+                 end;
+                 arm ())
+              : Engine.handle)
+        in
+        arm ())
+      f.crash_rngs
+
 (* ------------------------------------------------------------------ *)
 (* Coordinator (runs inside the submitting terminal's process)         *)
 
@@ -748,28 +1020,27 @@ let load_cohort t (rt : Messages.attempt_runtime) (cplan : Plan.cohort_plan) =
             Engine.spawn t.eng (fun () -> run_cohort t rt cplan mb))
       end)
 
+(* Coordinator -> cohort send. The wire destination is resolved through
+   the relocation table (a failed-over cohort's proxy lives at its
+   backup), and the mailbox is looked up at delivery time — a failover
+   racing a message in flight must deliver to the proxy's fresh mailbox,
+   never to the dead primary fiber's. The CC footprint always lives at
+   the cohort's original node's manager, even after failover. *)
 let send_cohort t (rt : Messages.attempt_runtime) ~node_idx msg =
-  let mb = Hashtbl.find rt.Messages.cohort_mbs node_idx in
-  Net.send ~faulty:true t.net ~src:Host ~dst:(Proc node_idx) (fun () ->
+  let dst = resident_node rt node_idx in
+  Net.send ~faulty:true t.net ~src:Host ~dst:(Proc dst) (fun () ->
       (match msg with
       | Messages.Do_abort ->
           (* unblock the cohort if it is stuck in a CC queue *)
           (Node.cc t.procs.(node_idx)).Cc_intf.cc_abort rt.Messages.txn
       | Messages.Do_prepare | Messages.Do_commit -> ());
-      Mailbox.send mb msg)
-
-let loaded_nodes (rt : Messages.attempt_runtime) =
-  Hashtbl.fold (fun node _ acc -> node :: acc) rt.Messages.cohort_mbs []
-  |> List.sort Int.compare
+      match Hashtbl.find_opt rt.Messages.cohort_mbs node_idx with
+      | Some mb -> Mailbox.send mb msg
+      | None -> ())
 
 let pending_sorted pending =
   Hashtbl.fold (fun node () acc -> node :: acc) pending []
   |> List.sort Int.compare
-
-let cohort_plan_of (txn : Txn.t) node =
-  List.find_opt
-    (fun (c : Plan.cohort_plan) -> c.Plan.node = node)
-    txn.Txn.plan.Plan.cohorts
 
 (* Wait for one Work_done per node in [nodes]; an abort trigger
    interrupts. Records the node of each Work_done as it is processed, so
@@ -939,6 +1210,26 @@ let commit_attempt t (rt : Messages.attempt_runtime) =
    with
   | `Done -> ()
   | `Orphaned _ -> assert false (* unbounded retries never orphan *));
+  (* durability coverage obligation: every updating cohort's node (its
+     backup if failed over) must hold durable evidence of this commit at
+     end of run — checked by [lost_commits] *)
+  (match t.wal with
+  | Some _ ->
+      let updaters =
+        List.filter_map
+          (fun (c : Plan.cohort_plan) ->
+            if
+              c.Plan.apply_ops <> []
+              || List.exists
+                   (fun (op : Plan.page_op) -> op.Plan.update)
+                   c.Plan.ops
+            then Some (resident_node rt c.Plan.node)
+            else None)
+          cohorts
+      in
+      t.committed_cov <-
+        (txn.Txn.tid, txn.Txn.attempt, updaters) :: t.committed_cov
+  | None -> ());
   txn.Txn.phase <- Txn.Finished
 
 let run_two_phase_commit t (rt : Messages.attempt_runtime) =
@@ -964,6 +1255,7 @@ let run_two_phase_commit t (rt : Messages.attempt_runtime) =
       | Some (Messages.Vote (node, yes)) ->
           if Hashtbl.mem pending node then begin
             Hashtbl.remove pending node;
+            if yes then rt.Messages.last_vote_node <- node;
             emit t (fun () ->
                 Event.Vote
                   { tid = txn.Txn.tid; attempt = txn.Txn.attempt; node; yes });
@@ -1084,12 +1376,21 @@ let run_attempt t (txn : Txn.t) =
                              c +. u.Messages.u_cpu ))
                          (0., 0., 0.)
               in
+              (* the decision-gating log write: the prepare force of the
+                 last accepted yes vote's cohort *)
+              let log =
+                match
+                  Hashtbl.find_opt rt.Messages.usage rt.Messages.last_vote_node
+                with
+                | Some u -> u.Messages.u_log
+                | None -> 0.
+              in
               Committed
                 (Decomp.assemble
                    ~restart:(t_begin -. txn.Txn.origin_time)
                    ~setup:(t_setup_end -. t_begin)
                    ~exec:(t_work_end -. t_setup_end)
-                   ~blocked ~disk ~cpu
+                   ~blocked ~disk ~cpu ~log
                    ~commit:(t_end -. t_work_end))))
 
 (* ------------------------------------------------------------------ *)
@@ -1196,6 +1497,9 @@ let reset_observation_windows t =
   Metrics.begin_window t.metrics;
   Node.reset_windows t.host;
   Array.iter Node.reset_windows t.procs;
+  (match t.wal with
+  | Some wals -> Array.iter Wal.reset_window wals
+  | None -> ());
   Array.iter
     (fun node -> Stats.Tally.reset (Node.cc node).Cc_intf.cc_blocking)
     t.procs;
@@ -1249,10 +1553,45 @@ let indoubt_grace t f =
       (fun acc s -> acc +. open_since s)
       (open_since f.host_down_since) f.node_down_since
   in
+  (* jittered timeouts stretch each round by up to the jitter fraction *)
   Backoff.total ~base:p.Fault_plan.timeout ~cap:p.Fault_plan.timeout_cap
     ~max_retries:p.Fault_plan.max_retries
+  *. (1. +. p.Fault_plan.timeout_jitter)
   +. (20. *. p.Fault_plan.timeout_cap)
   +. f.total_downtime +. open_downtime
+
+(* The capstone durability check: a committed transaction is covered at
+   an updating cohort's node when that node's WAL digest shows the
+   installs done, a durable commit record, or a durable prepare record
+   together with the commit decision in the (stable) host decision log.
+   An untracked entry means the log never saw an update footprint there
+   or a checkpoint pruned a fully decided-and-installed one — nothing to
+   lose either way. Counts committed transactions missing durable
+   evidence at one or more nodes; must be zero. *)
+let lost_commits t =
+  match t.wal with
+  | None -> 0
+  | Some wals ->
+      let decided_commit tid attempt =
+        match t.faults with
+        | None -> true
+        | Some f -> (
+            match Hashtbl.find_opt f.decisions (tid, attempt) with
+            | Some c -> c
+            | None -> false)
+      in
+      List.fold_left
+        (fun acc (tid, attempt, nodes) ->
+          let covered node =
+            let w = wals.(node) in
+            (not (Wal.tracked w ~tid ~attempt))
+            || Wal.installed w ~tid ~attempt
+            || Wal.committed_durable w ~tid ~attempt
+            || (Wal.prepared_durable w ~tid ~attempt
+               && decided_commit tid attempt)
+          in
+          if List.for_all covered nodes then acc else acc + 1)
+        0 t.committed_cov
 
 let collect_result t ~wall_seconds =
   let blocking_total, blocking_count =
@@ -1293,6 +1632,20 @@ let collect_result t ~wall_seconds =
       (match t.faults with None -> 0 | Some f -> f.msgs_duplicated);
     node_crashes = (match t.faults with None -> 0 | Some f -> f.node_crashes);
     orphaned = (match t.faults with None -> 0 | Some f -> f.orphaned);
+    log_forces =
+      (match t.wal with
+      | None -> 0
+      | Some wals -> Array.fold_left (fun acc w -> acc + Wal.forces w) 0 wals);
+    log_disk_util =
+      (match t.wal with
+      | None -> 0.
+      | Some wals -> mean_over wals Wal.utilization);
+    recoveries = t.recoveries;
+    mean_recovery_time =
+      (if t.recoveries = 0 then 0.
+       else t.recovery_time /. float_of_int t.recoveries);
+    failovers = (match t.faults with None -> 0 | Some f -> f.failovers);
+    lost_commits = lost_commits t;
     indoubt_mean = Metrics.indoubt_mean t.metrics;
     indoubt_open_at_end = Metrics.indoubt_open t.metrics;
     indoubt_overdue_at_end =

@@ -41,6 +41,9 @@ type cohort_usage = {
   mutable u_blocked : float;  (** CC requests: lock waits + processing *)
   mutable u_disk : float;  (** disk reads: queueing + service *)
   mutable u_cpu : float;  (** page processing under processor sharing *)
+  mutable u_log : float;
+      (** prepare-record log forces: log-disk queueing + service (zero
+          without a modeled log disk) *)
 }
 
 (** Per-attempt runtime shared between the coordinator and the message
@@ -54,6 +57,10 @@ type attempt_runtime = {
       (** node whose Work_done the coordinator processed last (-1 until
           the first arrives); the work-phase critical path under parallel
           execution *)
+  mutable last_vote_node : int;
+      (** node whose yes vote the coordinator accepted last (-1 until the
+          first); its prepare-record force gates the commit decision and
+          feeds the decomposition's [log] component *)
   arrived_nodes : (int, unit) Hashtbl.t;
       (** nodes whose load-cohort message was delivered; guards against a
           retransmitted load spawning a twin cohort, and tells the
@@ -61,6 +68,19 @@ type attempt_runtime = {
   voted_nodes : (int, unit) Hashtbl.t;
       (** nodes that sent a yes vote — their cohorts are prepared
           (in-doubt) and must not be victimized by a node crash *)
+  shipped_nodes : (int, unit) Hashtbl.t;
+      (** nodes whose cohort's write-set was delivered to its backup
+          (primary/backup replication): if the node crashes before the
+          cohort votes, the coordinator can fail over to the backup
+          instead of dooming the attempt *)
+  preparing_nodes : (int, unit) Hashtbl.t;
+      (** nodes whose cohort has begun processing Do_prepare (may be
+          blocked inside its CC manager); such a cohort cannot be failed
+          over — a backup proxy would double-drive the CC manager *)
+  relocated : (int, int) Hashtbl.t;
+      (** original cohort node -> backup node now running its proxy;
+          coordinator sends route to the backup, and the original fiber
+          exits silently when it observes the entry *)
   mutable doom_reason : Txn.abort_reason option;
       (** set by fault handling (node crash) when the attempt must abort
           but no message can carry the news; the coordinator checks it on

@@ -39,6 +39,19 @@ type t = {
   orphaned : int;
       (** cohorts force-cleaned out of band: crash victims and abort-path
           cohorts unreachable past the retry budget *)
+  log_forces : int;  (** completed WAL forces across all nodes *)
+  log_disk_util : float;
+      (** mean log-disk utilization over the observation window; 0 when
+          the durability model is off *)
+  recoveries : int;  (** completed crash-recovery passes *)
+  mean_recovery_time : float;
+      (** mean time from node repair to recovery checkpoint (MTTR's
+          recovery component); 0 when no recovery ran *)
+  failovers : int;
+      (** cohorts resurrected at their backup after a primary crash *)
+  lost_commits : int;
+      (** committed transactions lacking durable evidence at one or more
+          updating cohorts' nodes at end of run — must be 0 *)
   indoubt_mean : float;
       (** mean time a yes-voted cohort waited for the 2PC decision *)
   indoubt_open_at_end : int;
@@ -78,7 +91,13 @@ let pp fmt t =
        (%d open, %d overdue)"
       t.availability t.goodput t.node_crashes t.msgs_dropped t.msgs_duplicated
       t.timeouts t.retries t.orphaned t.indoubt_mean t.indoubt_open_at_end
-      t.indoubt_overdue_at_end
+      t.indoubt_overdue_at_end;
+  if t.params.Params.durability.Params.log_disk then
+    Format.fprintf fmt
+      "@ durability: %d forces, log-disk %.4f, %d recoveries (mttr %.4f s), \
+       %d failovers, %d lost commits"
+      t.log_forces t.log_disk_util t.recoveries t.mean_recovery_time
+      t.failovers t.lost_commits
 
 (** CSV header matching {!to_csv_row}. *)
 let csv_header =
@@ -87,8 +106,9 @@ let csv_header =
    response_p95,commits,aborts,completions,\
    abort_ratio,mean_blocking,blocked_requests,proc_cpu_util,proc_disk_util,\
    host_cpu_util,mean_active,messages,availability,goodput,timeouts,retries,\
-   msgs_dropped,msgs_duplicated,node_crashes,orphaned,indoubt_mean,\
-   indoubt_open_at_end,indoubt_overdue_at_end,sim_events,"
+   msgs_dropped,msgs_duplicated,node_crashes,orphaned,log_forces,\
+   log_disk_util,recoveries,mean_recovery_time,failovers,lost_commits,\
+   indoubt_mean,indoubt_open_at_end,indoubt_overdue_at_end,sim_events,"
   ^ String.concat "," (List.map fst Decomp.fields)
 
 (** Field-by-field comparison of two results from the *same* (seed,
@@ -139,6 +159,12 @@ let diff a b =
   chk_i "msgs_duplicated" (fun r -> r.msgs_duplicated);
   chk_i "node_crashes" (fun r -> r.node_crashes);
   chk_i "orphaned" (fun r -> r.orphaned);
+  chk_i "log_forces" (fun r -> r.log_forces);
+  chk_f "log_disk_util" (fun r -> r.log_disk_util);
+  chk_i "recoveries" (fun r -> r.recoveries);
+  chk_f "mean_recovery_time" (fun r -> r.mean_recovery_time);
+  chk_i "failovers" (fun r -> r.failovers);
+  chk_i "lost_commits" (fun r -> r.lost_commits);
   chk_f "indoubt_mean" (fun r -> r.indoubt_mean);
   chk_i "indoubt_open_at_end" (fun r -> r.indoubt_open_at_end);
   chk_i "indoubt_overdue_at_end" (fun r -> r.indoubt_overdue_at_end);
@@ -157,7 +183,7 @@ let equal a b = diff a b = []
 let to_csv_row t =
   let p = t.params in
   Printf.sprintf
-    "%s,%g,%d,%d,%d,%g,%g,%.5f,%.5f,%.5f,%.5f,%.5f,%d,%d,%d,%.5f,%.5f,%d,%.4f,%.4f,%.4f,%.3f,%d,%.5f,%.5f,%d,%d,%d,%d,%d,%d,%.5f,%d,%d,%d,%s"
+    "%s,%g,%d,%d,%d,%g,%g,%.5f,%.5f,%.5f,%.5f,%.5f,%d,%d,%d,%.5f,%.5f,%d,%.4f,%.4f,%.4f,%.3f,%d,%.5f,%.5f,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.5f,%d,%d,%.5f,%d,%d,%d,%s"
     (algorithm_name t) p.Params.workload.Params.think_time
     p.Params.database.Params.num_proc_nodes
     p.Params.database.Params.partitioning_degree
@@ -168,8 +194,9 @@ let to_csv_row t =
     t.completions t.abort_ratio t.mean_blocking t.blocked_requests
     t.proc_cpu_util t.proc_disk_util t.host_cpu_util t.mean_active t.messages
     t.availability t.goodput t.timeouts t.retries t.msgs_dropped
-    t.msgs_duplicated t.node_crashes t.orphaned t.indoubt_mean
-    t.indoubt_open_at_end t.indoubt_overdue_at_end t.sim_events
+    t.msgs_duplicated t.node_crashes t.orphaned t.log_forces t.log_disk_util
+    t.recoveries t.mean_recovery_time t.failovers t.lost_commits
+    t.indoubt_mean t.indoubt_open_at_end t.indoubt_overdue_at_end t.sim_events
     (String.concat ","
        (List.map
           (fun (_, get) -> Printf.sprintf "%.5f" (get t.decomp))

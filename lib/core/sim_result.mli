@@ -39,6 +39,19 @@ type t = {
   orphaned : int;
       (** cohorts force-cleaned out of band: crash victims and abort-path
           cohorts unreachable past the retry budget *)
+  log_forces : int;  (** completed WAL forces across all nodes *)
+  log_disk_util : float;
+      (** mean log-disk utilization over the observation window; 0 when
+          the durability model is off *)
+  recoveries : int;  (** completed crash-recovery passes *)
+  mean_recovery_time : float;
+      (** mean time from node repair to recovery checkpoint (MTTR's
+          recovery component); 0 when no recovery ran *)
+  failovers : int;
+      (** cohorts resurrected at their backup after a primary crash *)
+  lost_commits : int;
+      (** committed transactions lacking durable evidence at one or more
+          updating cohorts' nodes at end of run — must be 0 *)
   indoubt_mean : float;
       (** mean time a yes-voted cohort waited for the 2PC decision *)
   indoubt_open_at_end : int;

@@ -27,6 +27,7 @@ type acc = {
   mutable a_blocked : float;
   mutable a_disk : float;
   mutable a_cpu : float;
+  mutable a_log : float;  (** pre-decision (prepare) log forces *)
 }
 
 (* State of an in-flight attempt. *)
@@ -36,7 +37,13 @@ type attempt_state = {
   mutable setup_end : float;
   mutable work_end : float;  (** time of the last Work_done *)
   mutable last_work_node : int;
+  mutable last_vote_node : int;
+      (** node of the last accepted yes vote: its prepare force is the
+          decision-gating log write of the decomposition *)
   mutable in_2pc : bool;  (** Prepare seen: stop accruing work-phase usage *)
+  mutable decided : bool;
+      (** Decision seen: later log forces are commit forces, not part of
+          the [log] component *)
   accs : (int, acc) Hashtbl.t;  (** node -> accumulator *)
 }
 
@@ -71,7 +78,7 @@ let acc_of st node =
   match Hashtbl.find_opt st.accs node with
   | Some a -> a
   | None ->
-      let a = { a_blocked = 0.; a_disk = 0.; a_cpu = 0. } in
+      let a = { a_blocked = 0.; a_disk = 0.; a_cpu = 0.; a_log = 0. } in
       Hashtbl.replace st.accs node a;
       a
 
@@ -104,7 +111,9 @@ let sink t : Tracer.sink =
           setup_end = time;
           work_end = time;
           last_work_node = -1;
+          last_vote_node = -1;
           in_2pc = false;
+          decided = false;
           accs = Hashtbl.create 8;
         }
   | Event.Setup_done { tid; _ } ->
@@ -142,6 +151,21 @@ let sink t : Tracer.sink =
       Option.iter
         (fun st -> st.in_2pc <- true)
         (Hashtbl.find_opt t.inflight tid)
+  | Event.Log_forced { tid; node; dur; _ } ->
+      Option.iter
+        (fun st ->
+          if not st.decided then
+            let a = acc_of st node in
+            a.a_log <- a.a_log +. dur)
+        (Hashtbl.find_opt t.inflight tid)
+  | Event.Vote { tid; node; yes; _ } ->
+      Option.iter
+        (fun st -> if yes then st.last_vote_node <- node)
+        (Hashtbl.find_opt t.inflight tid)
+  | Event.Decision { tid; _ } ->
+      Option.iter
+        (fun st -> st.decided <- true)
+        (Hashtbl.find_opt t.inflight tid)
   | Event.Committed { tid; attempt; response } ->
       Option.iter
         (fun st ->
@@ -150,12 +174,19 @@ let sink t : Tracer.sink =
               (Hashtbl.find_opt t.submits tid)
           in
           let blocked, disk, cpu = critical_path t st in
+          (* the decision-gating log force: the prepare force of the last
+             accepted yes vote's cohort (mirrors the machine exactly) *)
+          let log =
+            match Hashtbl.find_opt st.accs st.last_vote_node with
+            | Some a -> a.a_log
+            | None -> 0.
+          in
           let decomp =
             Decomp.assemble
               ~restart:(st.start_time -. origin)
               ~setup:(st.setup_end -. st.start_time)
               ~exec:(st.work_end -. st.setup_end)
-              ~blocked ~disk ~cpu
+              ~blocked ~disk ~cpu ~log
               ~commit:(time -. st.work_end)
           in
           t.committed_rev <-
@@ -169,10 +200,11 @@ let sink t : Tracer.sink =
       Hashtbl.remove t.inflight tid
   | Event.Cohort_load _ | Event.Cohort_start _ | Event.Lock_request _
   | Event.Lock_release _ | Event.Msg_send _ | Event.Msg_recv _
-  | Event.Vote _ | Event.Decision _ | Event.Wound _ | Event.Restart_wait _
+  | Event.Wound _ | Event.Restart_wait _
   | Event.Snoop_round _ | Event.Node_crashed _ | Event.Node_recovered _
   | Event.Msg_dropped _ | Event.Timeout_fired _ | Event.Txn_orphaned _
-  | Event.Sample _ ->
+  | Event.Cohort_resurrected _ | Event.Recovery_started _
+  | Event.Recovery_completed _ | Event.Sample _ ->
       ()
 
 (** Committed transactions reconstructed so far, oldest first. *)

@@ -267,6 +267,22 @@ module Chrome = struct
         event t ~ph:"i" ~pid:(node + 1) ~tid ~name:"txn-orphaned" ~ts:time
           ~args:[ ("attempt", Event.I attempt) ]
           ()
+    | Event.Log_forced { tid; node; dur; _ } ->
+        event t ~ph:"X" ~pid:(node + 1) ~tid ~name:"log-force"
+          ~ts:(time -. dur) ~dur ()
+    | Event.Cohort_resurrected { tid; attempt; node; backup } ->
+        event t ~ph:"i" ~pid:(backup + 1) ~tid ~name:"cohort-resurrected"
+          ~ts:time
+          ~args:[ ("attempt", Event.I attempt); ("from_node", Event.I node) ]
+          ()
+    | Event.Recovery_started { node } ->
+        event t ~ph:"i" ~pid:(node + 1) ~tid:0 ~name:"recovery-started"
+          ~ts:time ()
+    | Event.Recovery_completed { node; duration; redone } ->
+        event t ~ph:"X" ~pid:(node + 1) ~tid:0 ~name:"recovery"
+          ~ts:(time -. duration) ~dur:duration
+          ~args:[ ("redone", Event.I redone) ]
+          ()
     | Event.Submit _ | Event.Setup_done _ | Event.Cohort_load _
     | Event.Cohort_start _ | Event.Lock_request _ | Event.Lock_release _
     | Event.Msg_send _ | Event.Msg_recv _ | Event.Work_done _ | Event.Vote _

@@ -24,7 +24,8 @@ let parse_source ~path source =
 (* D5: interface discipline                                             *)
 
 (** Directories whose modules must publish an [.mli]. *)
-let mli_required_dirs = [ "lib/desim/"; "lib/mach/"; "lib/core/" ]
+let mli_required_dirs =
+  [ "lib/desim/"; "lib/mach/"; "lib/core/"; "lib/check/" ]
 
 let mli_required ~path =
   String.ends_with ~suffix:".ml" path

@@ -4,6 +4,15 @@ let delay ~base ~cap ~round =
     (* 2^(round-1) overflows to infinity for huge rounds; min caps it. *)
     Float.min (base *. (2. ** float_of_int (round - 1))) cap
 
+let delay_jittered ~jitter ~rng ~base ~cap ~round =
+  let d = delay ~base ~cap ~round in
+  if jitter > 0. then
+    (* Uniform scale in [1 - jitter/2, 1 + jitter/2]. The draw happens
+       only on this path, so a zero-jitter plan leaves the stream (and
+       every pre-jitter pin) untouched. *)
+    d *. (1. -. (jitter /. 2.) +. (jitter *. Desim.Rng.float rng))
+  else d
+
 let deadline ~now ~base ~cap ~round = now +. delay ~base ~cap ~round
 
 let exhausted ~max_retries ~round = round > max_retries

@@ -1,12 +1,27 @@
 (** Capped exponential backoff arithmetic for protocol timeouts.
 
-    Pure functions: the machine decides {e when} to retry, these decide
-    {e how long} to wait. Round numbers start at 1; the wait for round
-    [r] is [min cap (base * 2^(r-1))]. *)
+    The machine decides {e when} to retry, these decide {e how long} to
+    wait. Round numbers start at 1; the wait for round [r] is
+    [min cap (base * 2^(r-1))], optionally scaled by a deterministic
+    jitter factor drawn from a caller-supplied RNG stream (so retries
+    that timed out together do not keep retrying in lockstep). *)
 
 (** Wait before/while attempt [round] ([round >= 1]). Monotone in
     [round], never above [cap], and [delay ~round:1 = min base cap]. *)
 val delay : base:float -> cap:float -> round:int -> float
+
+(** {!delay} scaled by a factor drawn uniformly from
+    [1 - jitter/2, 1 + jitter/2] on [rng]. With [jitter = 0] no draw
+    happens at all and the result equals {!delay} exactly, so sharing
+    [rng] with other decisions stays bit-identical to the jitter-free
+    build. *)
+val delay_jittered :
+  jitter:float ->
+  rng:Desim.Rng.t ->
+  base:float ->
+  cap:float ->
+  round:int ->
+  float
 
 (** [now + delay ~base ~cap ~round]. *)
 val deadline : now:float -> base:float -> cap:float -> round:int -> float
@@ -16,7 +31,9 @@ val deadline : now:float -> base:float -> cap:float -> round:int -> float
     caller gives up. *)
 val exhausted : max_retries:int -> round:int -> bool
 
-(** Total wait across a full budget: the sum of [delay] for rounds
+(** Total wait across a full budget: the sum of {!delay} for rounds
     [1..max_retries+1] — an upper bound on how long a bounded retry loop
-    can take before declaring failure. *)
+    can take before declaring failure. Callers using
+    {!delay_jittered} should scale by the worst-case factor
+    [1 + jitter/2] themselves. *)
 val total : base:float -> cap:float -> max_retries:int -> float

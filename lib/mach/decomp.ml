@@ -17,9 +17,13 @@
     - [msg_other]: the rest of the work phase — cohort-load messages,
       cohort process startup, replica write-permission round trips, and
       queueing not attributed above;
-    - [commit]: the two-phase commit protocol, prepare through last ack.
+    - [log]: critical-path log forcing inside the commit protocol — the
+      prepare-record force of the cohort whose vote gated the decision
+      (zero without a modeled log disk);
+    - [commit]: the rest of the two-phase commit protocol, prepare
+      through last ack.
 
-    By construction the seven components sum to the measured response
+    By construction the eight components sum to the measured response
     time (up to float rounding); the conformance suite asserts this per
     transaction. *)
 
@@ -30,6 +34,7 @@ type t = {
   disk : float;
   blocked : float;
   msg_other : float;
+  log : float;
   commit : float;
 }
 
@@ -41,12 +46,13 @@ let zero =
     disk = 0.;
     blocked = 0.;
     msg_other = 0.;
+    log = 0.;
     commit = 0.;
   }
 
 let total d =
   d.restart +. d.setup +. d.useful_cpu +. d.disk +. d.blocked +. d.msg_other
-  +. d.commit
+  +. d.log +. d.commit
 
 let add a b =
   {
@@ -56,6 +62,7 @@ let add a b =
     disk = a.disk +. b.disk;
     blocked = a.blocked +. b.blocked;
     msg_other = a.msg_other +. b.msg_other;
+    log = a.log +. b.log;
     commit = a.commit +. b.commit;
   }
 
@@ -67,20 +74,33 @@ let scale d k =
     disk = d.disk *. k;
     blocked = d.blocked *. k;
     msg_other = d.msg_other *. k;
+    log = d.log *. k;
     commit = d.commit *. k;
   }
 
 (** Assemble a decomposition from the coordinator-timeline phase widths
     and the critical-path cohort resources of the work phase. [msg_other]
-    is the work-phase residual, so the components sum to
+    is the work-phase residual, and [log] (the decision-gating cohort's
+    prepare force, carved out of the commit width) is clamped to
+    [commit], so the components sum to
     [restart + setup + exec + commit] exactly (the max with 0 only
-    guards against float rounding; the measured resources lie inside the
-    work phase by construction). Shared by the machine and the
+    guards against float rounding; the measured resources lie inside
+    their phases by construction). Shared by the machine and the
     event-fold {!Timeline} reconstructor so both produce bit-identical
     results. *)
-let assemble ~restart ~setup ~exec ~blocked ~disk ~cpu ~commit =
+let assemble ~restart ~setup ~exec ~blocked ~disk ~cpu ~log ~commit =
   let msg_other = Float.max 0. (exec -. (blocked +. disk +. cpu)) in
-  { restart; setup; useful_cpu = cpu; disk; blocked; msg_other; commit }
+  let log = Float.min (Float.max 0. log) commit in
+  {
+    restart;
+    setup;
+    useful_cpu = cpu;
+    disk;
+    blocked;
+    msg_other;
+    log;
+    commit = commit -. log;
+  }
 
 (** Stable (name, getter) listing used by CSV export and result diffs. *)
 let fields =
@@ -91,12 +111,13 @@ let fields =
     ("t_disk", fun d -> d.disk);
     ("t_blocked", fun d -> d.blocked);
     ("t_msg", fun d -> d.msg_other);
+    ("t_log", fun d -> d.log);
     ("t_2pc", fun d -> d.commit);
   ]
 
 let pp fmt d =
   Format.fprintf fmt
     "restart %.3f + setup %.3f + cpu %.3f + disk %.3f + blocked %.3f + msg \
-     %.3f + 2pc %.3f = %.3f s"
-    d.restart d.setup d.useful_cpu d.disk d.blocked d.msg_other d.commit
+     %.3f + log %.3f + 2pc %.3f = %.3f s"
+    d.restart d.setup d.useful_cpu d.disk d.blocked d.msg_other d.log d.commit
     (total d)

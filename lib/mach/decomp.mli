@@ -4,7 +4,7 @@
     The response time of a committed transaction — origination to commit,
     spanning restarts — is partitioned into mutually exclusive wall-clock
     components observed on the coordinator/critical-cohort timeline. By
-    construction the seven components sum to the measured response time
+    construction the eight components sum to the measured response time
     (up to float rounding); the conformance suite asserts this per
     transaction. *)
 
@@ -22,7 +22,12 @@ type t = {
   msg_other : float;
       (** rest of the work phase — messages, cohort startup, replica
           round trips, and queueing not attributed above *)
-  commit : float;  (** two-phase commit, prepare through last ack *)
+  log : float;
+      (** critical-path log forcing inside the commit protocol — the
+          prepare-record force of the cohort whose vote gated the
+          decision (zero without a modeled log disk) *)
+  commit : float;
+      (** the rest of two-phase commit, prepare through last ack *)
 }
 
 val zero : t
@@ -32,7 +37,8 @@ val scale : t -> float -> t
 
 (** Assemble a decomposition from the coordinator-timeline phase widths
     and the critical-path cohort resources of the work phase.
-    [msg_other] is the work-phase residual, so the components sum to
+    [msg_other] is the work-phase residual and [log] is carved out of
+    (and clamped to) the commit width, so the components sum to
     [restart + setup + exec + commit] exactly. Shared by the machine and
     the event-fold {!Timeline} reconstructor so both produce
     bit-identical results. *)
@@ -43,6 +49,7 @@ val assemble :
   blocked:float ->
   disk:float ->
   cpu:float ->
+  log:float ->
   commit:float ->
   t
 

@@ -91,6 +91,19 @@ type t =
   | Txn_orphaned of { tid : int; attempt : int; node : int }
       (** a cohort's CC footprint was cleaned up out-of-band (node crash
           or an exhausted abort-retry budget) *)
+  | Log_forced of { tid : int; attempt : int; node : int; dur : float }
+      (** a cohort's WAL force completed at [node] after [dur] seconds
+          of log-disk queueing + service; forces before the attempt's
+          Decision are prepare forces, later ones commit forces *)
+  | Cohort_resurrected of { tid : int; attempt : int; node : int; backup : int }
+      (** [node] crashed but this cohort's shipped write-set let the
+          coordinator fail over to [backup] instead of dooming it *)
+  | Recovery_started of { node : int }
+      (** crash recovery (analysis + redo over the durable log) began *)
+  | Recovery_completed of { node : int; duration : float; redone : int }
+      (** recovery finished after [duration] seconds, having resolved
+          [redone] in-doubt transactions to commit and redone their
+          durable updates *)
   | Sample of sample
 
 let name = function
@@ -120,6 +133,10 @@ let name = function
   | Msg_dropped _ -> "msg-dropped"
   | Timeout_fired _ -> "timeout-fired"
   | Txn_orphaned _ -> "txn-orphaned"
+  | Log_forced _ -> "log-forced"
+  | Cohort_resurrected _ -> "cohort-resurrected"
+  | Recovery_started _ -> "recovery-started"
+  | Recovery_completed _ -> "recovery-completed"
   | Sample _ -> "sample"
 
 (** Transaction ids carried by the event, if any. *)
@@ -144,10 +161,13 @@ let txn_of = function
   | Wound { tid; attempt; _ }
   | Restart_wait { tid; attempt; _ }
   | Timeout_fired { tid; attempt; _ }
-  | Txn_orphaned { tid; attempt; _ } ->
+  | Txn_orphaned { tid; attempt; _ }
+  | Log_forced { tid; attempt; _ }
+  | Cohort_resurrected { tid; attempt; _ } ->
       Some (tid, attempt)
   | Msg_send _ | Msg_recv _ | Snoop_round _ | Sample _ | Node_crashed _
-  | Node_recovered _ | Msg_dropped _ ->
+  | Node_recovered _ | Msg_dropped _ | Recovery_started _
+  | Recovery_completed _ ->
       None
 
 (** Flat field listing for serialization; {!Sample} payloads are handled
@@ -236,6 +256,23 @@ let fields ev : (string * field) list =
       ]
   | Txn_orphaned { tid; attempt; node } ->
       [ ("tid", I tid); ("attempt", I attempt); ("node", I node) ]
+  | Log_forced { tid; attempt; node; dur } ->
+      [
+        ("tid", I tid);
+        ("attempt", I attempt);
+        ("node", I node);
+        ("dur", F dur);
+      ]
+  | Cohort_resurrected { tid; attempt; node; backup } ->
+      [
+        ("tid", I tid);
+        ("attempt", I attempt);
+        ("node", I node);
+        ("backup", I backup);
+      ]
+  | Recovery_started { node } -> [ ("node", I node) ]
+  | Recovery_completed { node; duration; redone } ->
+      [ ("node", I node); ("duration", F duration); ("redone", I redone) ]
   | Sample { active; host_cpu_util; nodes } ->
       [
         ("active", I active);

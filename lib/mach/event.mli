@@ -94,6 +94,19 @@ type t =
   | Txn_orphaned of { tid : int; attempt : int; node : int }
       (** a cohort's CC footprint was cleaned up out-of-band (node crash
           or an exhausted abort-retry budget) *)
+  | Log_forced of { tid : int; attempt : int; node : int; dur : float }
+      (** a cohort's WAL force completed at [node] after [dur] seconds
+          of log-disk queueing + service; forces before the attempt's
+          Decision are prepare forces, later ones commit forces *)
+  | Cohort_resurrected of { tid : int; attempt : int; node : int; backup : int }
+      (** [node] crashed but this cohort's shipped write-set let the
+          coordinator fail over to [backup] instead of dooming it *)
+  | Recovery_started of { node : int }
+      (** crash recovery (analysis + redo over the durable log) began *)
+  | Recovery_completed of { node : int; duration : float; redone : int }
+      (** recovery finished after [duration] seconds, having resolved
+          [redone] in-doubt transactions to commit and redone their
+          durable updates *)
   | Sample of sample
 
 val name : t -> string

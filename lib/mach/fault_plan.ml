@@ -9,6 +9,7 @@ type t = {
   msg_delay : float;
   timeout : float;
   timeout_cap : float;
+  timeout_jitter : float;
   max_retries : int;
   fault_seed : int;
   chaos : string list;
@@ -24,6 +25,7 @@ let zero =
     msg_delay = 0.;
     timeout = 1.;
     timeout_cap = 8.;
+    timeout_jitter = 0.;
     max_retries = 4;
     fault_seed = 0;
     chaos = [];
@@ -105,6 +107,11 @@ let validate ~num_proc_nodes t =
       (finite_in ~lo:t.timeout ~hi:max_time t.timeout_cap)
       "faults: timeout-cap must be >= timeout"
   in
+  let* () =
+    check
+      (finite_in ~lo:0. ~hi:1. t.timeout_jitter)
+      "faults: jitter must be in [0, 1]"
+  in
   check (t.max_retries >= 1) "faults: retries must be >= 1"
 
 (* ------------------------------------------------------------------ *)
@@ -124,6 +131,8 @@ let to_spec t =
     add (Printf.sprintf "fault-seed=%d" t.fault_seed);
   if t.max_retries <> zero.max_retries then
     add (Printf.sprintf "retries=%d" t.max_retries);
+  if not (Float.equal t.timeout_jitter 0.) then
+    add ("jitter=" ^ g t.timeout_jitter);
   if not (Float.equal t.timeout_cap zero.timeout_cap) then
     add ("timeout-cap=" ^ g t.timeout_cap);
   if not (Float.equal t.timeout zero.timeout) then add ("timeout=" ^ g t.timeout);
@@ -216,6 +225,9 @@ let of_spec s =
           | "timeout-cap" ->
               let* f = parse_float k v in
               Ok { t with timeout_cap = f }
+          | "jitter" ->
+              let* f = parse_float k v in
+              Ok { t with timeout_jitter = f }
           | "retries" ->
               let* i = parse_int k v in
               Ok { t with max_retries = i }

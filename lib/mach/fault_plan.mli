@@ -37,6 +37,11 @@ type t = {
   msg_delay : float;  (** mean exponential extra delivery delay (0 = none) *)
   timeout : float;  (** base protocol timeout, seconds *)
   timeout_cap : float;  (** backoff cap, >= [timeout] *)
+  timeout_jitter : float;
+      (** relative backoff jitter in [0, 1] (0 = pure exponential): each
+          retry wait is scaled by a factor drawn uniformly from
+          [1 - jitter/2, 1 + jitter/2] on a dedicated fault RNG stream,
+          de-synchronizing retries that timed out together *)
   max_retries : int;  (** timeouts tolerated before a step gives up *)
   fault_seed : int;  (** dedicated RNG stream for fault decisions *)
   chaos : string list;  (** named CC-layer behavioral faults *)
@@ -62,8 +67,8 @@ val validate : num_proc_nodes:int -> t -> (unit, string) result
 (** Compact one-line spec, the same grammar the CLI accepts:
     comma-separated [key=value] items — [loss=P], [dup=P], [delay=MEAN],
     [crash=TGT\@AT+DUR] (repeatable; TGT a proc index or [host]),
-    [crash-rate=R], [mttr=M], [timeout=T], [timeout-cap=C], [retries=N],
-    [fault-seed=S], [chaos=NAME] (repeatable). Defaults are omitted, so
+    [crash-rate=R], [mttr=M], [timeout=T], [timeout-cap=C], [jitter=J],
+    [retries=N], [fault-seed=S], [chaos=NAME] (repeatable). Defaults are omitted, so
     {!zero} prints as the empty string; floats round-trip exactly. *)
 val to_spec : t -> string
 

@@ -97,6 +97,52 @@ type cc = {
       (** DetectionInterval: Snoop dwell time per node (2PL only) *)
 }
 
+(** When a cohort's commit record hits the log disk. The prepare record
+    is always forced before voting yes (2PC needs the prepared state to
+    survive a crash); the policy only decides whether the commit record
+    is forced too. *)
+type log_force =
+  | At_prepare
+      (** lazy commit record: only the prepare force is synchronous; a
+          crash after commit is redone from the durable prepare record
+          plus the coordinator's decision log *)
+  | At_commit
+      (** eager commit record: the cohort also forces the commit record
+          before acknowledging, trading an extra log I/O per updating
+          cohort for locally-complete redo information *)
+
+let log_force_name = function At_prepare -> "prepare" | At_commit -> "commit"
+
+let log_force_of_string s =
+  match String.lowercase_ascii s with
+  | "prepare" -> Some At_prepare
+  | "commit" -> Some At_commit
+  | _ -> None
+
+type durability = {
+  log_disk : bool;
+      (** model a per-node log disk: cohorts append typed WAL records and
+          block on FCFS log forces, recovery replays the durable prefix.
+          false (the paper's footnote-5 assumption) is a true no-op. *)
+  log_min_time : float;  (** log-disk service time bounds; sequential log *)
+  log_max_time : float;  (** I/O is faster than the data disks' seeks *)
+  log_force : log_force;
+  replicas : int;
+      (** backup nodes per cohort (0 = none): an updating cohort ships
+          its write-set to [replicas] successor nodes at work-done, and
+          the coordinator fails over to a live backup when the primary
+          crashes mid-transaction *)
+}
+
+let default_durability =
+  {
+    log_disk = false;
+    log_min_time = 0.005;
+    log_max_time = 0.015;
+    log_force = At_prepare;
+    replicas = 0;
+  }
+
 type run = {
   seed : int;
   warmup : float;  (** simulated seconds discarded before measuring *)
@@ -116,6 +162,10 @@ type t = {
   resources : resources;
   cc : cc;
   run : run;
+  durability : durability;
+      (** write-ahead logging / replication extension
+          ({!default_durability} = the paper's machine; a disabled
+          durability block is a true no-op) *)
   faults : Fault_plan.t;
       (** seeded fault plan ({!Fault_plan.zero} = the paper's failure-free
           machine; a zero plan is a true no-op) *)
@@ -159,6 +209,7 @@ let default =
     cc = { algorithm = Twopl; detection_interval = 1.0 };
     run =
       { seed = 1; warmup = 60.; measure = 600.; restart_delay_floor = 0.5; fresh_restart_plan = false };
+    durability = default_durability;
     faults = Fault_plan.zero;
   }
 
@@ -216,5 +267,16 @@ let validate t =
   in
   let* () =
     check (t.cc.detection_interval > 0.) "detection_interval must be positive"
+  in
+  let dur = t.durability in
+  let* () =
+    check
+      (0. <= dur.log_min_time && dur.log_min_time <= dur.log_max_time)
+      "log-disk times must satisfy 0 <= min <= max"
+  in
+  let* () =
+    check
+      (dur.replicas >= 0 && dur.replicas <= d.num_proc_nodes - 1)
+      "replicas must be in [0, num_proc_nodes - 1]"
   in
   Fault_plan.validate ~num_proc_nodes:d.num_proc_nodes t.faults

@@ -78,6 +78,42 @@ type cc = {
       (** DetectionInterval: Snoop dwell time per node (2PL only) *)
 }
 
+(** When a cohort's commit record hits the log disk. The prepare record
+    is always forced before voting yes (2PC needs the prepared state to
+    survive a crash); the policy only decides whether the commit record
+    is forced too. *)
+type log_force =
+  | At_prepare
+      (** lazy commit record: only the prepare force is synchronous; a
+          crash after commit is redone from the durable prepare record
+          plus the coordinator's decision log *)
+  | At_commit
+      (** eager commit record: the cohort also forces the commit record
+          before acknowledging, trading an extra log I/O per updating
+          cohort for locally-complete redo information *)
+
+val log_force_name : log_force -> string
+val log_force_of_string : string -> log_force option
+
+type durability = {
+  log_disk : bool;
+      (** model a per-node log disk: cohorts append typed WAL records and
+          block on FCFS log forces, recovery replays the durable prefix.
+          false (the paper's footnote-5 assumption) is a true no-op. *)
+  log_min_time : float;  (** log-disk service time bounds; sequential log *)
+  log_max_time : float;  (** I/O is faster than the data disks' seeks *)
+  log_force : log_force;
+  replicas : int;
+      (** backup nodes per cohort (0 = none): an updating cohort ships
+          its write-set to [replicas] successor nodes at work-done, and
+          the coordinator fails over to a live backup when the primary
+          crashes mid-transaction *)
+}
+
+(** Durability switched off entirely: no log disk, no replicas — the
+    paper's machine, bit-identical to a build without the subsystem. *)
+val default_durability : durability
+
 type run = {
   seed : int;
   warmup : float;  (** simulated seconds discarded before measuring *)
@@ -97,6 +133,10 @@ type t = {
   resources : resources;
   cc : cc;
   run : run;
+  durability : durability;
+      (** write-ahead logging / replication extension
+          ({!default_durability} = the paper's machine; a disabled
+          durability block is a true no-op) *)
   faults : Fault_plan.t;
       (** seeded fault plan ({!Fault_plan.zero} = the paper's failure-free
           machine; a zero plan is a true no-op) *)

@@ -1,0 +1,224 @@
+open Desim
+
+type record =
+  | Begin of { tid : int; attempt : int }
+  | Update of { tid : int; attempt : int; page : Ids.Page.t }
+  | Prepare of { tid : int; attempt : int }
+  | Commit of { tid : int; attempt : int }
+  | Abort of { tid : int; attempt : int }
+  | Checkpoint of { active : int }
+
+type status = Absent | Volatile | Durable
+
+(* Per-(tid, attempt) digest of the log records this node holds. The full
+   record sequence is never materialized: the model only needs enough to
+   answer durability questions and size the redo pass. *)
+type txn_log = {
+  mutable updates_vol : int;
+  mutable updates_dur : int;
+  mutable prepared : status;
+  mutable committed : status;
+  mutable aborted : status;
+  mutable installed : bool;
+      (** data-page installs completed (commit-time deferred writes hit
+          the data disks, which survive crashes) *)
+}
+
+type t = {
+  disk : Disk.t;
+  txns : (int * int, txn_log) Hashtbl.t;
+  mutable dirty : (int * int) list;
+      (** keys with volatile records, newest first; promoted by [force],
+          discarded by [on_crash] *)
+  mutable checkpoint_pending : bool;
+  mutable records : int;
+  mutable forces : int;
+  mutable forced_records : int;
+}
+
+let create eng rng ~min_time ~max_time =
+  {
+    disk = Disk.create eng rng ~min_time ~max_time;
+    txns = Hashtbl.create 64;
+    dirty = [];
+    checkpoint_pending = false;
+    records = 0;
+    forces = 0;
+    forced_records = 0;
+  }
+
+let fresh_entry () =
+  {
+    updates_vol = 0;
+    updates_dur = 0;
+    prepared = Absent;
+    committed = Absent;
+    aborted = Absent;
+    installed = false;
+  }
+
+let key_equal (t1, a1) (t2, a2) = Int.equal t1 t2 && Int.equal a1 a2
+
+let key_compare (t1, a1) (t2, a2) =
+  match Int.compare t1 t2 with 0 -> Int.compare a1 a2 | n -> n
+
+let entry t ~tid ~attempt = Hashtbl.find_opt t.txns (tid, attempt)
+
+let entry_create t ~tid ~attempt =
+  match Hashtbl.find_opt t.txns (tid, attempt) with
+  | Some e -> e
+  | None ->
+      let e = fresh_entry () in
+      Hashtbl.replace t.txns (tid, attempt) e;
+      e
+
+let mark_dirty t key =
+  match t.dirty with
+  | k :: _ when key_equal k key -> ()
+  | _ -> t.dirty <- key :: t.dirty
+
+(* Forget entries the log no longer needs once a checkpoint is durable:
+   durably decided (and installed, for commits) transactions are fully
+   redo-covered without any log record. *)
+let prune t =
+  let dead =
+    Hashtbl.fold
+      (fun key e acc ->
+        match (e.committed, e.aborted) with
+        | Durable, _ when e.installed -> key :: acc
+        | _, Durable -> key :: acc
+        | (Absent | Volatile | Durable), (Absent | Volatile) -> acc)
+      t.txns []
+    |> List.sort key_compare
+  in
+  List.iter (Hashtbl.remove t.txns) dead
+
+let append t record =
+  t.records <- t.records + 1;
+  match record with
+  | Begin { tid; attempt } ->
+      ignore (entry_create t ~tid ~attempt : txn_log);
+      mark_dirty t (tid, attempt)
+  | Update { tid; attempt; page = _ } ->
+      let e = entry_create t ~tid ~attempt in
+      e.updates_vol <- e.updates_vol + 1;
+      mark_dirty t (tid, attempt)
+  | Prepare { tid; attempt } -> (
+      (* decision records without a footprint here (read-only cohort) are
+         counted but need no digest entry: there is nothing to redo *)
+      match entry t ~tid ~attempt with
+      | None -> ()
+      | Some e ->
+          if e.prepared = Absent then e.prepared <- Volatile;
+          mark_dirty t (tid, attempt))
+  | Commit { tid; attempt } -> (
+      match entry t ~tid ~attempt with
+      | None -> ()
+      | Some e ->
+          if e.committed = Absent then e.committed <- Volatile;
+          mark_dirty t (tid, attempt))
+  | Abort { tid; attempt } -> (
+      match entry t ~tid ~attempt with
+      | None -> ()
+      | Some e ->
+          if e.aborted = Absent then e.aborted <- Volatile;
+          mark_dirty t (tid, attempt))
+  | Checkpoint _ -> t.checkpoint_pending <- true
+
+let promote t keys checkpointed =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.txns key with
+      | None -> ()
+      | Some e ->
+          t.forced_records <- t.forced_records + e.updates_vol;
+          e.updates_dur <- e.updates_dur + e.updates_vol;
+          e.updates_vol <- 0;
+          let promote_status s =
+            match s with
+            | Volatile ->
+                t.forced_records <- t.forced_records + 1;
+                Durable
+            | Absent | Durable -> s
+          in
+          e.prepared <- promote_status e.prepared;
+          e.committed <- promote_status e.committed;
+          e.aborted <- promote_status e.aborted)
+    keys;
+  if checkpointed then prune t
+
+(* A force covers exactly the records appended before it was issued:
+   appends racing the disk write land in a fresh dirty list and need a
+   force of their own. *)
+let force t =
+  let keys = t.dirty and checkpointed = t.checkpoint_pending in
+  t.dirty <- [];
+  t.checkpoint_pending <- false;
+  t.forces <- t.forces + 1;
+  Disk.write t.disk;
+  promote t keys checkpointed
+
+(* Recovery's analysis pass: one sequential read of the durable log. *)
+let scan t = Disk.read t.disk
+
+let on_crash t =
+  let keys = t.dirty in
+  t.dirty <- [];
+  t.checkpoint_pending <- false;
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.txns key with
+      | None -> ()
+      | Some e ->
+          e.updates_vol <- 0;
+          let drop s = match s with Volatile -> Absent | Absent | Durable -> s in
+          e.prepared <- drop e.prepared;
+          e.committed <- drop e.committed;
+          e.aborted <- drop e.aborted;
+          (* an entry the crash emptied again will be recreated if the
+             transaction ever re-logs here *)
+          if
+            e.updates_dur = 0 && e.prepared = Absent && e.committed = Absent
+            && e.aborted = Absent && not e.installed
+          then Hashtbl.remove t.txns key)
+    keys
+
+let mark_installed t ~tid ~attempt =
+  let e = entry_create t ~tid ~attempt in
+  e.installed <- true
+
+let prepared_durable t ~tid ~attempt =
+  match entry t ~tid ~attempt with
+  | None -> false
+  | Some e -> ( match e.prepared with Durable -> true | Absent | Volatile -> false)
+
+let committed_durable t ~tid ~attempt =
+  match entry t ~tid ~attempt with
+  | None -> false
+  | Some e -> ( match e.committed with Durable -> true | Absent | Volatile -> false)
+
+let installed t ~tid ~attempt =
+  match entry t ~tid ~attempt with None -> false | Some e -> e.installed
+
+let tracked t ~tid ~attempt =
+  match entry t ~tid ~attempt with None -> false | Some _ -> true
+
+let redo_pages t ~tid ~attempt =
+  match entry t ~tid ~attempt with None -> 0 | Some e -> e.updates_dur
+
+let in_doubt t =
+  Hashtbl.fold
+    (fun key e acc ->
+      match (e.prepared, e.committed, e.aborted) with
+      | Durable, (Absent | Volatile), (Absent | Volatile) when not e.installed ->
+          key :: acc
+      | (Absent | Volatile | Durable), _, _ -> acc)
+    t.txns []
+  |> List.sort key_compare
+
+let records t = t.records
+let forces t = t.forces
+let forced_records t = t.forced_records
+let utilization t = Disk.utilization t.disk
+let busy_time t = Disk.busy_time t.disk
+let reset_window t = Disk.reset_window t.disk

@@ -1,0 +1,96 @@
+(** Per-node write-ahead log on a modeled log disk.
+
+    Extends the paper's machine (which assumes, per footnote 5, that
+    logging is never the bottleneck) with an explicit durability model:
+    cohorts append typed records to a volatile log tail, and a {b force}
+    flushes the tail with one FCFS write on a dedicated log disk — so
+    logging cost shows up in throughput, log-disk utilization, and the
+    [log] component of the response-time decomposition.
+
+    The model keeps a per-transaction digest rather than the record
+    sequence itself: enough to answer the durability questions recovery
+    and the no-lost-commit invariant ask, and to size the redo pass.
+
+    Durability semantics follow ARIES-style redo logging restricted to
+    what the simulation observes: a {!force} makes every record appended
+    before the call durable once the disk write completes; a crash
+    ({!on_crash}) discards the volatile tail and nothing else — data-disk
+    installs and the durable log prefix survive. *)
+
+type record =
+  | Begin of { tid : int; attempt : int }
+  | Update of { tid : int; attempt : int; page : Ids.Page.t }
+  | Prepare of { tid : int; attempt : int }
+  | Commit of { tid : int; attempt : int }
+  | Abort of { tid : int; attempt : int }
+  | Checkpoint of { active : int }
+      (** end-of-recovery checkpoint; once durable, the log before it is
+          truncated (digest entries of decided-and-installed transactions
+          are pruned) *)
+
+type t
+
+(** One log per processing node; [rng] drives the uniform
+    [min_time, max_time] log-disk service times. *)
+val create :
+  Desim.Engine.t -> Desim.Rng.t -> min_time:float -> max_time:float -> t
+
+(** Append a record to the volatile tail (no I/O: appends model buffered
+    sequential writes; only {!force} pays). Decision records for
+    transactions with no update footprint here (read-only cohorts) are
+    counted but tracked no further — there is nothing to redo. *)
+val append : t -> record -> unit
+
+(** Flush the tail: one blocking FCFS write on the log disk (valid only
+    inside a process). Records appended while the write is in flight
+    need a force of their own. *)
+val force : t -> unit
+
+(** Recovery's analysis pass: one blocking FCFS read of the log disk,
+    modeling a sequential scan of the durable prefix (valid only inside
+    a process). *)
+val scan : t -> unit
+
+(** The node lost volatile state: drop the un-forced tail. The durable
+    prefix and install flags survive. *)
+val on_crash : t -> unit
+
+(** The transaction's commit-time deferred page writes reached the data
+    disks at this node (data-disk state survives crashes, so an
+    installed transaction needs no redo). *)
+val mark_installed : t -> tid:int -> attempt:int -> unit
+
+val prepared_durable : t -> tid:int -> attempt:int -> bool
+val committed_durable : t -> tid:int -> attempt:int -> bool
+val installed : t -> tid:int -> attempt:int -> bool
+
+(** Whether the digest still holds an entry for this attempt. [false]
+    means the log never saw an update footprint here (read-only cohort)
+    or a durable checkpoint pruned a fully decided-and-installed entry —
+    either way, nothing can be lost. *)
+val tracked : t -> tid:int -> attempt:int -> bool
+
+(** Durable update records needing redo if the decision is commit. *)
+val redo_pages : t -> tid:int -> attempt:int -> int
+
+(** Analysis pass: transactions with a durable prepare record, no
+    durable decision record, and no completed installs — exactly the
+    set recovery must resolve through the coordinator's decision log.
+    Sorted by (tid, attempt) for deterministic iteration. *)
+val in_doubt : t -> (int * int) list
+
+(** Records appended (including volatile ones lost to crashes). *)
+val records : t -> int
+
+(** Completed {!force} calls. *)
+val forces : t -> int
+
+(** Records made durable by completed forces. *)
+val forced_records : t -> int
+
+val utilization : t -> float
+
+(** Cumulative log-disk busy time since creation (never reset). *)
+val busy_time : t -> float
+
+val reset_window : t -> unit

@@ -29,6 +29,7 @@ let golden_params =
         restart_delay_floor = 0.5;
         fresh_restart_plan = false;
       };
+    durability = Params.default_durability;
     faults = Fault_plan.zero;
   }
 

@@ -103,6 +103,7 @@ let audited_run algorithm =
       run =
         { Params.seed = 21; warmup = 0.; measure = 60.;
           restart_delay_floor = 0.5; fresh_restart_plan = false };
+      durability = Params.default_durability;
       faults = Fault_plan.zero;
     }
   in

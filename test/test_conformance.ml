@@ -76,6 +76,7 @@ let hot_2pl_params =
         restart_delay_floor = 0.25;
         fresh_restart_plan = false;
       };
+      durability = Params.default_durability;
       faults = Fault_plan.zero;
   }
 

@@ -96,6 +96,7 @@ let full_plan =
     msg_delay = 0.002;
     timeout = 0.5;
     timeout_cap = 4.;
+    timeout_jitter = 0.25;
     max_retries = 6;
     fault_seed = 99;
     chaos = [ "broken-lock-conversion" ];

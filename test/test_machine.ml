@@ -26,6 +26,7 @@ let small_params ?(algorithm = Params.Twopl) ?(nodes = 4) ?(degree = 4)
     resources = d.Params.resources;
     cc = { d.Params.cc with Params.algorithm };
     run = { Params.seed; warmup = 10.; measure; restart_delay_floor = 0.5; fresh_restart_plan = false };
+      durability = Params.default_durability;
       faults = Fault_plan.zero;
   }
 

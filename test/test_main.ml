@@ -30,5 +30,6 @@ let () =
       ("observability", Test_observability.suite);
       ("conformance", Test_conformance.suite);
       ("faults", Test_faults.suite);
+      ("recovery", Test_recovery.suite);
       ("lint", Test_lint.suite);
     ]

@@ -32,6 +32,7 @@ let mk_params ?(algorithm = Params.Twopl) ?(nodes = 4) ?(terminals = 16)
         restart_delay_floor = 0.5;
         fresh_restart_plan = false;
       };
+      durability = Params.default_durability;
       faults = Fault_plan.zero;
   }
 

@@ -104,6 +104,7 @@ let test_machine_littles_law () =
       run =
         { Params.seed = 2; warmup = 60.; measure = 400.;
           restart_delay_floor = 0.5; fresh_restart_plan = false };
+      durability = Params.default_durability;
       faults = Fault_plan.zero;
     }
   in
@@ -131,6 +132,7 @@ let test_machine_interactive_response_law () =
       run =
         { Params.seed = 3; warmup = 80.; measure = 400.;
           restart_delay_floor = 0.5; fresh_restart_plan = false };
+      durability = Params.default_durability;
       faults = Fault_plan.zero;
     }
   in

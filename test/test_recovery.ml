@@ -1,0 +1,422 @@
+(* Durability subsystem: WAL record/digest semantics, jittered backoff,
+   crash recovery (redo, presumed abort, re-crash during recovery),
+   primary/backup failover, and the no-lost-commit capstone — a sweep of
+   random fault plans under which every committed transaction must leave
+   durable evidence. *)
+
+open Ddbm_model
+
+(* --- WAL unit tests ------------------------------------------------ *)
+
+(* Run [body] as the sole process of a fresh engine (log forces and
+   scans block on the modeled log disk, so they need a process). *)
+let in_process body =
+  let eng = Desim.Engine.create () in
+  let wal =
+    Wal.create eng (Desim.Rng.create 7) ~min_time:0.005 ~max_time:0.015
+  in
+  Desim.Engine.spawn eng (fun () -> body eng wal);
+  Desim.Engine.run eng
+
+let test_wal_force_makes_prefix_durable () =
+  in_process (fun eng wal ->
+      Wal.append wal (Wal.Begin { tid = 1; attempt = 1 });
+      Wal.append wal (Wal.Update { tid = 1; attempt = 1; page = Ids.Page.make ~file:0 ~index:0 });
+      Wal.append wal (Wal.Prepare { tid = 1; attempt = 1 });
+      Alcotest.(check bool) "nothing durable before the force" false
+        (Wal.prepared_durable wal ~tid:1 ~attempt:1);
+      let t0 = Desim.Engine.now eng in
+      Wal.force wal;
+      Alcotest.(check bool) "force paid log-disk time" true
+        (Desim.Engine.now eng -. t0 >= 0.005);
+      Alcotest.(check bool) "prepare durable after the force" true
+        (Wal.prepared_durable wal ~tid:1 ~attempt:1);
+      Alcotest.(check int) "one force completed" 1 (Wal.forces wal);
+      (* Begin only creates the digest entry: the update page and the
+         promoted prepare status are the two forced records. *)
+      Alcotest.(check int) "update and prepare records forced" 2
+        (Wal.forced_records wal);
+      Alcotest.(check bool) "utilization accrued" true
+        (Wal.busy_time wal > 0.))
+
+let test_wal_crash_drops_volatile_tail () =
+  in_process (fun _ wal ->
+      Wal.append wal (Wal.Begin { tid = 1; attempt = 1 });
+      Wal.append wal (Wal.Update { tid = 1; attempt = 1; page = Ids.Page.make ~file:0 ~index:0 });
+      Wal.append wal (Wal.Prepare { tid = 1; attempt = 1 });
+      Wal.force wal;
+      (* the commit record stays in the volatile tail *)
+      Wal.append wal (Wal.Commit { tid = 1; attempt = 1 });
+      Wal.on_crash wal;
+      Alcotest.(check bool) "durable prepare survives the crash" true
+        (Wal.prepared_durable wal ~tid:1 ~attempt:1);
+      Alcotest.(check bool) "volatile commit is lost" false
+        (Wal.committed_durable wal ~tid:1 ~attempt:1);
+      Alcotest.(check (list (pair int int)))
+        "the attempt is in doubt"
+        [ (1, 1) ]
+        (Wal.in_doubt wal);
+      Alcotest.(check int) "one update page to redo" 1
+        (Wal.redo_pages wal ~tid:1 ~attempt:1))
+
+let test_wal_installed_resolves_doubt () =
+  in_process (fun _ wal ->
+      Wal.append wal (Wal.Begin { tid = 3; attempt = 2 });
+      Wal.append wal (Wal.Update { tid = 3; attempt = 2; page = Ids.Page.make ~file:0 ~index:1 });
+      Wal.append wal (Wal.Prepare { tid = 3; attempt = 2 });
+      Wal.force wal;
+      Wal.mark_installed wal ~tid:3 ~attempt:2;
+      Alcotest.(check (list (pair int int)))
+        "installed attempts are not in doubt" [] (Wal.in_doubt wal);
+      Alcotest.(check bool) "install flag survives a crash" true
+        (Wal.on_crash wal;
+         Wal.installed wal ~tid:3 ~attempt:2))
+
+let test_wal_checkpoint_prunes_decided () =
+  in_process (fun _ wal ->
+      Wal.append wal (Wal.Begin { tid = 1; attempt = 1 });
+      Wal.append wal (Wal.Update { tid = 1; attempt = 1; page = Ids.Page.make ~file:0 ~index:0 });
+      Wal.append wal (Wal.Commit { tid = 1; attempt = 1 });
+      Wal.mark_installed wal ~tid:1 ~attempt:1;
+      (* an undecided peer must survive the checkpoint *)
+      Wal.append wal (Wal.Begin { tid = 2; attempt = 1 });
+      Wal.append wal (Wal.Update { tid = 2; attempt = 1; page = Ids.Page.make ~file:0 ~index:2 });
+      Wal.append wal (Wal.Prepare { tid = 2; attempt = 1 });
+      Wal.append wal (Wal.Checkpoint { active = 1 });
+      Wal.force wal;
+      Alcotest.(check bool) "decided-and-installed entry pruned" false
+        (Wal.tracked wal ~tid:1 ~attempt:1);
+      Alcotest.(check bool) "undecided entry survives" true
+        (Wal.tracked wal ~tid:2 ~attempt:1))
+
+let test_wal_readonly_not_tracked () =
+  in_process (fun _ wal ->
+      (* A read-only cohort never logs Begin/Update (the machine gates
+         appends on the update footprint); a stray decision record for
+         an attempt the log never saw creates no digest entry. *)
+      Wal.append wal (Wal.Commit { tid = 9; attempt = 1 });
+      Wal.force wal;
+      Alcotest.(check bool) "no update footprint, nothing tracked" false
+        (Wal.tracked wal ~tid:9 ~attempt:1);
+      Alcotest.(check (list (pair int int)))
+        "and nothing in doubt" [] (Wal.in_doubt wal))
+
+(* --- jittered backoff ---------------------------------------------- *)
+
+let test_jitter_zero_is_bit_identical () =
+  let rng1 = Desim.Rng.create 7 and rng2 = Desim.Rng.create 7 in
+  for round = 1 to 8 do
+    Alcotest.(check (float 0.))
+      (Printf.sprintf "round %d equals plain delay" round)
+      (Backoff.delay ~base:0.5 ~cap:4. ~round)
+      (Backoff.delay_jittered ~jitter:0. ~rng:rng1 ~base:0.5 ~cap:4. ~round)
+  done;
+  (* jitter 0 must not consume randomness: the stream is untouched *)
+  Alcotest.(check (float 0.)) "no draws consumed" (Desim.Rng.float rng2)
+    (Desim.Rng.float rng1)
+
+let test_jitter_bounded_and_deterministic () =
+  let deltas seed =
+    let rng = Desim.Rng.create seed in
+    List.init 100 (fun i ->
+        Backoff.delay_jittered ~jitter:0.5 ~rng ~base:0.5 ~cap:4.
+          ~round:((i mod 4) + 1))
+  in
+  let a = deltas 42 and b = deltas 42 in
+  Alcotest.(check bool) "same seed, same jitter" true (a = b);
+  List.iteri
+    (fun i d ->
+      let base = Backoff.delay ~base:0.5 ~cap:4. ~round:((i mod 4) + 1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %d within base*[0.75, 1.25]" i)
+        true
+        (d >= (base *. 0.75) -. 1e-12 && d <= (base *. 1.25) +. 1e-12))
+    a;
+  Alcotest.(check bool) "jitter actually varies" true
+    (List.exists2 (fun d d' -> not (Float.equal d d')) a (List.tl a @ [ List.hd a ]))
+
+(* --- end-to-end recovery runs -------------------------------------- *)
+
+let durability ?(replicas = 0) ?(log_force = Params.At_prepare) () =
+  {
+    Params.log_disk = true;
+    log_min_time = 0.002;
+    log_max_time = 0.006;
+    log_force;
+    replicas;
+  }
+
+let recovery_params ?(algorithm = Params.Twopl) ?(seed = 42)
+    ?(faults = Fault_plan.zero) ?(durability = durability ()) () =
+  let d = Params.default in
+  {
+    d with
+    Params.database =
+      {
+        d.Params.database with
+        Params.num_proc_nodes = 4;
+        partitioning_degree = 4;
+      };
+    workload =
+      { d.Params.workload with Params.num_terminals = 16; think_time = 1.0 };
+    cc = { d.Params.cc with Params.algorithm };
+    run = { d.Params.run with Params.seed; warmup = 2.0; measure = 20.0 };
+    faults;
+    durability;
+  }
+
+let check_conforming name (r : Ddbm.Sim_result.t) =
+  match Ddbm_check.Invariants.check r with
+  | [] -> ()
+  | errs -> Alcotest.fail (name ^ ": " ^ String.concat "; " errs)
+
+let audited_run params =
+  let m = Ddbm.Machine.create params in
+  let audit = Ddbm.Machine.enable_audit m in
+  let events = ref [] in
+  let tracer = Ddbm.Machine.enable_events m in
+  Tracer.attach tracer (fun ~time:_ ev -> events := ev :: !events);
+  let r = Ddbm.Machine.execute m in
+  (match Ddbm.Audit.check audit with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("audit: " ^ msg));
+  (r, List.rev !events)
+
+(* Repeated single-node crashes against a lossy network: crashes land in
+   every protocol phase, including mid prepare-force. Recovery must
+   redo, the termination protocol must finish, and no commit may be
+   lost. *)
+let crashy_plan =
+  {
+    Fault_plan.zero with
+    Fault_plan.crashes =
+      [
+        { Fault_plan.target = Ids.Proc 1; at = 5.; duration = 1.5 };
+        { Fault_plan.target = Ids.Proc 2; at = 9.; duration = 1. };
+        { Fault_plan.target = Ids.Proc 0; at = 14.; duration = 2. };
+      ];
+    msg_loss = 0.05;
+    timeout = 0.5;
+    timeout_cap = 2.;
+    max_retries = 4;
+    fault_seed = 23;
+  }
+
+let test_crash_with_wal_recovers () =
+  List.iter
+    (fun log_force ->
+      let r, events =
+        audited_run
+          (recovery_params ~faults:crashy_plan
+             ~durability:(durability ~log_force ()) ())
+      in
+      let name = Params.log_force_name log_force in
+      check_conforming name r;
+      Alcotest.(check bool) (name ^ " commits happened") true
+        (r.Ddbm.Sim_result.commits > 0);
+      Alcotest.(check bool) (name ^ " log forces happened") true
+        (r.Ddbm.Sim_result.log_forces > 0);
+      Alcotest.(check bool) (name ^ " recoveries ran") true
+        (r.Ddbm.Sim_result.recoveries >= 3);
+      Alcotest.(check bool) (name ^ " mttr positive") true
+        (r.Ddbm.Sim_result.mean_recovery_time > 0.);
+      Alcotest.(check int) (name ^ " no commit lost") 0
+        r.Ddbm.Sim_result.lost_commits;
+      Alcotest.(check int) (name ^ " nothing overdue in doubt") 0
+        r.Ddbm.Sim_result.indoubt_overdue_at_end;
+      Alcotest.(check bool) (name ^ " recovery events emitted") true
+        (List.exists
+           (function Event.Recovery_completed _ -> true | _ -> false)
+           events))
+    [ Params.At_prepare; Params.At_commit ]
+
+(* The same node crashes again while (or shortly after) recovering: the
+   abandoned pass must not wedge the machine or double-count installs. *)
+let test_double_crash_same_node () =
+  let faults =
+    {
+      Fault_plan.zero with
+      Fault_plan.crashes =
+        [
+          { Fault_plan.target = Ids.Proc 1; at = 5.; duration = 1. };
+          { Fault_plan.target = Ids.Proc 1; at = 6.05; duration = 1. };
+          { Fault_plan.target = Ids.Proc 1; at = 8.; duration = 1.5 };
+        ];
+      timeout = 0.5;
+      timeout_cap = 2.;
+      max_retries = 4;
+      fault_seed = 11;
+    }
+  in
+  let r, _ = audited_run (recovery_params ~faults ()) in
+  check_conforming "double crash" r;
+  Alcotest.(check bool) "commits happened" true (r.Ddbm.Sim_result.commits > 0);
+  Alcotest.(check bool) "crashes recorded" true
+    (r.Ddbm.Sim_result.node_crashes >= 3);
+  Alcotest.(check int) "no commit lost" 0 r.Ddbm.Sim_result.lost_commits;
+  Alcotest.(check int) "nothing overdue in doubt" 0
+    r.Ddbm.Sim_result.indoubt_overdue_at_end
+
+(* Rate-driven crashes with replication: failovers happen (including
+   racing the commit decision — the relocated proxy receives the
+   Do_commit meant for its dead primary) and strictly improve on the
+   doom-everything baseline. *)
+let failover_plan =
+  {
+    Fault_plan.zero with
+    Fault_plan.crash_rate = 0.02;
+    mean_repair = 1.5;
+    msg_loss = 0.02;
+    timeout = 0.5;
+    timeout_cap = 2.;
+    max_retries = 4;
+    fault_seed = 31;
+  }
+
+let test_failover_beats_doom_baseline () =
+  let run replicas =
+    audited_run
+      (recovery_params ~faults:failover_plan
+         ~durability:(durability ~replicas ()) ())
+  in
+  let r0, _ = run 0 in
+  let r1, events = run 1 in
+  check_conforming "replicas=0" r0;
+  check_conforming "replicas=1" r1;
+  Alcotest.(check int) "no failovers without replicas" 0
+    r0.Ddbm.Sim_result.failovers;
+  Alcotest.(check bool) "failovers happened" true
+    (r1.Ddbm.Sim_result.failovers > 0);
+  Alcotest.(check bool) "resurrection events emitted" true
+    (List.exists
+       (function Event.Cohort_resurrected _ -> true | _ -> false)
+       events);
+  Alcotest.(check int) "no commit lost with failover" 0
+    r1.Ddbm.Sim_result.lost_commits;
+  (* the whole point: saved cohorts mean fewer crash-doomed attempts *)
+  Alcotest.(check bool)
+    (Printf.sprintf "goodput improves (%.2f -> %.2f)"
+       r0.Ddbm.Sim_result.goodput r1.Ddbm.Sim_result.goodput)
+    true
+    (r1.Ddbm.Sim_result.goodput > r0.Ddbm.Sim_result.goodput)
+
+(* Jittered timeouts de-synchronize retries; the run stays conforming
+   and deterministic, and jitter 0 remains bit-identical to the
+   pre-jitter machine (covered by the faults suite's pins). *)
+let test_recovery_runs_replay_exactly () =
+  List.iter
+    (fun (faults, durability) ->
+      let run () = Ddbm.Machine.run (recovery_params ~faults ~durability ()) in
+      let a = run () and b = run () in
+      match Ddbm.Sim_result.diff a b with
+      | [] -> ()
+      | diffs ->
+          Alcotest.fail
+            ("same plan, different runs: " ^ String.concat "; " diffs))
+    [
+      (crashy_plan, durability ());
+      (failover_plan, durability ~replicas:1 ());
+      ( { crashy_plan with Fault_plan.timeout_jitter = 0.25 },
+        durability ~replicas:1 ~log_force:Params.At_commit () );
+    ]
+
+(* --- the capstone sweep -------------------------------------------- *)
+
+(* Random fault plans (crashes, loss, duplication, jitter, replication
+   on or off): no committed transaction is ever lost. The count is
+   env-capped so CI can dial it down; the default meets the >= 100 bar. *)
+let sweep_count () =
+  match Sys.getenv_opt "DDBM_RECOVERY_SWEEP" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 100)
+  | None -> 100
+
+let random_plan rng =
+  let f lo hi = lo +. (Desim.Rng.float rng *. (hi -. lo)) in
+  let crashes =
+    List.init
+      (Desim.Rng.int rng 3)
+      (fun _ ->
+        {
+          Fault_plan.target = Ids.Proc (Desim.Rng.int rng 4);
+          at = f 3. 15.;
+          duration = f 0.5 2.5;
+        })
+  in
+  {
+    Fault_plan.zero with
+    Fault_plan.crashes;
+    crash_rate = (if Desim.Rng.bool rng ~p:0.5 then f 0.005 0.04 else 0.);
+    mean_repair = f 0.5 2.;
+    msg_loss = (if Desim.Rng.bool rng ~p:0.5 then f 0.01 0.1 else 0.);
+    msg_dup = (if Desim.Rng.bool rng ~p:0.5 then f 0.01 0.05 else 0.);
+    msg_delay = f 0. 0.005;
+    timeout = 0.5;
+    timeout_cap = 2.;
+    timeout_jitter = (if Desim.Rng.bool rng ~p:0.5 then f 0.1 0.5 else 0.);
+    max_retries = 4;
+    fault_seed = Desim.Rng.int rng 1_000_000;
+  }
+
+let test_no_lost_commit_sweep () =
+  let rng = Desim.Rng.create 2026 in
+  let lost = ref 0 and checked = ref 0 in
+  for i = 1 to sweep_count () do
+    let faults = random_plan rng in
+    let faults =
+      if Fault_plan.active faults then faults
+      else { faults with Fault_plan.msg_loss = 0.02 }
+    in
+    let replicas = if Desim.Rng.bool rng ~p:0.5 then 1 else 0 in
+    let log_force =
+      if Desim.Rng.bool rng ~p:0.5 then Params.At_prepare else Params.At_commit
+    in
+    let params =
+      recovery_params ~seed:(1000 + i) ~faults
+        ~durability:(durability ~replicas ~log_force ())
+        ()
+    in
+    let params =
+      {
+        params with
+        Params.run = { params.Params.run with Params.warmup = 1.; measure = 6. };
+        workload =
+          { params.Params.workload with Params.num_terminals = 8 };
+      }
+    in
+    let r = Ddbm.Machine.run params in
+    incr checked;
+    lost := !lost + r.Ddbm.Sim_result.lost_commits;
+    check_conforming (Printf.sprintf "sweep %d" i) r
+  done;
+  Alcotest.(check bool) "sweep ran" true (!checked >= 1);
+  Alcotest.(check int)
+    (Printf.sprintf "no commit lost across %d random fault plans" !checked)
+    0 !lost
+
+let suite =
+  [
+    Alcotest.test_case "WAL force makes the prefix durable" `Quick
+      test_wal_force_makes_prefix_durable;
+    Alcotest.test_case "WAL crash drops the volatile tail" `Quick
+      test_wal_crash_drops_volatile_tail;
+    Alcotest.test_case "WAL installs resolve doubt" `Quick
+      test_wal_installed_resolves_doubt;
+    Alcotest.test_case "WAL checkpoint prunes decided entries" `Quick
+      test_wal_checkpoint_prunes_decided;
+    Alcotest.test_case "WAL ignores read-only cohorts" `Quick
+      test_wal_readonly_not_tracked;
+    Alcotest.test_case "jitter 0 is bit-identical, draw-free" `Quick
+      test_jitter_zero_is_bit_identical;
+    Alcotest.test_case "jitter bounded and deterministic" `Quick
+      test_jitter_bounded_and_deterministic;
+    Alcotest.test_case "crashes with WAL recover and lose nothing" `Slow
+      test_crash_with_wal_recovers;
+    Alcotest.test_case "double crash of one node converges" `Slow
+      test_double_crash_same_node;
+    Alcotest.test_case "failover beats the doom baseline" `Slow
+      test_failover_beats_doom_baseline;
+    Alcotest.test_case "recovery-heavy plans replay exactly" `Slow
+      test_recovery_runs_replay_exactly;
+    Alcotest.test_case "no-lost-commit sweep over random fault plans" `Slow
+      test_no_lost_commit_sweep;
+  ]

@@ -97,6 +97,7 @@ let replicated_params ?(algorithm = Params.Twopl) ?(replication = 2)
     run =
       { Params.seed = 9; warmup = 10.; measure = 50.;
         restart_delay_floor = 0.5; fresh_restart_plan = false };
+      durability = Params.default_durability;
       faults = Fault_plan.zero;
   }
 

@@ -96,6 +96,7 @@ let test_machine_trace () =
       run =
         { Params.seed = 4; warmup = 0.; measure = 30.;
           restart_delay_floor = 0.5; fresh_restart_plan = false };
+      durability = Params.default_durability;
       faults = Fault_plan.zero;
     }
   in
