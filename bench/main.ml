@@ -14,9 +14,11 @@ open Cmdliner
 (* ------------------------------------------------------------------ *)
 (* Figure harness                                                      *)
 
-let run_figures ~profile ~ids ~thinks ~csv_dir ~verbose =
+let wall_now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let run_figures ~pool ~profile ~ids ~thinks ~csv_dir ~verbose =
   let cache = Ddbm.Experiment.create_cache ~verbose () in
-  let started = Sys.time () in
+  let started = wall_now () in
   let generators =
     match ids with
     | [] -> Ddbm.Figures.all
@@ -31,16 +33,21 @@ let run_figures ~profile ~ids ~thinks ~csv_dir ~verbose =
           ids
   in
   Printf.printf
-    "Reproducing %d figures (profile %s; %d think-time points)\n\n%!"
+    "Reproducing %d figures (profile %s; %d think-time points; %d jobs)\n\n%!"
     (List.length generators)
     (Ddbm.Experiment.profile_name profile)
-    (List.length thinks);
+    (List.length thinks) (Par.Pool.jobs pool);
+  (* All simulation work happens here, fanned out over the pool; the
+     per-figure pass below is then pure cache hits and formatting. *)
+  let n_runs =
+    Ddbm.Figures.prefill_cache cache pool ~profile ~thinks generators
+  in
+  let prefill_wall = wall_now () -. started in
   List.iter
     (fun (id, generate) ->
-      let t0 = Sys.time () in
       let figure = generate cache ~profile ~thinks in
       print_string (Ddbm.Figure.to_table figure);
-      Printf.printf "   (%.1f s cpu)\n\n%!" (Sys.time () -. t0);
+      print_newline ();
       match csv_dir with
       | None -> ()
       | Some dir ->
@@ -49,9 +56,13 @@ let run_figures ~profile ~ids ~thinks ~csv_dir ~verbose =
           output_string oc (Ddbm.Figure.to_csv figure);
           close_out oc)
     generators;
-  Printf.printf "Total: %.1f s cpu, %d simulation runs (%d cache hits)\n%!"
-    (Sys.time () -. started)
-    cache.Ddbm.Experiment.runs cache.Ddbm.Experiment.hits
+  Printf.printf
+    "Total: %.1f s wall (%.1f s simulating, %.1f s cpu), %d simulation runs \
+     (%d cache hits) at %d jobs\n\
+     %!"
+    (wall_now () -. started)
+    prefill_wall (Sys.time ()) n_runs cache.Ddbm.Experiment.hits
+    (Par.Pool.jobs pool)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of simulator substrates                   *)
@@ -459,6 +470,176 @@ let run_recovery ~out =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Parallel sweep scenario: wall-clock speedup over the pool, per-seed
+   bit-identity against serial execution, and an events/sec regression
+   gate against a committed pin.
+
+   Raw events/sec is hardware-dependent, so the pinned number would not
+   transfer between a laptop and the CI runner. The gate therefore pins
+   events/sec *normalized by a calibration workload* (a fixed, pure
+   single-core heap exercise measured in the same process): the ratio
+   cancels most of the machine-speed difference and moves only when the
+   simulator's own hot path moves. *)
+
+let calibration_units_per_sec () =
+  let iters = 2_000 in
+  let sink = ref 0 in
+  let t0 = wall_now () in
+  for _ = 1 to iters do
+    let h = Desim.Heap.create ~cmp:Int.compare in
+    for i = 0 to 999 do
+      Desim.Heap.push h ((i * 7919) mod 1000)
+    done;
+    while not (Desim.Heap.is_empty h) do
+      match Desim.Heap.pop h with Some v -> sink := !sink + v | None -> ()
+    done
+  done;
+  ignore (Sys.opaque_identity !sink);
+  float_of_int iters /. (wall_now () -. t0)
+
+let parallel_batch_params seed =
+  let open Ddbm_model in
+  let d = Params.default in
+  {
+    d with
+    Params.database =
+      {
+        d.Params.database with
+        Params.num_proc_nodes = 8;
+        partitioning_degree = 8;
+        file_size = 120;
+      };
+    workload =
+      { d.Params.workload with Params.think_time = 1.; num_terminals = 64 };
+    cc = { d.Params.cc with Params.algorithm = Params.Twopl };
+    run =
+      {
+        Params.seed;
+        warmup = 5.;
+        measure = 30.;
+        restart_delay_floor = 0.5;
+        fresh_restart_plan = false;
+      };
+  }
+
+(* Minimal scanner for the flat pin file: the float following
+   ["key": ]. No JSON library is available in this environment. *)
+let json_number ~key text =
+  let needle = Printf.sprintf "\"%s\"" key in
+  let n = String.length text and m = String.length needle in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub text i m = needle then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let i = ref i in
+      while
+        !i < n && (text.[!i] = ':' || text.[!i] = ' ' || text.[!i] = '\n')
+      do
+        incr i
+      done;
+      let start = !i in
+      while
+        !i < n
+        && (match text.[!i] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr i
+      done;
+      if !i = start then None
+      else float_of_string_opt (String.sub text start (!i - start))
+
+let run_parallel ~jobs ~out ~gate ~pin =
+  let jobs =
+    match jobs with Some j -> j | None -> Par.Pool.default_jobs ()
+  in
+  let seeds = List.init 16 (fun i -> i + 1) in
+  let batch = List.map parallel_batch_params seeds in
+  let serial_pool = Par.Pool.create ~jobs:1 () in
+  let t0 = wall_now () in
+  let serial = Par.Pool.map serial_pool Ddbm.Machine.run batch in
+  let wall_serial = wall_now () -. t0 in
+  let pool = Par.Pool.create ~jobs () in
+  let t1 = wall_now () in
+  let parallel = Par.Pool.map pool Ddbm.Machine.run batch in
+  let wall_parallel = wall_now () -. t1 in
+  let bit_identical = List.for_all2 Ddbm.Sim_result.equal serial parallel in
+  let events =
+    List.fold_left (fun acc r -> acc + r.Ddbm.Sim_result.sim_events) 0 serial
+  in
+  let events_per_sec = float_of_int events /. wall_serial in
+  let calib = calibration_units_per_sec () in
+  let normalized = events_per_sec /. calib in
+  let speedup = wall_serial /. wall_parallel in
+  let cores = Par.Pool.default_jobs () in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"config\": \"2pl, 8 nodes, 64 terminals, 35 s simulated, %d seeds\",\n\
+    \  \"jobs\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"events_total\": %d,\n\
+    \  \"wall_serial_s\": %.3f,\n\
+    \  \"wall_parallel_s\": %.3f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"events_per_sec_serial\": %.0f,\n\
+    \  \"calibration_units_per_sec\": %.1f,\n\
+    \  \"normalized_events_per_calib\": %.2f,\n\
+    \  \"bit_identical\": %b\n\
+     }\n"
+    (List.length seeds) jobs cores events wall_serial wall_parallel speedup
+    events_per_sec calib normalized bit_identical;
+  close_out oc;
+  Printf.printf
+    "== parallel sweep (%d runs) ==\n\
+     serial    %8.2f s wall (%.0f events/s, normalized %.2f)\n\
+     jobs=%-3d  %8.2f s wall (speedup %.2fx on %d cores)\n\
+     per-seed results bit-identical to serial: %b\n\
+     written to %s\n\n\
+     %!"
+    (List.length seeds) wall_serial events_per_sec normalized jobs
+    wall_parallel speedup cores bit_identical out;
+  if not bit_identical then begin
+    Printf.eprintf
+      "BENCH_parallel: parallel results diverged from serial execution\n%!";
+    exit 1
+  end;
+  if gate then begin
+    let text =
+      try In_channel.with_open_text pin In_channel.input_all
+      with Sys_error msg ->
+        Printf.eprintf "BENCH_parallel gate: cannot read pin %s: %s\n%!" pin
+          msg;
+        exit 1
+    in
+    match json_number ~key:"normalized_events_per_calib" text with
+    | None ->
+        Printf.eprintf
+          "BENCH_parallel gate: no normalized_events_per_calib in %s\n%!" pin;
+        exit 1
+    | Some pinned ->
+        let floor = pinned *. 0.9 in
+        Printf.printf
+          "== bench gate ==\n\
+           pinned normalized events/sec %.2f (floor %.2f), measured %.2f: %s\n\n\
+           %!"
+          pinned floor normalized
+          (if normalized >= floor then "PASS" else "FAIL");
+        if normalized < floor then begin
+          Printf.eprintf
+            "BENCH_parallel gate: normalized events/sec regressed >10%% \
+             (%.2f < %.2f)\n\
+             %!"
+            normalized floor;
+          exit 1
+        end
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let profile_conv =
   let parse s =
@@ -526,14 +707,50 @@ let main =
       & opt string "BENCH_recovery.json"
       & info [ "recovery-out" ] ~docv:"FILE"
           ~doc:"Where to write the durability & recovery report.")
+  and+ skip_parallel =
+    Arg.(
+      value & flag
+      & info [ "no-parallel" ]
+          ~doc:"Skip the parallel sweep speedup/bit-identity benchmark.")
+  and+ parallel_out =
+    Arg.(
+      value
+      & opt string "BENCH_parallel.json"
+      & info [ "parallel-out" ] ~docv:"FILE"
+          ~doc:"Where to write the parallel sweep report.")
+  and+ gate =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Fail (exit 1) when the parallel benchmark's normalized \
+             events/sec regresses more than 10% below the committed pin.")
+  and+ pin =
+    Arg.(
+      value
+      & opt string "bench/BENCH_parallel.pin.json"
+      & info [ "pin" ] ~docv:"FILE"
+          ~doc:"Committed pin the --gate compares against.")
+  and+ jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the figure suite and the parallel \
+             benchmark (default: the number of cores).")
   and+ verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log each run.")
   in
-  if not skip_figs then run_figures ~profile ~ids ~thinks ~csv_dir ~verbose;
+  if not skip_figs then begin
+    let pool = Par.Pool.create ?jobs () in
+    run_figures ~pool ~profile ~ids ~thinks ~csv_dir ~verbose
+  end;
   if not skip_micro then run_micro ();
   if not skip_obs then run_observability ~out:obs_out;
   if not skip_faults then run_faults ~out:faults_out;
-  if not skip_recovery then run_recovery ~out:recovery_out
+  if not skip_recovery then run_recovery ~out:recovery_out;
+  if not skip_parallel then run_parallel ~jobs ~out:parallel_out ~gate ~pin
 
 let () =
   exit

@@ -237,6 +237,22 @@ let with_suffix path suffix =
   | "" -> path ^ suffix
   | ext -> Filename.remove_extension path ^ suffix ^ ext
 
+(* --- parallelism --------------------------------------------------- *)
+
+let jobs_term =
+  let open Term.Syntax in
+  let+ jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for parallel simulation batches (default: the \
+             number of cores). Every per-seed result is bit-identical to \
+             --jobs 1; only wall-clock time changes.")
+  in
+  Par.Pool.create ?jobs ()
+
 (* --- commands ------------------------------------------------------ *)
 
 let run_cmd =
@@ -320,36 +336,86 @@ let sweep_cmd =
         & opt (list float) [ 0.; 2.; 4.; 8.; 12.; 24.; 48.; 120. ]
         & info [ "thinks" ] ~docv:"T1,T2,..."
             ~doc:"Think times to sweep (seconds).")
-    and+ trace_out, sample_interval = obs_flags in
+    and+ trace_out, sample_interval = obs_flags
+    and+ pool = jobs_term in
     print_endline Ddbm.Sim_result.csv_header;
-    List.iter
-      (fun algorithm ->
-        List.iter
-          (fun think ->
-            let params =
-              {
-                params with
-                Params.workload =
-                  { params.Params.workload with Params.think_time = think };
-                cc = { params.Params.cc with Params.algorithm };
-              }
-            in
-            let trace_out =
-              (* one file per (algorithm, think time) point *)
-              Option.map
-                (fun path ->
-                  with_suffix path
-                    (Printf.sprintf "-%s-t%g"
-                       (Params.cc_algorithm_name algorithm)
-                       think))
-                trace_out
-            in
-            let result = run_observed ~trace_out ~sample_interval params in
-            print_endline (Ddbm.Sim_result.to_csv_row result))
-          thinks)
-      [ Params.No_dc; Params.Twopl; Params.Bto; Params.Wound_wait; Params.Opt ]
+    (* The sweep points are independent (seed, params) runs, so they fan
+       out over the pool; results print in sweep order regardless of job
+       count, and per-point trace files (distinct paths) are written by
+       whichever worker runs the point. *)
+    let points =
+      List.concat_map
+        (fun algorithm -> List.map (fun think -> (algorithm, think)) thinks)
+        [ Params.No_dc; Params.Twopl; Params.Bto; Params.Wound_wait; Params.Opt ]
+    in
+    let results =
+      Par.Pool.map pool
+        (fun (algorithm, think) ->
+          let params =
+            {
+              params with
+              Params.workload =
+                { params.Params.workload with Params.think_time = think };
+              cc = { params.Params.cc with Params.algorithm };
+            }
+          in
+          let trace_out =
+            (* one file per (algorithm, think time) point *)
+            Option.map
+              (fun path ->
+                with_suffix path
+                  (Printf.sprintf "-%s-t%g"
+                     (Params.cc_algorithm_name algorithm)
+                     think))
+              trace_out
+          in
+          run_observed ~trace_out ~sample_interval params)
+        points
+    in
+    List.iter (fun r -> print_endline (Ddbm.Sim_result.to_csv_row r)) results
   in
   Cmd.v (Cmd.info "sweep" ~doc) term
+
+let check_cmd =
+  let doc =
+    "Run the cross-algorithm conformance sweep: deterministically \
+     generated configurations, each checked for serializability, metric \
+     invariants, bit-for-bit determinism and workload agreement across \
+     every registered algorithm. Configurations fan out over --jobs \
+     worker domains; the verdict is independent of job count. Exits 1 \
+     on the first failing configuration."
+  in
+  let term =
+    let open Term.Syntax in
+    let+ configs =
+      Arg.(
+        value & opt int 25
+        & info [ "configs" ] ~docv:"N"
+            ~doc:"Number of generated configurations to check.")
+    and+ gen_seed =
+      Arg.(
+        value & opt int 0xC0DE
+        & info [ "gen-seed" ] ~docv:"SEED"
+            ~doc:"Seed for the configuration generator.")
+    and+ artifact_dir =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "artifact-dir" ] ~docv:"DIR"
+            ~doc:"Write a replay artifact for any failure into $(docv).")
+    and+ pool = jobs_term in
+    match Ddbm_check.Conformance.sweep ~configs ~gen_seed ?artifact_dir pool with
+    | Ok n ->
+        Format.printf "conformance: %d configurations clean (jobs=%d)@." n
+          (Par.Pool.jobs pool)
+    | Error (f, artifact) ->
+        Format.eprintf "%s@." (Ddbm_check.Conformance.failure_to_string f);
+        Option.iter
+          (fun path -> Format.eprintf "replay artifact: %s@." path)
+          artifact;
+        exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc) term
 
 let replay_cmd =
   let doc =
@@ -487,4 +553,6 @@ let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   let doc = "Carey & Livny 1989 distributed database machine simulator" in
   let info = Cmd.info "ddbm" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; replay_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; sweep_cmd; check_cmd; replay_cmd; trace_cmd ]))

@@ -135,7 +135,7 @@ let try_acquire entry txn mode =
   | Some S ->
       (* conversion S -> X: jumps the queue, needs sole holdership only
          (unless the conformance fault hook breaks the check) *)
-      if sole_holder entry txn || !Fault.broken_lock_conversion then begin
+      if sole_holder entry txn || Fault.broken_lock_conversion () then begin
         entry.holders <-
           List.map
             (fun (h, m) -> if Txn.same_attempt h txn then (h, X) else (h, m))

@@ -104,7 +104,7 @@ let check_algorithm params = fst (check_algorithm_traced params)
     cross-algorithm workload agreement. On failure, writes a replay
     artifact into [artifact_dir] (when given) and returns the failure
     along with the artifact path. *)
-let check ?(algorithms = Ddbm_cc.Registry.all) ?artifact_dir params :
+let check ?(algorithms = Ddbm_cc.Registry.all) ?artifact_dir ?pool params :
     (unit, failure * string option) result =
   let record f =
     let artifact =
@@ -116,15 +116,37 @@ let check ?(algorithms = Ddbm_cc.Registry.all) ?artifact_dir params :
     in
     Error (f, artifact)
   in
-  let rec per_algorithm acc = function
-    | [] -> Ok (List.rev acc)
-    | algorithm :: rest -> (
-        let params = with_algorithm params algorithm in
-        match check_algorithm params with
-        | Error f -> Error f
-        | Ok (_, prints) -> per_algorithm ((algorithm, prints) :: acc) rest)
+  (* Serially or over a pool, the per-algorithm outcomes are collected in
+     algorithm-list order and the first failure (in that order) wins, so
+     the reported failure is independent of job count. The serial path
+     still short-circuits on the first failure. *)
+  let per_algorithm () =
+    match pool with
+    | Some pool ->
+        let outcomes =
+          Par.Pool.map pool
+            (fun algorithm ->
+              (algorithm, check_algorithm (with_algorithm params algorithm)))
+            algorithms
+        in
+        List.fold_right
+          (fun (algorithm, outcome) acc ->
+            match outcome with
+            | Error f -> Error f
+            | Ok (_, prints) ->
+                Result.map (fun rest -> (algorithm, prints) :: rest) acc)
+          outcomes (Ok [])
+    | None ->
+        let rec loop acc = function
+          | [] -> Ok (List.rev acc)
+          | algorithm :: rest -> (
+              match check_algorithm (with_algorithm params algorithm) with
+              | Error f -> Error f
+              | Ok (_, prints) -> loop ((algorithm, prints) :: acc) rest)
+        in
+        loop [] algorithms
   in
-  match per_algorithm [] algorithms with
+  match per_algorithm () with
   | Error f -> record f
   | Ok [] -> Ok ()
   | Ok ((ref_algorithm, ref_prints) :: others) ->
@@ -157,6 +179,33 @@ let check ?(algorithms = Ddbm_cc.Registry.all) ?artifact_dir params :
       | None -> Ok ()
       | Some (algorithm, detail) ->
           record { params = with_algorithm params algorithm; kind = "agreement"; detail })
+
+(* --- sweep --------------------------------------------------------- *)
+
+(* The sweep parallelizes across *configurations*, one whole [check] per
+   pool task (each already runs every algorithm twice — plenty of work
+   per task), so [check] below must not itself receive the pool: a
+   nested parallel map would be rejected by [Par.Pool]. *)
+let sweep ?(configs = 50) ?(gen_seed = 0xC0DE) ?artifact_dir pool :
+    (int, failure * string option) result =
+  (* Deterministic workload generation: the same (configs, gen_seed)
+     always yields the same parameter points, independent of job count.
+     The ambient-RNG lint rule targets simulation code; here the state
+     is explicitly seeded and local. *)
+  let rand = Random.State.make [| gen_seed |] (* lint: allow ambient *) in
+  let points =
+    List.init configs (fun _ -> QCheck.Gen.generate1 ~rand Config_gen.gen)
+  in
+  let outcomes =
+    Par.Pool.map pool (fun params -> check ?artifact_dir params) points
+  in
+  (* first failure in generation order wins, independent of job count *)
+  List.fold_right
+    (fun outcome acc ->
+      match outcome with
+      | Error _ as e -> e
+      | Ok () -> Result.map (fun n -> n + 1) acc)
+    outcomes (Ok 0)
 
 (* --- replay -------------------------------------------------------- *)
 

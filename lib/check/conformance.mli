@@ -45,12 +45,28 @@ val check_algorithm :
     of [params] is overridden), checking each in isolation and then the
     cross-algorithm workload agreement. On failure, writes a replay
     artifact into [artifact_dir] (when given) and returns the failure
-    along with the artifact path. *)
+    along with the artifact path. With [pool], the per-algorithm checks
+    run in parallel; the reported failure (first in algorithm-list
+    order) is independent of job count. *)
 val check :
   ?algorithms:Params.cc_algorithm list ->
   ?artifact_dir:string ->
+  ?pool:Par.Pool.t ->
   Params.t ->
   (unit, failure * string option) result
+
+(** [sweep ~configs ~gen_seed pool] generates [configs] parameter points
+    deterministically (default 50 points from seed [0xC0DE] — the same
+    generator the qcheck conformance property uses) and runs the full
+    {!check} on each, one configuration per pool task. Returns the
+    number of clean configurations, or the first failure in generation
+    order — both independent of job count. *)
+val sweep :
+  ?configs:int ->
+  ?gen_seed:int ->
+  ?artifact_dir:string ->
+  Par.Pool.t ->
+  (int, failure * string option) result
 
 type replay_outcome = {
   artifact : Replay.artifact;

@@ -120,29 +120,81 @@ type cache = {
   mutable runs : int;
   mutable hits : int;
   verbose : bool;
+  mutable collecting : Params.t list option;
+      (** when [Some acc], {!run} records cache misses (newest first)
+          and returns placeholders instead of simulating *)
 }
 
 let create_cache ?(verbose = false) () =
-  { table = Hashtbl.create 64; runs = 0; hits = 0; verbose }
+  { table = Hashtbl.create 64; runs = 0; hits = 0; verbose; collecting = None }
 
 let run cache params =
   match Hashtbl.find_opt cache.table params with
   | Some r ->
-      cache.hits <- cache.hits + 1;
+      if cache.collecting = None then cache.hits <- cache.hits + 1;
       r
+  | None -> (
+      match cache.collecting with
+      | Some acc ->
+          cache.collecting <- Some (params :: acc);
+          Sim_result.placeholder params
+      | None ->
+          cache.runs <- cache.runs + 1;
+          if cache.verbose then
+            Printf.eprintf
+              "  [run %3d] %s nodes=%d degree=%d think=%g fs=%d\n%!" cache.runs
+              (Params.cc_algorithm_name params.Params.cc.Params.algorithm)
+              params.Params.database.Params.num_proc_nodes
+              params.Params.database.Params.partitioning_degree
+              params.Params.workload.Params.think_time
+              params.Params.database.Params.file_size;
+          let r = Machine.run params in
+          Hashtbl.replace cache.table params r;
+          r)
+
+(* Parameter points [f] would simulate that are not yet cached, deduped,
+   in first-request order. [f]'s output is meaningless during the dry
+   pass (it sees placeholder results) and is discarded. *)
+let collect_misses cache f =
+  match cache.collecting with
+  | Some _ -> invalid_arg "Experiment.collect_misses: already collecting"
   | None ->
+      cache.collecting <- Some [];
+      let restore () =
+        let acc =
+          match cache.collecting with Some acc -> acc | None -> []
+        in
+        cache.collecting <- None;
+        acc
+      in
+      let acc =
+        match f cache with
+        | () -> restore ()
+        | exception e ->
+            ignore (restore () : Params.t list);
+            raise e
+      in
+      let seen = Hashtbl.create 64 in
+      List.fold_left
+        (fun uniq p ->
+          if Hashtbl.mem seen p then uniq
+          else begin
+            Hashtbl.replace seen p ();
+            p :: uniq
+          end)
+        [] acc
+(* acc is newest-first, so the fold returns first-request order *)
+
+let prefill cache pool params_list =
+  let fresh =
+    List.filter (fun p -> not (Hashtbl.mem cache.table p)) params_list
+  in
+  let results = Par.Pool.map pool Machine.run fresh in
+  List.iter2
+    (fun p (r : Sim_result.t) ->
       cache.runs <- cache.runs + 1;
-      if cache.verbose then
-        Printf.eprintf "  [run %3d] %s nodes=%d degree=%d think=%g fs=%d\n%!"
-          cache.runs
-          (Params.cc_algorithm_name params.Params.cc.Params.algorithm)
-          params.Params.database.Params.num_proc_nodes
-          params.Params.database.Params.partitioning_degree
-          params.Params.workload.Params.think_time
-          params.Params.database.Params.file_size;
-      let r = Machine.run params in
-      Hashtbl.replace cache.table params r;
-      r
+      Hashtbl.replace cache.table p r)
+    fresh results
 
 let run_config cache ?profile ?seed config =
   run cache (params_of_config ?profile ?seed config)

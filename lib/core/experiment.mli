@@ -47,12 +47,28 @@ type cache = {
   mutable runs : int;
   mutable hits : int;
   verbose : bool;
+  mutable collecting : Params.t list option;
+      (** dry-pass mode, managed by {!collect_misses}: when [Some _],
+          {!run} records misses and returns placeholders *)
 }
 
 val create_cache : ?verbose:bool -> unit -> cache
 
 (** Run (or reuse) the simulation for exactly these parameters. *)
 val run : cache -> Params.t -> Sim_result.t
+
+(** [collect_misses cache f] runs [f cache] in dry mode: cache misses
+    are recorded (and answered with {!Sim_result.placeholder}s) instead
+    of simulated. Returns the missed parameter points, deduped, in
+    first-request order — the exact work-list a parallel prefill needs.
+    [f]'s own output must be discarded. *)
+val collect_misses : cache -> (cache -> unit) -> Params.t list
+
+(** [prefill cache pool params] simulates every not-yet-cached point
+    over the pool and stores the results. Each run is an independent
+    (seed, params) simulation, so results are bit-identical to serial
+    execution regardless of job count. *)
+val prefill : cache -> Par.Pool.t -> Params.t list -> unit
 
 val run_config : cache -> ?profile:profile -> ?seed:int -> config -> Sim_result.t
 

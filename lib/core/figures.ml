@@ -704,3 +704,13 @@ let all : (string * generator) list =
   ]
 
 let find id = List.assoc_opt id all
+
+let prefill_cache cache pool ~profile ~thinks gens =
+  let missing =
+    Experiment.collect_misses cache (fun cache ->
+        List.iter
+          (fun (_, gen) -> ignore (gen cache ~profile ~thinks : Figure.t))
+          gens)
+  in
+  Experiment.prefill cache pool missing;
+  List.length missing

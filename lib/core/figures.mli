@@ -12,3 +12,20 @@ type generator =
 val all : (string * generator) list
 
 val find : string -> generator option
+
+(** [prefill_cache cache pool ~profile ~thinks gens] discovers every
+    simulation the named generators need (a dry pass over placeholder
+    results — generators are pure functions of the cache, so the dry
+    output is discarded) and runs the missing ones over [pool], filling
+    [cache]. A subsequent real generator pass is then all cache hits.
+    Returns the number of runs executed. With a [jobs = 1] pool this is
+    plain serial execution; at any job count the cached results are
+    bit-identical to serial because each run is an independent
+    (seed, params) simulation. *)
+val prefill_cache :
+  Experiment.cache ->
+  Par.Pool.t ->
+  profile:Experiment.profile ->
+  thinks:float list ->
+  (string * generator) list ->
+  int

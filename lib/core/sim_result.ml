@@ -75,6 +75,56 @@ type t = {
 
 let algorithm_name t = Params.cc_algorithm_name t.algorithm
 
+(* All-zero result carrying only the configuration; stands in for a real
+   run during the dry collect pass of a parallel sweep (the dry pass only
+   discovers which parameter points are needed — its figure output is
+   discarded). *)
+let placeholder params =
+  {
+    algorithm = params.Params.cc.Params.algorithm;
+    params;
+    throughput = 0.;
+    mean_response = 0.;
+    response_ci95 = 0.;
+    response_p50 = 0.;
+    response_p95 = 0.;
+    commits = 0;
+    aborts = 0;
+    completions = 0;
+    abort_ratio = 0.;
+    abort_reasons = [];
+    mean_blocking = 0.;
+    blocked_requests = 0;
+    proc_cpu_util = 0.;
+    proc_disk_util = 0.;
+    host_cpu_util = 0.;
+    mean_active = 0.;
+    messages = 0;
+    availability = 1.;
+    goodput = 0.;
+    timeouts = 0;
+    retries = 0;
+    msgs_dropped = 0;
+    msgs_duplicated = 0;
+    node_crashes = 0;
+    orphaned = 0;
+    log_forces = 0;
+    log_disk_util = 0.;
+    recoveries = 0;
+    mean_recovery_time = 0.;
+    failovers = 0;
+    lost_commits = 0;
+    indoubt_mean = 0.;
+    indoubt_open_at_end = 0;
+    indoubt_overdue_at_end = 0;
+    decomp = Decomp.zero;
+    sim_events = 0;
+    sim_end = 0.;
+    wall_seconds = 0.;
+    events_per_sec = 0.;
+    top_heap_words = 0;
+  }
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>%s: tput %.3f tx/s, resp %.3f s (±%.3f), %d commits, %d aborts \

@@ -74,6 +74,12 @@ type t = {
 }
 
 val algorithm_name : t -> string
+
+(** All-zero result carrying only the configuration. Stands in for a
+    real run during the dry collect pass of a parallel sweep; never a
+    valid simulation output. *)
+val placeholder : Params.t -> t
+
 val pp : Format.formatter -> t -> unit
 
 (** CSV header matching {!to_csv_row}. *)

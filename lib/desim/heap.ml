@@ -49,16 +49,26 @@ let push h x =
 
 let peek h = if h.len = 0 then None else Some h.data.(0)
 
+exception Empty
+
+let top h =
+  if h.len = 0 then raise Empty;
+  h.data.(0)
+
+let drop h =
+  if h.len = 0 then raise Empty;
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.data.(0) <- h.data.(h.len);
+    sift_down h 0
+  end
+
 let pop h =
   if h.len = 0 then None
   else begin
-    let top = h.data.(0) in
-    h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.data.(0) <- h.data.(h.len);
-      sift_down h 0
-    end;
-    Some top
+    let x = top h in
+    drop h;
+    Some x
   end
 
 let clear h =

@@ -20,6 +20,18 @@ val push : 'a t -> 'a -> unit
 (** Smallest element, or [None] when empty. Does not remove. *)
 val peek : 'a t -> 'a option
 
+exception Empty
+
+(** Smallest element without removing it. Unlike {!peek} this allocates
+    nothing — the event loop and the CPU kernel inspect the head once per
+    event, and the [Some] wrappers were measurable churn in the Bechamel
+    engine benches. Raises {!Empty} when the heap is empty. *)
+val top : 'a t -> 'a
+
+(** Remove the smallest element (the one {!top} returns). O(log n).
+    Raises {!Empty} when the heap is empty. *)
+val drop : 'a t -> unit
+
 (** Remove and return the smallest element, or [None] when empty. *)
 val pop : 'a t -> 'a option
 

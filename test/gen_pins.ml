@@ -1,0 +1,66 @@
+(* Regenerates the [faults_off_expected] pin table in test_faults.ml.
+   Run from the repo root after any intentional change to simulation
+   numerics (e.g. a CPU-kernel rewrite), then paste the output over the
+   old table:
+
+     dune exec test/gen_pins.exe
+
+   The configuration here must stay in lockstep with
+   [Test_faults.faulty_params]. *)
+
+let faulty_params ~algorithm =
+  let d = Ddbm_model.Params.default in
+  {
+    d with
+    Ddbm_model.Params.database =
+      {
+        d.Ddbm_model.Params.database with
+        Ddbm_model.Params.num_proc_nodes = 4;
+        partitioning_degree = 4;
+      };
+    workload =
+      {
+        d.Ddbm_model.Params.workload with
+        Ddbm_model.Params.num_terminals = 16;
+        think_time = 1.0;
+      };
+    cc = { d.Ddbm_model.Params.cc with Ddbm_model.Params.algorithm };
+    run =
+      {
+        d.Ddbm_model.Params.run with
+        Ddbm_model.Params.seed = 42;
+        warmup = 2.0;
+        measure = 20.0;
+      };
+    faults = Ddbm_model.Fault_plan.zero;
+  }
+
+let () =
+  List.iter
+    (fun algorithm ->
+      let r = Ddbm.Machine.run (faulty_params ~algorithm) in
+      Printf.printf
+        "    (Params.%s, %d, %d, %d, %d, %d, \"%.17g\", \"%.17g\");\n"
+        (match algorithm with
+        | Ddbm_model.Params.No_dc -> "No_dc"
+        | Twopl -> "Twopl"
+        | Wound_wait -> "Wound_wait"
+        | Bto -> "Bto"
+        | Opt -> "Opt"
+        | Wait_die -> "Wait_die"
+        | Twopl_defer -> "Twopl_defer"
+        | O2pl -> "O2pl")
+        r.Ddbm.Sim_result.commits r.Ddbm.Sim_result.aborts
+        r.Ddbm.Sim_result.completions r.Ddbm.Sim_result.messages
+        r.Ddbm.Sim_result.sim_events r.Ddbm.Sim_result.throughput
+        r.Ddbm.Sim_result.mean_response)
+    [
+      Ddbm_model.Params.No_dc;
+      Twopl;
+      Wound_wait;
+      Bto;
+      Opt;
+      Wait_die;
+      Twopl_defer;
+      O2pl;
+    ]

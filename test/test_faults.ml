@@ -227,19 +227,21 @@ let test_unknown_chaos_rejected () =
 
 (* --- faults-off bit-identity pin ----------------------------------- *)
 
-(* Pinned from the pre-fault-subsystem tree (same configuration, same
-   seed): the zero plan must leave every algorithm's run bit-for-bit
-   unchanged — no extra RNG draws, no timers, no stray events. *)
+(* Pinned with the zero fault plan (same configuration, same seed): the
+   zero plan must leave every algorithm's run bit-for-bit unchanged — no
+   extra RNG draws, no timers, no stray events. Regenerate with
+   `dune exec test/gen_pins.exe` after any intentional numerics change
+   (last regenerated for the virtual-time CPU kernel). *)
 let faults_off_expected =
   [
-    (Params.No_dc, 91, 0, 91, 2244, 39350, "4.5499999999999998", "2.5122649659183787");
-    (Params.Twopl, 90, 2, 92, 2390, 39326, "4.5", "2.6030489138358641");
-    (Params.Wound_wait, 89, 4, 93, 2271, 39235, "4.4500000000000002", "2.6018182842027766");
-    (Params.Bto, 92, 2, 94, 2300, 39269, "4.5999999999999996", "2.5596745442704214");
-    (Params.Opt, 85, 10, 95, 2325, 39571, "4.25", "2.713177958660105");
-    (Params.Wait_die, 88, 17, 105, 2385, 39095, "4.4000000000000004", "2.4968640693310475");
-    (Params.Twopl_defer, 88, 5, 93, 2435, 39526, "4.4000000000000004", "2.6016915838186088");
-    (Params.O2pl, 90, 2, 92, 2390, 39326, "4.5", "2.6030489138358641");
+    (Params.No_dc, 93, 0, 93, 2295, 39678, "4.6500000000000004", "2.4671111279030993");
+    (Params.Twopl, 91, 1, 92, 2401, 39507, "4.5499999999999998", "2.5360236178835005");
+    (Params.Wound_wait, 91, 1, 92, 2268, 39273, "4.5499999999999998", "2.5203000168872371");
+    (Params.Bto, 92, 1, 93, 2286, 39534, "4.5999999999999996", "2.508082750311043");
+    (Params.Opt, 84, 10, 94, 2303, 39343, "4.2000000000000002", "2.8516994390672812");
+    (Params.Wait_die, 86, 17, 103, 2337, 38848, "4.2999999999999998", "2.6563220374780863");
+    (Params.Twopl_defer, 87, 5, 92, 2425, 39562, "4.3499999999999996", "2.6383243413325839");
+    (Params.O2pl, 91, 1, 92, 2401, 39507, "4.5499999999999998", "2.5360236178835005");
   ]
 
 let test_faults_off_bit_identity () =

@@ -2,10 +2,12 @@ let () =
   Alcotest.run "ddbm"
     [
       ("heap", Test_heap.suite);
+      ("pool", Test_pool.suite);
       ("rng", Test_rng.suite);
       ("stats", Test_stats.suite);
       ("engine", Test_engine.suite);
       ("cpu", Test_cpu.suite);
+      ("cpu-kernel", Test_cpu_kernel.suite);
       ("disk", Test_disk.suite);
       ("sync", Test_sync.suite);
       ("model", Test_model.suite);
@@ -29,6 +31,7 @@ let () =
       ("workload", Test_workload.suite);
       ("observability", Test_observability.suite);
       ("conformance", Test_conformance.suite);
+      ("parallel", Test_parallel.suite);
       ("faults", Test_faults.suite);
       ("recovery", Test_recovery.suite);
       ("lint", Test_lint.suite);

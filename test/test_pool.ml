@@ -1,0 +1,169 @@
+(* Unit tests for the work-stealing domain pool: deterministic merge
+   independent of task order and job count, crash propagation without
+   hangs, nested-parallelism rejection, and the jobs=1 serial
+   short-circuit. *)
+
+let test_map_matches_serial () =
+  let inputs = List.init 100 (fun i -> i) in
+  let f i = (i * i) + 7 in
+  let expected = List.map f inputs in
+  List.iter
+    (fun jobs ->
+      let pool = Par.Pool.create ~jobs () in
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d merge equals serial map" jobs)
+        expected
+        (Par.Pool.map pool f inputs))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_map_array_order () =
+  let pool = Par.Pool.create ~jobs:4 () in
+  let inputs = Array.init 257 string_of_int in
+  let out = Par.Pool.map_array pool (fun s -> s ^ "!") inputs in
+  Array.iteri
+    (fun i s -> Alcotest.(check string) "slot order" (string_of_int i ^ "!") s)
+    out
+
+let test_order_independent_merge () =
+  (* tasks finish in scrambled order (heavier work at low indices), yet
+     the merge is by task index *)
+  let pool = Par.Pool.create ~jobs:4 () in
+  let spin n =
+    let acc = ref 0 in
+    for i = 1 to n do
+      acc := (!acc + i) mod 7919
+    done;
+    !acc
+  in
+  let inputs = List.init 64 (fun i -> i) in
+  let f i =
+    ignore (Sys.opaque_identity (spin ((64 - i) * 2000)));
+    i * 3
+  in
+  Alcotest.(check (list int))
+    "scrambled finish order, ordered merge"
+    (List.map (fun i -> i * 3) inputs)
+    (Par.Pool.map pool f inputs)
+
+let test_empty_and_singleton () =
+  let pool = Par.Pool.create ~jobs:4 () in
+  Alcotest.(check (list int)) "empty" [] (Par.Pool.map pool (fun x -> x) []);
+  Alcotest.(check (list int))
+    "singleton" [ 42 ]
+    (Par.Pool.map pool (fun x -> x + 1) [ 41 ])
+
+let test_crash_propagates () =
+  (* a single failing task: its exception must come back to the caller
+     (no hang, no partial result) at every job count *)
+  List.iter
+    (fun jobs ->
+      let pool = Par.Pool.create ~jobs () in
+      let f i = if i = 17 then failwith "boom" else i in
+      Alcotest.check_raises
+        (Printf.sprintf "jobs=%d failure propagates" jobs)
+        (Failure "boom")
+        (fun () -> ignore (Par.Pool.map pool f (List.init 50 Fun.id))))
+    [ 1; 2; 4 ]
+
+let test_crash_smallest_index_wins () =
+  (* every task fails; cancellation means only a prefix of each worker's
+     work actually runs, but whichever failures were recorded, the one
+     re-raised must carry the smallest index among tasks that started *)
+  let pool = Par.Pool.create ~jobs:4 () in
+  let n = 32 in
+  let started = Array.init n (fun _ -> Atomic.make false) in
+  let f i =
+    Atomic.set started.(i) true;
+    failwith (string_of_int i)
+  in
+  match Par.Pool.map pool f (List.init n Fun.id) with
+  | _ -> Alcotest.fail "expected a failure to propagate"
+  | exception Failure s -> (
+      match int_of_string_opt s with
+      | None -> Alcotest.failf "unexpected failure payload %S" s
+      | Some raised ->
+          let smallest = ref None in
+          Array.iteri
+            (fun i a ->
+              if Atomic.get a && !smallest = None then smallest := Some i)
+            started;
+          Alcotest.(check (option int))
+            "re-raised failure has the smallest started index" !smallest
+            (Some raised))
+
+let test_nested_parallelism_rejected () =
+  let outer = Par.Pool.create ~jobs:2 () in
+  let inner = Par.Pool.create ~jobs:2 () in
+  Alcotest.check_raises "nested parallel map rejected"
+    Par.Pool.Nested_parallelism (fun () ->
+      ignore
+        (Par.Pool.map outer
+           (fun i -> Par.Pool.map inner (fun x -> x) [ i ])
+           [ 1; 2; 3; 4 ]))
+
+let test_nested_serial_pool_allowed () =
+  (* a jobs=1 pool never spawns domains, so its serial path is legal
+     even inside a parallel task *)
+  let outer = Par.Pool.create ~jobs:2 () in
+  let inner = Par.Pool.create ~jobs:1 () in
+  let out =
+    Par.Pool.map outer
+      (fun i -> List.fold_left ( + ) 0 (Par.Pool.map inner (fun x -> x) [ i; i ]))
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list int)) "serial pool nests" [ 2; 4; 6; 8 ] out
+
+let test_jobs1_short_circuits () =
+  (* jobs=1 runs every task in the calling domain, in index order *)
+  let pool = Par.Pool.create ~jobs:1 () in
+  let caller = Domain.self () in
+  let order = ref [] in
+  let out =
+    Par.Pool.map pool
+      (fun i ->
+        Alcotest.(check bool)
+          "task runs in the calling domain" true
+          (Domain.self () = caller);
+        order := i :: !order;
+        i)
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "results" [ 0; 1; 2; 3 ] out;
+  Alcotest.(check (list int)) "index-order execution" [ 0; 1; 2; 3 ]
+    (List.rev !order)
+
+let test_create_rejects_zero_jobs () =
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Par.Pool.create ~jobs:0 ()))
+
+let test_more_jobs_than_tasks () =
+  let pool = Par.Pool.create ~jobs:8 () in
+  Alcotest.(check (list int))
+    "jobs > tasks" [ 10; 20 ]
+    (Par.Pool.map pool (fun x -> x * 10) [ 1; 2 ])
+
+let suite =
+  [
+    Alcotest.test_case "parallel map equals serial map" `Quick
+      test_map_matches_serial;
+    Alcotest.test_case "map_array preserves slot order" `Quick
+      test_map_array_order;
+    Alcotest.test_case "merge independent of finish order" `Quick
+      test_order_independent_merge;
+    Alcotest.test_case "empty and singleton inputs" `Quick
+      test_empty_and_singleton;
+    Alcotest.test_case "task crash cancels and propagates" `Quick
+      test_crash_propagates;
+    Alcotest.test_case "smallest-index failure wins" `Quick
+      test_crash_smallest_index_wins;
+    Alcotest.test_case "nested parallelism rejected" `Quick
+      test_nested_parallelism_rejected;
+    Alcotest.test_case "nested jobs=1 pool allowed" `Quick
+      test_nested_serial_pool_allowed;
+    Alcotest.test_case "jobs=1 short-circuits to serial" `Quick
+      test_jobs1_short_circuits;
+    Alcotest.test_case "create rejects jobs < 1" `Quick
+      test_create_rejects_zero_jobs;
+    Alcotest.test_case "more jobs than tasks" `Quick test_more_jobs_than_tasks;
+  ]

@@ -357,37 +357,57 @@ let random_plan rng =
     fault_seed = Desim.Rng.int rng 1_000_000;
   }
 
+(* Plan generation stays serial (the RNG draws must happen in a fixed
+   order regardless of job count); only the independent (seed, params)
+   runs fan out over the pool. DDBM_TEST_JOBS sets the job count
+   (default 1: plain serial execution in this process). *)
+let test_jobs () =
+  match Sys.getenv_opt "DDBM_TEST_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
+  | None -> 1
+
 let test_no_lost_commit_sweep () =
   let rng = Desim.Rng.create 2026 in
+  let plans =
+    List.init (sweep_count ()) (fun idx ->
+        let i = idx + 1 in
+        let faults = random_plan rng in
+        let faults =
+          if Fault_plan.active faults then faults
+          else { faults with Fault_plan.msg_loss = 0.02 }
+        in
+        let replicas = if Desim.Rng.bool rng ~p:0.5 then 1 else 0 in
+        let log_force =
+          if Desim.Rng.bool rng ~p:0.5 then Params.At_prepare
+          else Params.At_commit
+        in
+        let params =
+          recovery_params ~seed:(1000 + i) ~faults
+            ~durability:(durability ~replicas ~log_force ())
+            ()
+        in
+        let params =
+          {
+            params with
+            Params.run =
+              { params.Params.run with Params.warmup = 1.; measure = 6. };
+            workload =
+              { params.Params.workload with Params.num_terminals = 8 };
+          }
+        in
+        (i, params))
+  in
+  let pool = Par.Pool.create ~jobs:(test_jobs ()) () in
+  let results =
+    Par.Pool.map pool (fun (i, params) -> (i, Ddbm.Machine.run params)) plans
+  in
   let lost = ref 0 and checked = ref 0 in
-  for i = 1 to sweep_count () do
-    let faults = random_plan rng in
-    let faults =
-      if Fault_plan.active faults then faults
-      else { faults with Fault_plan.msg_loss = 0.02 }
-    in
-    let replicas = if Desim.Rng.bool rng ~p:0.5 then 1 else 0 in
-    let log_force =
-      if Desim.Rng.bool rng ~p:0.5 then Params.At_prepare else Params.At_commit
-    in
-    let params =
-      recovery_params ~seed:(1000 + i) ~faults
-        ~durability:(durability ~replicas ~log_force ())
-        ()
-    in
-    let params =
-      {
-        params with
-        Params.run = { params.Params.run with Params.warmup = 1.; measure = 6. };
-        workload =
-          { params.Params.workload with Params.num_terminals = 8 };
-      }
-    in
-    let r = Ddbm.Machine.run params in
-    incr checked;
-    lost := !lost + r.Ddbm.Sim_result.lost_commits;
-    check_conforming (Printf.sprintf "sweep %d" i) r
-  done;
+  List.iter
+    (fun (i, r) ->
+      incr checked;
+      lost := !lost + r.Ddbm.Sim_result.lost_commits;
+      check_conforming (Printf.sprintf "sweep %d" i) r)
+    results;
   Alcotest.(check bool) "sweep ran" true (!checked >= 1);
   Alcotest.(check int)
     (Printf.sprintf "no commit lost across %d random fault plans" !checked)
