@@ -640,6 +640,80 @@ let run_parallel ~jobs ~out ~gate ~pin =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Tail-latency telemetry overhead: the HDR histograms ride every
+   commit's record path (response + eight decomposition components) and
+   every 2PC decision/WAL force, so they must be close to free — the
+   gate bounds their cost at <5% events/sec vs a histogram-free but
+   otherwise identical machine. The histogram-free run must also produce
+   a bit-identical simulation (histograms are pure observers); that is
+   checked unconditionally. *)
+
+let run_metrics ~out ~gate =
+  let params = parallel_batch_params 1 in
+  let measure histograms =
+    let reps = 3 in
+    let best = ref 0. in
+    let last = ref None in
+    for _ = 1 to reps do
+      let m = Ddbm.Machine.create ~histograms params in
+      let r = Ddbm.Machine.execute m in
+      if r.Ddbm.Sim_result.events_per_sec > !best then
+        best := r.Ddbm.Sim_result.events_per_sec;
+      last := Some r
+    done;
+    (!best, Option.get !last)
+  in
+  let plain, plain_r = measure false in
+  let with_h, with_r = measure true in
+  let overhead = (plain -. with_h) /. plain *. 100. in
+  (* histograms may not perturb the simulation itself: everything except
+     the histogram-derived p99/p999 must match bit-for-bit *)
+  let same_sim =
+    Ddbm.Sim_result.equal
+      { plain_r with Ddbm.Sim_result.response_p99 = 0.; response_p999 = 0. }
+      { with_r with Ddbm.Sim_result.response_p99 = 0.; response_p999 = 0. }
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"config\": \"2pl, 8 nodes, 64 terminals, 35 s simulated\",\n\
+    \  \"events_per_sec_plain\": %.0f,\n\
+    \  \"events_per_sec_histograms\": %.0f,\n\
+    \  \"overhead_pct\": %.2f,\n\
+    \  \"simulation_bit_identical\": %b,\n\
+    \  \"response_p50\": %.6f,\n\
+    \  \"response_p95\": %.6f,\n\
+    \  \"response_p99\": %.6f,\n\
+    \  \"response_p999\": %.6f\n\
+     }\n"
+    plain with_h overhead same_sim with_r.Ddbm.Sim_result.response_p50
+    with_r.Ddbm.Sim_result.response_p95 with_r.Ddbm.Sim_result.response_p99
+    with_r.Ddbm.Sim_result.response_p999;
+  close_out oc;
+  Printf.printf
+    "== tail-latency telemetry overhead ==\n\
+     no histograms   %10.0f events/s\n\
+     histograms      %10.0f events/s (%.1f%% overhead)\n\
+     simulation bit-identical with histograms off: %b\n\
+     tail: p50 %.3f p95 %.3f p99 %.3f p999 %.3f s\n\
+     written to %s\n\n\
+     %!"
+    plain with_h overhead same_sim with_r.Ddbm.Sim_result.response_p50
+    with_r.Ddbm.Sim_result.response_p95 with_r.Ddbm.Sim_result.response_p99
+    with_r.Ddbm.Sim_result.response_p999 out;
+  if not same_sim then begin
+    Printf.eprintf
+      "BENCH_metrics: histograms perturbed the simulation outcome\n%!";
+    exit 1
+  end;
+  if gate && overhead > 5.0 then begin
+    Printf.eprintf
+      "BENCH_metrics gate: histogram overhead %.2f%% exceeds the 5%% bound\n%!"
+      overhead;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let profile_conv =
   let parse s =
@@ -718,13 +792,26 @@ let main =
       & opt string "BENCH_parallel.json"
       & info [ "parallel-out" ] ~docv:"FILE"
           ~doc:"Where to write the parallel sweep report.")
+  and+ skip_metrics =
+    Arg.(
+      value & flag
+      & info [ "no-metrics" ]
+          ~doc:"Skip the tail-latency telemetry overhead benchmark.")
+  and+ metrics_out =
+    Arg.(
+      value
+      & opt string "BENCH_metrics.json"
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Where to write the tail-latency telemetry overhead report.")
   and+ gate =
     Arg.(
       value & flag
       & info [ "gate" ]
           ~doc:
             "Fail (exit 1) when the parallel benchmark's normalized \
-             events/sec regresses more than 10% below the committed pin.")
+             events/sec regresses more than 10% below the committed pin, \
+             or when the metrics benchmark's histogram overhead exceeds \
+             5% events/sec.")
   and+ pin =
     Arg.(
       value
@@ -750,6 +837,7 @@ let main =
   if not skip_obs then run_observability ~out:obs_out;
   if not skip_faults then run_faults ~out:faults_out;
   if not skip_recovery then run_recovery ~out:recovery_out;
+  if not skip_metrics then run_metrics ~out:metrics_out ~gate;
   if not skip_parallel then run_parallel ~jobs ~out:parallel_out ~gate ~pin
 
 let () =

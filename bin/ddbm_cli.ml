@@ -188,8 +188,40 @@ let obs_flags =
             "Emit a time-series sample (active transactions, per-node \
              CPU/disk utilization, queue lengths) into the trace every \
              $(docv) simulated seconds.")
+  and+ metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the end-of-run metric registry — counters, per-node \
+             utilization/queue rollups, and tail-latency histograms \
+             (p50/p90/p95/p99/p999 for response time, every \
+             decomposition component, 2PC in-doubt, WAL force, \
+             recovery) — as Prometheus text at $(docv) plus a JSON \
+             sibling ($(docv) with a .json extension; pass a .json \
+             path to swap the two).")
   in
-  (trace_out, sample_interval)
+  (trace_out, sample_interval, metrics_out)
+
+(* [--metrics-out FILE] writes both exposition formats: Prometheus text
+   and JSON, at sibling paths derived from FILE's extension. *)
+let metrics_paths path =
+  if Filename.check_suffix path ".json" then
+    (Filename.remove_extension path ^ ".prom", path)
+  else (path, Filename.remove_extension path ^ ".json")
+
+let write_metrics m path =
+  let reg = Ddbm.Machine.registry m in
+  let prom_path, json_path = metrics_paths path in
+  let write p s =
+    let oc = open_out p in
+    output_string oc s;
+    close_out oc
+  in
+  write prom_path (Metric.to_prometheus reg);
+  write json_path (Metric.to_json reg);
+  (prom_path, json_path)
 
 (* Open the trace file chosen by [--trace-out], pick the exporter by
    extension, attach it to [m]'s typed-event tracer, and return the
@@ -211,10 +243,10 @@ let attach_trace_file m ?num_nodes path =
   end
 
 (* One run with the observability flags applied; equivalent to
-   [Machine.run] when both are off. *)
-let run_observed ~trace_out ~sample_interval (params : Params.t) =
-  match (trace_out, sample_interval) with
-  | None, None -> Ddbm.Machine.run params
+   [Machine.run] when all are off. *)
+let run_observed ~trace_out ~sample_interval ~metrics_out (params : Params.t) =
+  match (trace_out, sample_interval, metrics_out) with
+  | None, None, None -> Ddbm.Machine.run params
   | _ ->
       let m = Ddbm.Machine.create params in
       Option.iter
@@ -228,7 +260,13 @@ let run_observed ~trace_out ~sample_interval (params : Params.t) =
               ~num_nodes:params.Params.database.Params.num_proc_nodes
               path
       in
-      Fun.protect ~finally:close (fun () -> Ddbm.Machine.execute m)
+      let result =
+        Fun.protect ~finally:close (fun () -> Ddbm.Machine.execute m)
+      in
+      Option.iter
+        (fun path -> ignore (write_metrics m path : string * string))
+        metrics_out;
+      result
 
 (* Derive a per-run trace filename: "trace.json" + "-2pl-t4" ->
    "trace-2pl-t4.json". Used when one invocation performs several runs. *)
@@ -268,7 +306,7 @@ let run_cmd =
         & info [ "r"; "replicates" ] ~docv:"N"
             ~doc:"Run N independent replicates (seed, seed+1, ...) and \
                   report mean ± 95% CI across them.")
-    and+ trace_out, sample_interval = obs_flags in
+    and+ trace_out, sample_interval, metrics_out = obs_flags in
     if csv then print_endline Ddbm.Sim_result.csv_header;
     let tput = Desim.Stats.Tally.create () in
     let resp = Desim.Stats.Tally.create () in
@@ -283,15 +321,15 @@ let run_cmd =
             };
         }
       in
-      let trace_out =
+      let per_replicate out =
         (* one file per replicate *)
-        if replicates = 1 then trace_out
+        if replicates = 1 then out
         else
-          Option.map
-            (fun path -> with_suffix path (Printf.sprintf "-r%d" i))
-            trace_out
+          Option.map (fun path -> with_suffix path (Printf.sprintf "-r%d" i)) out
       in
-      let result = run_observed ~trace_out ~sample_interval params in
+      let trace_out = per_replicate trace_out in
+      let metrics_out = per_replicate metrics_out in
+      let result = run_observed ~trace_out ~sample_interval ~metrics_out params in
       Desim.Stats.Tally.add tput result.Ddbm.Sim_result.throughput;
       Desim.Stats.Tally.add resp result.Ddbm.Sim_result.mean_response;
       if csv then print_endline (Ddbm.Sim_result.to_csv_row result)
@@ -310,7 +348,12 @@ let run_cmd =
           result.Ddbm.Sim_result.top_heap_words;
         Option.iter
           (fun path -> Format.printf "trace written to %s@." path)
-          trace_out
+          trace_out;
+        Option.iter
+          (fun path ->
+            let prom, json = metrics_paths path in
+            Format.printf "metrics written to %s and %s@." prom json)
+          metrics_out
       end
     done;
     if replicates > 1 && not csv then
@@ -336,7 +379,7 @@ let sweep_cmd =
         & opt (list float) [ 0.; 2.; 4.; 8.; 12.; 24.; 48.; 120. ]
         & info [ "thinks" ] ~docv:"T1,T2,..."
             ~doc:"Think times to sweep (seconds).")
-    and+ trace_out, sample_interval = obs_flags
+    and+ trace_out, sample_interval, metrics_out = obs_flags
     and+ pool = jobs_term in
     print_endline Ddbm.Sim_result.csv_header;
     (* The sweep points are independent (seed, params) runs, so they fan
@@ -359,7 +402,7 @@ let sweep_cmd =
               cc = { params.Params.cc with Params.algorithm };
             }
           in
-          let trace_out =
+          let per_point out =
             (* one file per (algorithm, think time) point *)
             Option.map
               (fun path ->
@@ -367,9 +410,11 @@ let sweep_cmd =
                   (Printf.sprintf "-%s-t%g"
                      (Params.cc_algorithm_name algorithm)
                      think))
-              trace_out
+              out
           in
-          run_observed ~trace_out ~sample_interval params)
+          let trace_out = per_point trace_out in
+          let metrics_out = per_point metrics_out in
+          run_observed ~trace_out ~sample_interval ~metrics_out params)
         points
     in
     List.iter (fun r -> print_endline (Ddbm.Sim_result.to_csv_row r)) results
@@ -436,15 +481,18 @@ let replay_cmd =
         value & opt int 40
         & info [ "trace-events" ] ~docv:"N"
             ~doc:"Print the last N traced events of a reproduced failure.")
-    and+ trace_out, sample_interval = obs_flags in
+    and+ trace_out, sample_interval, metrics_out = obs_flags in
     (* The determinism check inside the replay runs each machine twice,
        and both runs must be instrumented identically (the sampler
        schedules engine events). The typed-event file sink is attached to
        the first machine only — the repeat would just rewrite identical
-       bytes. *)
+       bytes. The first machine is also kept for the end-of-run metric
+       registry: by the time replay returns it has been executed. *)
     let closers = ref [] in
     let first = ref true in
+    let first_machine = ref None in
     let instrument m =
+      if Option.is_none !first_machine then first_machine := Some m;
       Option.iter
         (fun interval -> Ddbm.Machine.enable_sampler m ~interval)
         sample_interval;
@@ -476,6 +524,13 @@ let replay_cmd =
         (let plan = a.Ddbm_check.Replay.params.Params.faults in
          if not (Fault_plan.is_zero plan) then
            Format.printf "fault plan: %s@." (Fault_plan.to_spec plan));
+        (match (metrics_out, !first_machine) with
+        | Some path, Some m ->
+            let prom, json = write_metrics m path in
+            Format.printf "metrics written to %s and %s@." prom json
+        | Some path, None ->
+            Format.eprintf "no machine was instrumented; %s not written@." path
+        | None, _ -> ());
         match outcome.Ddbm_check.Conformance.reproduced with
         | None ->
             Option.iter

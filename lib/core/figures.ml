@@ -497,6 +497,43 @@ let abl_mpl cache ~profile ~thinks:_ =
     series;
   }
 
+(* Tail latency vs terminal population: the paper reports only means, so
+   its blocking-vs-restart verdict is a mean-response verdict. With the
+   deterministic histograms the tails are visible: do 2PL (blocking
+   piles up lock queues) and OPT (restarts stretch a minority of
+   transactions over many attempts) cross at the same population for
+   p99 as for the mean? *)
+let tail_mpl cache ~profile ~thinks:_ =
+  let populations = [ 16; 32; 64; 128; 192 ] in
+  let p99 (r : Sim_result.t) = r.Sim_result.response_p99 in
+  let series =
+    List.concat_map
+      (fun (metric, tag) ->
+        List.map
+          (fun algorithm ->
+            {
+              Figure.label = Printf.sprintf "%s/%s" (algo_label algorithm) tag;
+              points =
+                List.map
+                  (fun terminals ->
+                    let r =
+                      run_config cache ~profile
+                        { eight_way with algorithm; think = 0.; terminals }
+                    in
+                    { Figure.x = float_of_int terminals; y = metric r })
+                  populations;
+            })
+          [ Params.Twopl; Params.Opt ])
+      [ (response, "mean"); (p99, "p99") ]
+  in
+  {
+    Figure.id = "tail-mpl";
+    title = "Tail latency vs terminal population (think 0): 2PL vs OPT";
+    xlabel = "terminals";
+    ylabel = "response time (s), mean and p99";
+    series;
+  }
+
 (* Replicated data (the [Care88] substrate the paper's model includes but
    does not exercise): reproduce footnote 13 — with several copies per
    item and expensive messages, plain 2PL's write-all-at-access messages
@@ -697,6 +734,7 @@ let all : (string * generator) list =
     ("abl-txsize", abl_txsize);
     ("abl-writeprob", abl_writeprob);
     ("abl-mpl", abl_mpl);
+    ("tail-mpl", tail_mpl);
     ("abl-restart", abl_restart);
     ("ext-algos", ext_algos);
     ("ext-repl", ext_replication);

@@ -128,7 +128,7 @@ let request_abort t ~from_node (txn : Txn.t) reason =
         | Some _ | None -> ())
   end
 
-let create (params : Params.t) =
+let create ?(histograms = true) (params : Params.t) =
   (match Params.validate params with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Machine.create: " ^ msg));
@@ -180,7 +180,7 @@ let create (params : Params.t) =
       procs;
       net;
       metrics =
-        Metrics.create eng
+        Metrics.create ~quantiles:histograms eng
           ~restart_delay_floor:params.Params.run.Params.restart_delay_floor;
       catalog;
       workload;
@@ -389,6 +389,7 @@ let spawn_recovery t f i wal =
           let dur = Engine.now t.eng -. t0 in
           t.recoveries <- t.recoveries + 1;
           t.recovery_time <- t.recovery_time +. dur;
+          Metrics.record_recovery t.metrics ~dur;
           emit t (fun () ->
               Event.Recovery_completed
                 { node = i; duration = dur; redone = !redone })
@@ -563,6 +564,7 @@ let run_cohort ?(proxy = false) t (rt : Messages.attempt_runtime)
     Wal.force w;
     let dur = Engine.now t.eng -. t0 in
     if accrue then usage.Messages.u_log <- usage.Messages.u_log +. dur;
+    Metrics.record_log_force t.metrics ~dur;
     emit t (fun () ->
         Event.Log_forced { tid; attempt; node = my_node; dur })
   in
@@ -1609,6 +1611,8 @@ let collect_result t ~wall_seconds =
     response_ci95 = Metrics.response_ci95 t.metrics;
     response_p50 = Metrics.response_percentile t.metrics 0.50;
     response_p95 = Metrics.response_percentile t.metrics 0.95;
+    response_p99 = Metrics.response_quantile t.metrics 0.99;
+    response_p999 = Metrics.response_quantile t.metrics 0.999;
     commits = Metrics.commits t.metrics;
     aborts = Metrics.aborts t.metrics;
     completions = Metrics.completions t.metrics;
@@ -1662,6 +1666,119 @@ let collect_result t ~wall_seconds =
        else 0.);
     top_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
   }
+
+(** Typed metric registry snapshot: windowed counters and rates, per-node
+    utilization and queue-depth rollups (the time-series sampler's
+    quantities as end-of-run aggregates), and — when histograms are
+    enabled — the tail-latency histogram families for response time,
+    every {!Decomp} component, 2PC in-doubt duration, WAL force latency,
+    and recovery time. Build after {!execute}; serialize with
+    {!Ddbm_model.Metric.to_prometheus} / {!Ddbm_model.Metric.to_json}. *)
+let registry t : Metric.t =
+  let m = t.metrics in
+  let ic name help v = Metric.counter ~name ~help (float_of_int v) in
+  let g name help v = Metric.gauge ~name ~help v in
+  let per_node ~name ~help get =
+    Metric.family ~name ~help ~kind:Metric.Gauge
+      (List.init (Array.length t.procs) (fun i ->
+           Metric.sample
+             ~labels:[ ("node", string_of_int i) ]
+             (Metric.V (get t.procs.(i)))))
+  in
+  let counters =
+    [
+      ic "ddbm_commits_total" "Committed transactions in the window"
+        (Metrics.commits m);
+      ic "ddbm_aborts_total" "Aborted attempts in the window"
+        (Metrics.aborts m);
+      ic "ddbm_completions_total"
+        "Attempt completions in the window (commits + aborts)"
+        (Metrics.completions m);
+      ic "ddbm_messages_total" "Messages sent" (Net.messages_sent t.net);
+      ic "ddbm_log_forces_total" "Completed WAL forces across all nodes"
+        (match t.wal with
+        | None -> 0
+        | Some wals -> Array.fold_left (fun acc w -> acc + Wal.forces w) 0 wals);
+      ic "ddbm_recoveries_total" "Completed crash-recovery passes"
+        t.recoveries;
+      ic "ddbm_node_crashes_total" "Crash events (host and processing nodes)"
+        (match t.faults with None -> 0 | Some f -> f.node_crashes);
+      ic "ddbm_failovers_total"
+        "Cohorts resurrected at their backup after a primary crash"
+        (match t.faults with None -> 0 | Some f -> f.failovers);
+      ic "ddbm_sim_events_total" "Simulation events processed"
+        (Engine.events_processed t.eng);
+    ]
+  in
+  let gauges =
+    [
+      g "ddbm_throughput_tps"
+        "Committed transactions per second over the window"
+        (Metrics.throughput m);
+      g "ddbm_goodput_pages_per_second"
+        "Committed page accesses per second over the window"
+        (Metrics.goodput m);
+      g "ddbm_abort_ratio" "Aborts per commit" (Metrics.abort_ratio m);
+      g "ddbm_mean_active" "Time-average in-flight transactions"
+        (Metrics.mean_active m);
+      g "ddbm_availability" "Fraction of node-seconds up over the window"
+        (availability t);
+      g "ddbm_host_cpu_utilization" "Host CPU utilization over the window"
+        (Node.cpu_utilization t.host);
+      g "ddbm_log_disk_utilization"
+        "Mean log-disk utilization over the window (0 without durability)"
+        (match t.wal with
+        | None -> 0.
+        | Some wals -> mean_over wals Wal.utilization);
+      g "ddbm_indoubt_open" "Cohorts still awaiting a 2PC decision"
+        (float_of_int (Metrics.indoubt_open m));
+      g "ddbm_window_seconds" "Measurement window duration"
+        (Metrics.window_duration m);
+    ]
+  in
+  let rollups =
+    [
+      per_node ~name:"ddbm_node_cpu_utilization"
+        ~help:"Per-node CPU utilization over the window" Node.cpu_utilization;
+      per_node ~name:"ddbm_node_disk_utilization"
+        ~help:"Per-node mean disk utilization over the window"
+        Node.disk_utilization;
+      per_node ~name:"ddbm_node_cpu_queue"
+        ~help:"Instantaneous processor-sharing CPU load (jobs in service)"
+        (fun node -> float_of_int (Cpu.ps_load node.Node.cpu));
+      per_node ~name:"ddbm_node_disk_queue"
+        ~help:
+          "Instantaneous disk operations waiting or in service, summed \
+           over the node's disks"
+        (fun node -> float_of_int (Node.disk_queue node));
+    ]
+  in
+  let histograms =
+    if not (Metrics.quantiles_enabled m) then []
+    else
+      [
+        Metric.histogram ~name:"ddbm_response_seconds"
+          ~help:"Committed-transaction response time"
+          (Metrics.response_hist m);
+        Metric.family ~name:"ddbm_response_component_seconds"
+          ~help:
+            "Per-transaction response-time decomposition components \
+             (additive; see Decomp)"
+          ~kind:Metric.Histogram
+          (List.map
+             (fun (name, h) ->
+               Metric.sample ~labels:[ ("component", name) ] (Metric.H h))
+             (Metrics.component_hists m));
+        Metric.histogram ~name:"ddbm_indoubt_seconds"
+          ~help:"Closed 2PC in-doubt intervals (yes vote to decision)"
+          (Metrics.indoubt_hist m);
+        Metric.histogram ~name:"ddbm_log_force_seconds"
+          ~help:"WAL force latency" (Metrics.log_force_hist m);
+        Metric.histogram ~name:"ddbm_recovery_seconds"
+          ~help:"Crash-recovery pass duration" (Metrics.recovery_hist m);
+      ]
+  in
+  counters @ gauges @ rollups @ histograms
 
 (** Attach an event trace (before {!execute}). *)
 let enable_trace ?(capacity = 10_000) t =

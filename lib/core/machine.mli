@@ -9,8 +9,12 @@ type t
 
 (** Build a machine (validating the parameters; raises
     [Invalid_argument] on inconsistent configurations). Exposed for tests
-    and custom drivers. *)
-val create : Ddbm_model.Params.t -> t
+    and custom drivers. [histograms] (default true) enables the
+    tail-latency histograms; [~histograms:false] is for pricing their
+    overhead in bench and never changes any simulation outcome — only the
+    histogram-derived outputs (p99/p999, {!registry} histogram families)
+    read 0. *)
+val create : ?histograms:bool -> Ddbm_model.Params.t -> t
 
 (** Attach a serializability auditor to a freshly created machine; after
     {!execute}, pass it to {!Audit.check}. *)
@@ -41,6 +45,14 @@ val enable_fingerprints : t -> unit
 (** Per-terminal plan fingerprints generated so far (empty unless
     {!enable_fingerprints} was called). *)
 val workload_fingerprints : t -> int list array
+
+(** Typed metric registry snapshot (build after {!execute}): windowed
+    counters and rates, per-node utilization/queue-depth rollups, and the
+    tail-latency histogram families for response time, every
+    {!Ddbm_model.Decomp} component, 2PC in-doubt duration, WAL force
+    latency, and recovery time. Serialize with
+    {!Ddbm_model.Metric.to_prometheus} / {!Ddbm_model.Metric.to_json}. *)
+val registry : t -> Ddbm_model.Metric.t
 
 (** Run an assembled machine and collect the measured result. *)
 val execute : ?log:bool -> t -> Sim_result.t

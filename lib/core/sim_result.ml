@@ -11,6 +11,10 @@ type t = {
   response_ci95 : float;  (** batch-means 95% half-width *)
   response_p50 : float;
   response_p95 : float;
+  response_p99 : float;
+      (** histogram tail quantile (upper-edge convention, relative error
+          <= 2^-6; see {!Desim.Stats.Hdr}); 0 when histograms are off *)
+  response_p999 : float;  (** as [response_p99], at q = 0.999 *)
   commits : int;
   aborts : int;
   completions : int;
@@ -88,6 +92,8 @@ let placeholder params =
     response_ci95 = 0.;
     response_p50 = 0.;
     response_p95 = 0.;
+    response_p99 = 0.;
+    response_p999 = 0.;
     commits = 0;
     aborts = 0;
     completions = 0;
@@ -134,6 +140,9 @@ let pp fmt t =
     t.aborts t.abort_ratio t.proc_cpu_util t.proc_disk_util t.host_cpu_util
     t.mean_blocking t.blocked_requests t.mean_active t.messages Decomp.pp
     t.decomp;
+  if t.response_p99 > 0. then
+    Format.fprintf fmt "@ tail: p50 %.3f p95 %.3f p99 %.3f p999 %.3f s"
+      t.response_p50 t.response_p95 t.response_p99 t.response_p999;
   if Fault_plan.active t.params.Params.faults then
     Format.fprintf fmt
       "@ faults: avail %.4f, goodput %.2f pages/s, %d crashes, %d dropped, \
@@ -153,7 +162,7 @@ let pp fmt t =
 let csv_header =
   "algorithm,think_time,proc_nodes,degree,file_size,inst_per_startup,\
    inst_per_msg,throughput,mean_response,response_ci95,response_p50,\
-   response_p95,commits,aborts,completions,\
+   response_p95,response_p99,response_p999,commits,aborts,completions,\
    abort_ratio,mean_blocking,blocked_requests,proc_cpu_util,proc_disk_util,\
    host_cpu_util,mean_active,messages,availability,goodput,timeouts,retries,\
    msgs_dropped,msgs_duplicated,node_crashes,orphaned,log_forces,\
@@ -189,6 +198,8 @@ let diff a b =
   chk_f "response_ci95" (fun r -> r.response_ci95);
   chk_f "response_p50" (fun r -> r.response_p50);
   chk_f "response_p95" (fun r -> r.response_p95);
+  chk_f "response_p99" (fun r -> r.response_p99);
+  chk_f "response_p999" (fun r -> r.response_p999);
   chk_i "commits" (fun r -> r.commits);
   chk_i "aborts" (fun r -> r.aborts);
   chk_i "completions" (fun r -> r.completions);
@@ -233,14 +244,15 @@ let equal a b = diff a b = []
 let to_csv_row t =
   let p = t.params in
   Printf.sprintf
-    "%s,%g,%d,%d,%d,%g,%g,%.5f,%.5f,%.5f,%.5f,%.5f,%d,%d,%d,%.5f,%.5f,%d,%.4f,%.4f,%.4f,%.3f,%d,%.5f,%.5f,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.5f,%d,%d,%.5f,%d,%d,%d,%s"
+    "%s,%g,%d,%d,%d,%g,%g,%.5f,%.5f,%.5f,%.5f,%.5f,%.5f,%.5f,%d,%d,%d,%.5f,%.5f,%d,%.4f,%.4f,%.4f,%.3f,%d,%.5f,%.5f,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.5f,%d,%d,%.5f,%d,%d,%d,%s"
     (algorithm_name t) p.Params.workload.Params.think_time
     p.Params.database.Params.num_proc_nodes
     p.Params.database.Params.partitioning_degree
     p.Params.database.Params.file_size
     p.Params.resources.Params.inst_per_startup
     p.Params.resources.Params.inst_per_msg t.throughput t.mean_response
-    t.response_ci95 t.response_p50 t.response_p95 t.commits t.aborts
+    t.response_ci95 t.response_p50 t.response_p95 t.response_p99
+    t.response_p999 t.commits t.aborts
     t.completions t.abort_ratio t.mean_blocking t.blocked_requests
     t.proc_cpu_util t.proc_disk_util t.host_cpu_util t.mean_active t.messages
     t.availability t.goodput t.timeouts t.retries t.msgs_dropped

@@ -11,6 +11,10 @@ type t = {
   response_ci95 : float;  (** batch-means 95% half-width *)
   response_p50 : float;
   response_p95 : float;
+  response_p99 : float;
+      (** histogram tail quantile (upper-edge convention, relative error
+          <= 2^-6; see {!Desim.Stats.Hdr}); 0 when histograms are off *)
+  response_p999 : float;  (** as [response_p99], at q = 0.999 *)
   commits : int;
   aborts : int;
   completions : int;

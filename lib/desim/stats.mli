@@ -116,3 +116,54 @@ module Histogram : sig
 
   val bins : t -> (float * float * int) list
 end
+
+(** Deterministic log-scaled fixed-bucket (HDR-style) histogram for latency
+    tails. Each power-of-two octave in [2^min_exp, 2^max_exp) is split into
+    2^sub_bits equal-mantissa buckets; the bucket index is computed from the
+    raw IEEE-754 bits of the sample (pure integer arithmetic, no rounding, no
+    randomness), so bucketing — and therefore every quantile — is
+    bit-identical across hosts and across serial vs [--jobs] parallel runs.
+    Values <= 0 (and nan) fall into bucket 0; values >= 2^max_exp clamp into
+    the last bucket. Memory: one int per bucket,
+    [(max_exp - min_exp) * 2^sub_bits] buckets total. *)
+module Hdr : sig
+  type t
+
+  (** Defaults ([min_exp = -20], [max_exp = 12], [sub_bits = 6]) track
+      latencies from ~1 microsecond to ~4096 simulated seconds at a relative
+      error of at most 2^-6 ~ 1.6%, in 2048 buckets (16 KiB). *)
+  val create : ?min_exp:int -> ?max_exp:int -> ?sub_bits:int -> unit -> t
+
+  val reset : t -> unit
+  val add : t -> float -> unit
+  val count : t -> int
+
+  (** Sum of samples in observation order (bit-identical to a {!Tally.total}
+      fed the same stream). *)
+  val total : t -> float
+
+  (** Worst-case relative over-estimate of {!quantile}: 2^-sub_bits. *)
+  val rel_error : t -> float
+
+  (** Bucket index a sample would land in (exposed for tests). *)
+  val index : t -> float -> int
+
+  (** [quantile t q] uses the order statistic at
+      [idx = min (n-1) (int (n*q))] — the same rank convention as the exact
+      sorted-sample percentiles in [Metrics] — and returns the upper edge of
+      the bucket holding that sample, so for in-range samples
+      [exact <= quantile t q <= exact * (1 + rel_error t)]. 0 when empty. *)
+  val quantile : t -> float -> float
+
+  (** [merge a b] is a fresh histogram equivalent to observing both sample
+      streams; bucket counts (hence quantiles) merge exactly associatively.
+      Both inputs must share the same bucket configuration. *)
+  val merge : t -> t -> t
+
+  (** Non-empty buckets as [(lower_edge, upper_edge, count)]. *)
+  val nonzero_bins : t -> (float * float * int) list
+
+  (** Cumulative counts at each non-empty bucket's upper edge — the
+      Prometheus [le] series, minus the final +Inf entry ({!count}). *)
+  val cumulative : t -> (float * int) list
+end

@@ -25,7 +25,7 @@ let parse_source ~path source =
 
 (** Directories whose modules must publish an [.mli]. *)
 let mli_required_dirs =
-  [ "lib/desim/"; "lib/mach/"; "lib/core/"; "lib/check/" ]
+  [ "lib/desim/"; "lib/mach/"; "lib/core/"; "lib/check/"; "lib/cc/" ]
 
 let mli_required ~path =
   String.ends_with ~suffix:".ml" path

@@ -11,8 +11,8 @@ type report = {
 val clean : report -> bool
 
 val mli_required : path:string -> bool
-(** Rule D5 applies to [path] (an [.ml] under [lib/desim/] or
-    [lib/mach/]). *)
+(** Rule D5 applies to [path] (an [.ml] under [lib/desim/], [lib/mach/],
+    [lib/core/], [lib/check/] or [lib/cc/]). *)
 
 val scan_sources : (string * string) list -> report
 (** Lint in-memory [(path, source)] pairs: the test-fixture entry point.

@@ -42,9 +42,19 @@ type t = {
   indoubt_open : (int * int * int, float) Hashtbl.t;
       (** (tid, attempt, node) -> yes-vote time, for still-undecided
           cohorts; not windowed, so end-of-run stragglers are visible *)
+  quantiles_on : bool;
+      (** tail-latency histograms enabled; off-path records are no-ops so
+          bench can price the histogram overhead *)
+  response_hist : Stats.Hdr.t;  (** windowed response times *)
+  component_hists : (string * (Decomp.t -> float) * Stats.Hdr.t) list;
+      (** per-{!Decomp} component distributions, in {!Decomp.fields}
+          order *)
+  indoubt_hist : Stats.Hdr.t;  (** closed 2PC in-doubt intervals *)
+  log_force_hist : Stats.Hdr.t;  (** WAL force latencies *)
+  recovery_hist : Stats.Hdr.t;  (** crash-recovery durations *)
 }
 
-let create eng ~restart_delay_floor =
+let create ?(quantiles = true) eng ~restart_delay_floor =
   {
     eng;
     restart_delay_floor;
@@ -65,6 +75,13 @@ let create eng ~restart_delay_floor =
     committed_pages = 0;
     indoubt = Stats.Tally.create ();
     indoubt_open = Hashtbl.create 64;
+    quantiles_on = quantiles;
+    response_hist = Stats.Hdr.create ();
+    component_hists =
+      List.map (fun (name, get) -> (name, get, Stats.Hdr.create ())) Decomp.fields;
+    indoubt_hist = Stats.Hdr.create ();
+    log_force_hist = Stats.Hdr.create ();
+    recovery_hist = Stats.Hdr.create ();
   }
 
 let begin_window t =
@@ -81,6 +98,11 @@ let begin_window t =
   t.decomp_records <- [];
   t.committed_pages <- 0;
   Stats.Tally.reset t.indoubt;
+  Stats.Hdr.reset t.response_hist;
+  List.iter (fun (_, _, h) -> Stats.Hdr.reset h) t.component_hists;
+  Stats.Hdr.reset t.indoubt_hist;
+  Stats.Hdr.reset t.log_force_hist;
+  Stats.Hdr.reset t.recovery_hist;
   Stats.Timeseries.set_window t.active_ts ~now:(Engine.now t.eng)
 
 let record_submit t =
@@ -101,6 +123,12 @@ let record_commit t ~origin_time ~pages ~decomp =
   t.response_samples <- response :: t.response_samples;
   t.decomp_sum <- Decomp.add t.decomp_sum decomp;
   t.decomp_records <- (response, decomp) :: t.decomp_records;
+  if t.quantiles_on then begin
+    Stats.Hdr.add t.response_hist response;
+    List.iter
+      (fun (_, get, h) -> Stats.Hdr.add h (get decomp))
+      t.component_hists
+  end;
   Stats.Tally.add t.response_running response;
   t.active <- t.active - 1;
   Stats.Timeseries.update t.active_ts ~now:(Engine.now t.eng)
@@ -142,7 +170,18 @@ let record_decided t ~tid ~attempt ~node =
   | None -> ()
   | Some start ->
       Hashtbl.remove t.indoubt_open (tid, attempt, node);
-      Stats.Tally.add t.indoubt (Engine.now t.eng -. start)
+      let dur = Engine.now t.eng -. start in
+      Stats.Tally.add t.indoubt dur;
+      if t.quantiles_on then Stats.Hdr.add t.indoubt_hist dur
+
+(** A WAL force completed in [dur] simulated seconds (histogram only; the
+    force count and log-disk utilization live in {!Wal}). *)
+let record_log_force t ~dur =
+  if t.quantiles_on then Stats.Hdr.add t.log_force_hist dur
+
+(** A crash-recovery pass completed in [dur] simulated seconds. *)
+let record_recovery t ~dur =
+  if t.quantiles_on then Stats.Hdr.add t.recovery_hist dur
 
 (** Mean closed in-doubt interval over the window (seconds). *)
 let indoubt_mean t = Stats.Tally.mean t.indoubt
@@ -211,3 +250,23 @@ let decomp_mean t =
 (** Windowed per-transaction (response, decomposition) pairs, oldest
     first. *)
 let decomp_records t = List.rev t.decomp_records
+
+(* -------------------------------------------------------------- *)
+(* Tail-latency histograms *)
+
+let quantiles_enabled t = t.quantiles_on
+
+(** Histogram response-time quantile (upper-edge convention, see
+    {!Desim.Stats.Hdr.quantile}); 0 when histograms are disabled or no
+    commit has been observed. *)
+let response_quantile t q = Stats.Hdr.quantile t.response_hist q
+
+let response_hist t = t.response_hist
+
+(** Per-{!Decomp}-component histograms as [(field_name, hist)], in
+    {!Decomp.fields} order. *)
+let component_hists t = List.map (fun (n, _, h) -> (n, h)) t.component_hists
+
+let indoubt_hist t = t.indoubt_hist
+let log_force_hist t = t.log_force_hist
+let recovery_hist t = t.recovery_hist

@@ -8,7 +8,10 @@
 
 type t
 
-val create : Desim.Engine.t -> restart_delay_floor:float -> t
+(** [quantiles] (default true) enables the tail-latency histograms; when
+    false the histogram record paths are no-ops, so bench can price the
+    histogram overhead against an otherwise identical run. *)
+val create : ?quantiles:bool -> Desim.Engine.t -> restart_delay_floor:float -> t
 
 (** Discard all observations so far; start the measurement window now. *)
 val begin_window : t -> unit
@@ -101,3 +104,37 @@ val decomp_records : t -> (float * Decomp.t) list
 
 (** Aggregated CC blocking-time tally (owned by callers). *)
 val blocked_time : t -> Desim.Stats.Tally.t
+
+(** {2 Tail-latency histograms}
+
+    Windowed, deterministic, log-scaled histograms (see
+    {!Desim.Stats.Hdr}); all reset by {!begin_window}. Record paths are
+    no-ops when the collector was created with [~quantiles:false]. *)
+
+val quantiles_enabled : t -> bool
+
+(** A WAL force completed in [dur] simulated seconds (histogram only; the
+    force count and log-disk utilization live in {!Wal}). *)
+val record_log_force : t -> dur:float -> unit
+
+(** A crash-recovery pass completed in [dur] simulated seconds. *)
+val record_recovery : t -> dur:float -> unit
+
+(** Histogram response-time quantile (upper-edge convention, see
+    {!Desim.Stats.Hdr.quantile}); 0 when histograms are disabled or empty. *)
+val response_quantile : t -> float -> float
+
+val response_hist : t -> Desim.Stats.Hdr.t
+
+(** Per-{!Decomp}-component histograms as [(field_name, hist)], in
+    {!Decomp.fields} order. *)
+val component_hists : t -> (string * Desim.Stats.Hdr.t) list
+
+(** Closed 2PC in-doubt interval durations. *)
+val indoubt_hist : t -> Desim.Stats.Hdr.t
+
+(** WAL force latencies. *)
+val log_force_hist : t -> Desim.Stats.Hdr.t
+
+(** Crash-recovery durations. *)
+val recovery_hist : t -> Desim.Stats.Hdr.t

@@ -94,8 +94,11 @@ let test_d5 () =
     "lib/desim requires an mli" true
     (Lint.Driver.mli_required ~path:"lib/desim/foo.ml");
   Alcotest.(check bool)
-    "lib/cc does not" false
-    (Lint.Driver.mli_required ~path:"lib/cc/foo.ml")
+    "lib/cc requires an mli" true
+    (Lint.Driver.mli_required ~path:"lib/cc/foo.ml");
+  Alcotest.(check bool)
+    "bin does not" false
+    (Lint.Driver.mli_required ~path:"bin/ddbm_cli.ml")
 
 (* --- D6: catch-all over protected variants ------------------------- *)
 

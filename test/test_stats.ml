@@ -143,6 +143,126 @@ let prop_tally_minmax =
         (fun x -> x >= Stats.Tally.min t && x <= Stats.Tally.max t)
         xs)
 
+(* ---- HDR log-scaled histogram ------------------------------------- *)
+
+(* The exact sorted-sample quantile with the repo's rank convention
+   (Metrics.response_percentile): the order statistic at min (n-1)
+   (int (n*q)). *)
+let exact_quantile xs q =
+  let sorted = List.sort Float.compare xs in
+  let n = List.length sorted in
+  let idx = Stdlib.min (n - 1) (int_of_float (float_of_int n *. q)) in
+  List.nth sorted idx
+
+let hdr_of xs =
+  let h = Stats.Hdr.create () in
+  List.iter (Stats.Hdr.add h) xs;
+  h
+
+(* Positive samples within the default tracked range [2^-20, 2^12). *)
+let in_range_samples =
+  QCheck.(
+    list_of_size
+      Gen.(int_range 1 200)
+      (map (fun x -> 1e-5 +. (x *. 4000.)) (float_bound_exclusive 1.)))
+
+let test_hdr_basic () =
+  let h = Stats.Hdr.create () in
+  Alcotest.(check (float 0.)) "empty quantile" 0. (Stats.Hdr.quantile h 0.99);
+  List.iter (Stats.Hdr.add h) [ 1.; 2.; 4.; 8. ];
+  Alcotest.(check int) "count" 4 (Stats.Hdr.count h);
+  Alcotest.(check (float 1e-12)) "total" 15. (Stats.Hdr.total h);
+  (* exact powers of two are bucket lower edges; the quantile returns the
+     bucket's upper edge, a hair above the sample *)
+  let q = Stats.Hdr.quantile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "median edge %.6f just above 4" q)
+    true
+    (q > 4. && q <= 4. *. (1. +. Stats.Hdr.rel_error h));
+  Stats.Hdr.reset h;
+  Alcotest.(check int) "count after reset" 0 (Stats.Hdr.count h)
+
+let test_hdr_clamps () =
+  let h = Stats.Hdr.create () in
+  (* below range, zero, nan, negative -> bucket 0; above range -> last *)
+  List.iter (Stats.Hdr.add h) [ 1e-30; 0.; Float.nan; -3.; 1e30 ];
+  Alcotest.(check int) "count" 5 (Stats.Hdr.count h);
+  Alcotest.(check int) "low clamp" 0 (Stats.Hdr.index h 1e-30);
+  Alcotest.(check int) "neg clamp" 0 (Stats.Hdr.index h (-3.));
+  let last = Stats.Hdr.index h 1e30 in
+  Alcotest.(check bool) "high clamp is max index" true
+    (last = Stats.Hdr.index h 4000. || last > Stats.Hdr.index h 4000.);
+  (* the quantile stays finite even for clamped-high samples *)
+  Alcotest.(check bool) "q finite" true
+    (Float.is_finite (Stats.Hdr.quantile h 0.99))
+
+let prop_hdr_differential =
+  (* tentpole property: histogram quantiles match the exact sorted-sample
+     quantile (same rank convention) within the bucket relative-error
+     bound, from above *)
+  QCheck.Test.make ~name:"hdr quantile vs exact sample quantile" ~count:300
+    in_range_samples (fun xs ->
+      let h = hdr_of xs in
+      let rel = Stats.Hdr.rel_error h in
+      List.for_all
+        (fun q ->
+          let e = exact_quantile xs q in
+          let v = Stats.Hdr.quantile h q in
+          v >= e && v <= e *. (1. +. rel) *. (1. +. 1e-12))
+        [ 0.5; 0.9; 0.95; 0.99; 0.999 ])
+
+let prop_hdr_conservation =
+  (* histogram count/total are bit-identical to a Tally fed the same
+     observation stream *)
+  QCheck.Test.make ~name:"hdr count/total conserve vs tally" ~count:300
+    in_range_samples (fun xs ->
+      let h = hdr_of xs in
+      let t = Stats.Tally.create () in
+      List.iter (Stats.Tally.add t) xs;
+      Stats.Hdr.count h = Stats.Tally.count t
+      && Float.equal (Stats.Hdr.total h) (Stats.Tally.total t))
+
+let prop_hdr_merge_associative =
+  (* integer bucket counts merge exactly associatively, so quantiles are
+     bit-identical under any parallel aggregation order; totals are float
+     sums and only associative up to rounding *)
+  QCheck.Test.make ~name:"hdr merge associativity" ~count:200
+    QCheck.(triple in_range_samples in_range_samples in_range_samples)
+    (fun (xs, ys, zs) ->
+      let a = hdr_of xs and b = hdr_of ys and c = hdr_of zs in
+      let l = Stats.Hdr.merge (Stats.Hdr.merge a b) c in
+      let r = Stats.Hdr.merge a (Stats.Hdr.merge b c) in
+      let flat = hdr_of (xs @ ys @ zs) in
+      Stats.Hdr.count l = Stats.Hdr.count r
+      && Stats.Hdr.count l = Stats.Hdr.count flat
+      && List.for_all
+           (fun q ->
+             Float.equal (Stats.Hdr.quantile l q) (Stats.Hdr.quantile r q)
+             && Float.equal (Stats.Hdr.quantile l q)
+                  (Stats.Hdr.quantile flat q))
+           [ 0.5; 0.9; 0.95; 0.99; 0.999 ]
+      && Stats.Hdr.nonzero_bins l = Stats.Hdr.nonzero_bins r
+      && Stats.Hdr.nonzero_bins l = Stats.Hdr.nonzero_bins flat
+      && abs_float (Stats.Hdr.total l -. Stats.Hdr.total r)
+         <= 1e-9 *. (1. +. abs_float (Stats.Hdr.total l)))
+
+let prop_hdr_cumulative =
+  QCheck.Test.make ~name:"hdr cumulative counts are monotone to count"
+    ~count:200 in_range_samples (fun xs ->
+      let h = hdr_of xs in
+      let cum = Stats.Hdr.cumulative h in
+      let rec mono last = function
+        | [] -> true
+        | (le, c) :: rest ->
+            c > last && le > 0. && (rest = [] || c <= Stats.Hdr.count h)
+            && mono c rest
+      in
+      mono 0 cum
+      &&
+      match List.rev cum with
+      | (_, c) :: _ -> c = Stats.Hdr.count h
+      | [] -> Stats.Hdr.count h = 0)
+
 let suite =
   [
     Alcotest.test_case "tally basic" `Quick test_tally_basic;
@@ -162,4 +282,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_batch_ci_covers_true_mean;
     QCheck_alcotest.to_alcotest prop_tally_mean_matches_list;
     QCheck_alcotest.to_alcotest prop_tally_minmax;
+    Alcotest.test_case "hdr basic" `Quick test_hdr_basic;
+    Alcotest.test_case "hdr clamps" `Quick test_hdr_clamps;
+    QCheck_alcotest.to_alcotest prop_hdr_differential;
+    QCheck_alcotest.to_alcotest prop_hdr_conservation;
+    QCheck_alcotest.to_alcotest prop_hdr_merge_associative;
+    QCheck_alcotest.to_alcotest prop_hdr_cumulative;
   ]
