@@ -1,26 +1,52 @@
-(* ddbm-lint: determinism-hazard static analysis over the simulator.
+(* ddbm-lint: determinism-hazard and domain-safety static analysis over
+   the simulator.
 
-   Usage: ddbm_lint [--json] [--baseline FILE] [--no-baseline] [PATH...]
+   Usage: ddbm_lint [--json] [--race] [--rules D7,D8] [--baseline FILE]
+                    [--no-baseline] [PATH...]
 
    Exit status: 0 clean, 1 non-baselined findings, 2 usage/IO error. *)
 
 let default_roots = [ "lib"; "bin"; "bench"; "test" ]
 
+let parse_rules spec =
+  let tokens =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> not (String.equal s ""))
+  in
+  List.map
+    (fun tok ->
+      match Lint.Finding.rule_of_string tok with
+      | Some rule -> rule
+      | None ->
+          prerr_endline ("ddbm-lint: unknown rule " ^ tok);
+          exit 2)
+    tokens
+
 let () =
   let json = ref false in
+  let race = ref false in
+  let rules = ref None in
   let baseline = ref "lint.baseline" in
   let no_baseline = ref false in
   let roots = ref [] in
   let spec =
     [
       ("--json", Arg.Set json, " machine-readable report on stdout");
+      ( "--race",
+        Arg.Set race,
+        " run the whole-program domain-safety analysis (rules D7-D9)" );
+      ( "--rules",
+        Arg.String (fun s -> rules := Some (parse_rules s)),
+        "LIST restrict the report to a comma-separated rule list (codes \
+         or names, e.g. D7,D8 or shared-mutable)" );
       ( "--baseline",
         Arg.Set_string baseline,
         "FILE baseline of accepted findings (default: lint.baseline)" );
       ( "--no-baseline",
         Arg.Set no_baseline,
         " ignore the baseline file entirely" );
-      ( "--rules",
+      ( "--list-rules",
         Arg.Unit
           (fun () ->
             List.iter
@@ -43,7 +69,9 @@ let () =
     else if Sys.file_exists !baseline then Some !baseline
     else None
   in
-  match Lint.Driver.run ?baseline ~roots () with
+  match
+    Lint.Driver.run ?baseline ~race:!race ?rules:!rules ~roots ()
+  with
   | Error msg ->
       prerr_endline ("ddbm-lint: " ^ msg);
       exit 2

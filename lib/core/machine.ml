@@ -1899,12 +1899,17 @@ let execute ?(log = false) t =
   done;
   Option.iter (fun f -> schedule_faults t f) t.faults;
   Option.iter Ddbm_cc.Snoop.start t.snoop;
-  (* lint: allow ambient - wall-clock cost is reported, never simulated *)
+  (* Wall-clock cost is reported, never simulated; each worker domain
+     reads its own interval. *)
+  (* lint: allow ambient unsafe-stdlib *)
   let wall_start = Sys.time () in
   Engine.run ~until:(run_params.Params.warmup +. run_params.Params.measure)
     t.eng;
-  let wall_seconds = Sys.time () -. wall_start in (* lint: allow ambient *)
+  let wall_seconds = Sys.time () -. wall_start in (* lint: allow ambient unsafe-stdlib *)
   let result = collect_result t ~wall_seconds in
+  (* Logging is off by default; only the serial CLI run path ever
+     passes ~log:true, never a Par.Pool task. *)
+  (* lint: allow unsafe-stdlib *)
   if log then Logs.info (fun m -> m "%a" Sim_result.pp result);
   result
 

@@ -1,5 +1,6 @@
-(** Walks the tree, parses every implementation, applies the rules and
-    the suppressions, and renders the report. *)
+(** Walks the tree, parses every implementation, applies the rules
+    (per-file hazards, and the whole-program {!Race} analysis when
+    requested) and the suppressions, and renders the report. *)
 
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                              *)
@@ -25,7 +26,10 @@ let parse_source ~path source =
 
 (** Directories whose modules must publish an [.mli]. *)
 let mli_required_dirs =
-  [ "lib/desim/"; "lib/mach/"; "lib/core/"; "lib/check/"; "lib/cc/" ]
+  [
+    "lib/desim/"; "lib/mach/"; "lib/core/"; "lib/check/"; "lib/cc/";
+    "lib/par/"; "lib/lint/";
+  ]
 
 let mli_required ~path =
   String.ends_with ~suffix:".ml" path
@@ -58,7 +62,14 @@ let normalize path =
 let walk root =
   let mls = ref [] and mlis = ref [] in
   let rec go path =
-    if Sys.is_directory path then begin
+    (* A dangling symlink is not a directory and must still surface as
+       an unreadable file below, not crash the walk. *)
+    let is_dir =
+      match Sys.is_directory path with
+      | d -> d
+      | exception Sys_error _ -> false
+    in
+    if is_dir then begin
       let entries = Sys.readdir path in
       Array.sort String.compare entries;
       Array.iter
@@ -79,23 +90,97 @@ let walk root =
 (* ------------------------------------------------------------------ *)
 (* Report                                                               *)
 
+type rule_counts = {
+  rc_reported : int;
+  rc_suppressed : int;
+  rc_baselined : int;
+}
+
 type report = {
   findings : Finding.t list;  (** neither suppressed nor baselined *)
   suppressed : int;  (** silenced by [(* lint: allow ... *)] comments *)
   baselined : int;  (** silenced by the baseline file *)
   files_scanned : int;
+  by_rule : (Finding.rule * rule_counts) list;
+      (** rules with at least one reported/suppressed/baselined
+          finding, in rule order *)
 }
 
 let clean report =
   match report.findings with [] -> true | _ :: _ -> false
+
+let tally ~findings ~suppressed_fs ~baselined_fs =
+  let count rule fs =
+    List.length
+      (List.filter
+         (fun (f : Finding.t) -> Finding.rule_equal f.Finding.rule rule)
+         fs)
+  in
+  List.filter_map
+    (fun rule ->
+      let rc =
+        {
+          rc_reported = count rule findings;
+          rc_suppressed = count rule suppressed_fs;
+          rc_baselined = count rule baselined_fs;
+        }
+      in
+      if rc.rc_reported + rc.rc_suppressed + rc.rc_baselined = 0 then None
+      else Some (rule, rc))
+    Finding.all_rules
+
+let assemble ~files_scanned ~findings ~suppressed_fs ~baselined_fs =
+  {
+    findings = List.sort Finding.compare findings;
+    suppressed = List.length suppressed_fs;
+    baselined = List.length baselined_fs;
+    files_scanned;
+    by_rule = tally ~findings ~suppressed_fs ~baselined_fs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shared scanning core                                                 *)
+
+let rule_selected rules (f : Finding.t) =
+  match rules with
+  | None -> true
+  | Some keep ->
+      List.exists (fun r -> Finding.rule_equal r f.Finding.rule) keep
+
+(* Race findings grouped onto the file they land in. *)
+let race_findings_for ~race parsed =
+  if not race then fun _ -> []
+  else
+    let ok =
+      List.filter_map
+        (fun (path, _, r) ->
+          match r with Ok s -> Some (path, s) | Error _ -> None)
+        parsed
+    in
+    let all = Race.analyze ok in
+    fun path ->
+      List.filter (fun (f : Finding.t) -> String.equal f.Finding.file path) all
+
+(* Per-file findings -> (kept, suppressed) after allow comments, with
+   the whole-program race findings for the file merged in. [source] is
+   [None] when the file could not be read (nothing to scan for allow
+   comments). *)
+let apply_allows ~source raw =
+  match source with
+  | None -> (raw, [])
+  | Some source ->
+      let allows = Allow.scan source in
+      List.partition (fun f -> not (Allow.suppressed ~allows f)) raw
 
 (* ------------------------------------------------------------------ *)
 (* Scanning                                                             *)
 
 (** Lint in-memory sources [(path, source)]: used by the test fixtures.
     Applies allow comments but no baseline and no D5 (no file system).
-    The D6 context is collected from the given sources themselves. *)
-let scan_sources sources =
+    The D6 context is collected from the given sources themselves;
+    [race] additionally runs the whole-program {!Race} analysis over
+    them. *)
+let scan_sources ?(race = false) ?rules sources =
   let parsed =
     List.map
       (fun (path, source) ->
@@ -109,32 +194,28 @@ let scan_sources sources =
            match r with Ok s -> Some (path, s) | Error _ -> None)
          parsed)
   in
-  let findings, suppressed =
+  let race_for = race_findings_for ~race parsed in
+  let findings, suppressed_fs =
     List.fold_left
       (fun (acc, sup) (path, source, r) ->
         let raw =
           match r with
-          | Ok structure -> Rules.scan ctx ~path structure
+          | Ok structure -> Rules.scan ctx ~path structure @ race_for path
           | Error parse_finding -> [ parse_finding ]
         in
-        let allows = Allow.scan source in
-        let kept, silenced =
-          List.partition (fun f -> not (Allow.suppressed ~allows f)) raw
-        in
-        (acc @ kept, sup + List.length silenced))
-      ([], 0) parsed
+        let raw = List.filter (rule_selected rules) raw in
+        let kept, silenced = apply_allows ~source:(Some source) raw in
+        (acc @ kept, sup @ silenced))
+      ([], []) parsed
   in
-  {
-    findings = List.sort Finding.compare findings;
-    suppressed;
-    baselined = 0;
-    files_scanned = List.length sources;
-  }
+  assemble ~files_scanned:(List.length sources) ~findings ~suppressed_fs
+    ~baselined_fs:[]
 
 (** Lint the tree under [roots] (paths relative to the repository root,
     e.g. [["lib"; "bin"; "bench"; "test"]]), applying [baseline] when
-    given. *)
-let run ?baseline ~roots () =
+    given. [race] adds the whole-program D7/D8/D9 analysis; [rules]
+    restricts the report to the given rules. *)
+let run ?baseline ?(race = false) ?rules ~roots () =
   let baseline_entries =
     match baseline with
     | None -> Ok []
@@ -157,12 +238,24 @@ let run ?baseline ~roots () =
           in
           let mls = List.map normalize mls in
           let mli_set = List.map normalize mlis in
-          let read path = In_channel.with_open_text path In_channel.input_all in
+          (* An unreadable file must surface as a finding, not vanish
+             from the report (rule P1). *)
           let parsed =
             List.map
               (fun path ->
-                let source = read path in
-                (path, source, parse_source ~path source))
+                match
+                  In_channel.with_open_text path In_channel.input_all
+                with
+                | source -> (path, Some source, parse_source ~path source)
+                | exception Sys_error msg ->
+                    ( path,
+                      None,
+                      Error
+                        (Finding.v ~rule:Finding.Unreadable ~file:path ~line:1
+                           ~col:0 ~msg
+                           ~hint:
+                             "the file exists in the tree but could not be \
+                              read; fix permissions or remove it") ))
               mls
           in
           let ctx =
@@ -172,13 +265,14 @@ let run ?baseline ~roots () =
                    match r with Ok s -> Some (path, s) | Error _ -> None)
                  parsed)
           in
-          let all_findings, suppressed =
+          let race_for = race_findings_for ~race parsed in
+          let all_findings, suppressed_fs =
             List.fold_left
               (fun (acc, sup) (path, source, r) ->
                 let raw =
                   match r with
-                  | Ok structure -> Rules.scan ctx ~path structure
-                  | Error parse_finding -> [ parse_finding ]
+                  | Ok structure -> Rules.scan ctx ~path structure @ race_for path
+                  | Error finding -> [ finding ]
                 in
                 let has_mli =
                   List.exists (String.equal (path ^ "i")) mli_set
@@ -188,30 +282,30 @@ let run ?baseline ~roots () =
                   | Some f -> raw @ [ f ]
                   | None -> raw
                 in
-                let allows = Allow.scan source in
-                let kept, silenced =
-                  List.partition
-                    (fun f -> not (Allow.suppressed ~allows f))
-                    raw
-                in
-                (acc @ kept, sup + List.length silenced))
-              ([], 0) parsed
+                let raw = List.filter (rule_selected rules) raw in
+                let kept, silenced = apply_allows ~source raw in
+                (acc @ kept, sup @ silenced))
+              ([], []) parsed
           in
-          let findings, baselined =
+          let findings, baselined_fs =
             List.partition
               (fun f -> not (Allow.baselined ~baseline f))
               all_findings
           in
           Ok
-            {
-              findings = List.sort Finding.compare findings;
-              suppressed;
-              baselined = List.length baselined;
-              files_scanned = List.length mls;
-            })
+            (assemble ~files_scanned:(List.length mls) ~findings
+               ~suppressed_fs ~baselined_fs))
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                            *)
+
+let pp_counts rcs =
+  String.concat " "
+    (List.map
+       (fun (rule, rc) ->
+         Printf.sprintf "%s:%d/%d/%d" (Finding.code rule) rc.rc_reported
+           rc.rc_suppressed rc.rc_baselined)
+       rcs)
 
 let render_text report =
   let buf = Buffer.create 1024 in
@@ -232,11 +326,17 @@ let render_text report =
           (List.length fs)
           (match fs with [ _ ] -> "" | _ -> "s")
           report.files_scanned report.suppressed report.baselined);
+  (match report.by_rule with
+  | [] -> ()
+  | rcs ->
+      Buffer.add_string buf
+        (Printf.sprintf "per rule (reported/suppressed/baselined): %s\n"
+           (pp_counts rcs)));
   Buffer.contents buf
 
 let render_json report =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\"tool\":\"ddbm-lint\",\"version\":1,";
+  Buffer.add_string buf "{\"tool\":\"ddbm-lint\",\"version\":2,";
   Buffer.add_string buf
     (Printf.sprintf "\"files_scanned\":%d," report.files_scanned);
   Buffer.add_string buf
@@ -244,6 +344,17 @@ let render_json report =
        "\"counts\":{\"reported\":%d,\"suppressed\":%d,\"baselined\":%d},"
        (List.length report.findings)
        report.suppressed report.baselined);
+  Buffer.add_string buf "\"by_rule\":{";
+  List.iteri
+    (fun i (rule, rc) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"%s\":{\"reported\":%d,\"suppressed\":%d,\"baselined\":%d}"
+           (Finding.code rule) rc.rc_reported rc.rc_suppressed
+           rc.rc_baselined))
+    report.by_rule;
+  Buffer.add_string buf "},";
   Buffer.add_string buf "\"findings\":[";
   List.iteri
     (fun i f ->

@@ -1,28 +1,49 @@
-(** Walks the tree, parses every implementation, applies the rules and
-    the suppressions, and renders the report. *)
+(** Walks the tree, parses every implementation, applies the rules
+    (per-file hazards, and the whole-program {!Race} analysis when
+    requested) and the suppressions, and renders the report. *)
+
+type rule_counts = {
+  rc_reported : int;
+  rc_suppressed : int;
+  rc_baselined : int;
+}
 
 type report = {
   findings : Finding.t list;  (** neither suppressed nor baselined *)
   suppressed : int;  (** silenced by [(* lint: allow ... *)] comments *)
   baselined : int;  (** silenced by the baseline file *)
   files_scanned : int;
+  by_rule : (Finding.rule * rule_counts) list;
+      (** rules with at least one reported/suppressed/baselined
+          finding, in rule order *)
 }
 
 val clean : report -> bool
 
 val mli_required : path:string -> bool
 (** Rule D5 applies to [path] (an [.ml] under [lib/desim/], [lib/mach/],
-    [lib/core/], [lib/check/] or [lib/cc/]). *)
+    [lib/core/], [lib/check/], [lib/cc/], [lib/par/] or [lib/lint/]). *)
 
-val scan_sources : (string * string) list -> report
+val scan_sources :
+  ?race:bool -> ?rules:Finding.rule list -> (string * string) list -> report
 (** Lint in-memory [(path, source)] pairs: the test-fixture entry point.
     Allow comments apply; the baseline and rule D5 (which need a file
     system) do not. The D6 variant context is collected from the given
-    sources. *)
+    sources; [race] (default false) additionally runs the whole-program
+    D7/D8/D9 analysis over them, and [rules] restricts the report. *)
 
-val run : ?baseline:string -> roots:string list -> unit -> (report, string) result
+val run :
+  ?baseline:string ->
+  ?race:bool ->
+  ?rules:Finding.rule list ->
+  roots:string list ->
+  unit ->
+  (report, string) result
 (** Lint every [.ml] under [roots] (repository-root-relative paths).
-    [baseline] names the baseline file; [Error] reports an unreadable
+    [baseline] names the baseline file; [race] (default false) adds the
+    whole-program D7/D8/D9 analysis; [rules] restricts the report to
+    the given rules. An unreadable [.ml] file surfaces as a rule-P1
+    finding rather than being skipped. [Error] reports an unreadable
     baseline or a missing root. *)
 
 val render_text : report -> string

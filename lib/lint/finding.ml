@@ -7,7 +7,11 @@ type rule =
   | Float_eq  (** D4 *)
   | Missing_mli  (** D5 *)
   | Catch_all_event  (** D6 *)
+  | Shared_mutable  (** D7 *)
+  | Unsafe_stdlib  (** D8 *)
+  | Shared_lazy  (** D9 *)
   | Parse_error  (** P0: the file could not be parsed at all *)
+  | Unreadable  (** P1: the file could not be read at all *)
 
 let all_rules =
   [
@@ -17,7 +21,11 @@ let all_rules =
     Float_eq;
     Missing_mli;
     Catch_all_event;
+    Shared_mutable;
+    Unsafe_stdlib;
+    Shared_lazy;
     Parse_error;
+    Unreadable;
   ]
 
 let code = function
@@ -27,7 +35,11 @@ let code = function
   | Float_eq -> "D4"
   | Missing_mli -> "D5"
   | Catch_all_event -> "D6"
+  | Shared_mutable -> "D7"
+  | Unsafe_stdlib -> "D8"
+  | Shared_lazy -> "D9"
   | Parse_error -> "P0"
+  | Unreadable -> "P1"
 
 let name = function
   | Poly_compare -> "poly-compare"
@@ -36,7 +48,11 @@ let name = function
   | Float_eq -> "float-eq"
   | Missing_mli -> "missing-mli"
   | Catch_all_event -> "catch-all-event"
+  | Shared_mutable -> "shared-mutable"
+  | Unsafe_stdlib -> "unsafe-stdlib"
+  | Shared_lazy -> "shared-lazy"
   | Parse_error -> "parse-error"
+  | Unreadable -> "unreadable"
 
 let rule_index = function
   | Poly_compare -> 0
@@ -45,7 +61,11 @@ let rule_index = function
   | Float_eq -> 3
   | Missing_mli -> 4
   | Catch_all_event -> 5
-  | Parse_error -> 6
+  | Shared_mutable -> 6
+  | Unsafe_stdlib -> 7
+  | Shared_lazy -> 8
+  | Parse_error -> 9
+  | Unreadable -> 10
 
 let rule_equal a b = Int.equal (rule_index a) (rule_index b)
 
@@ -65,10 +85,17 @@ let describe = function
   | Ambient ->
       "ambient nondeterminism (Random, wall clock) outside lib/desim/rng.ml"
   | Float_eq -> "float (=)/(<>) comparison"
-  | Missing_mli -> "module in lib/desim or lib/mach without an .mli"
+  | Missing_mli -> "module in an interface-required lib/ directory without an .mli"
   | Catch_all_event ->
       "catch-all _ branch over the Event.t / coordinator-message variants"
+  | Shared_mutable ->
+      "top-level mutable state reachable from a Par.Pool domain task"
+  | Unsafe_stdlib ->
+      "domain-unsafe stdlib (shared channels, ambient Random/Sys/Unix) in \
+       task scope"
+  | Shared_lazy -> "shared top-level lazy suspension reachable from task scope"
   | Parse_error -> "file could not be parsed"
+  | Unreadable -> "file could not be read"
 
 type t = {
   rule : rule;

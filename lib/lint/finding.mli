@@ -7,7 +7,11 @@ type rule =
   | Float_eq  (** D4 *)
   | Missing_mli  (** D5 *)
   | Catch_all_event  (** D6 *)
+  | Shared_mutable  (** D7: shared mutable top-level state in task scope *)
+  | Unsafe_stdlib  (** D8: domain-unsafe stdlib in task scope *)
+  | Shared_lazy  (** D9: shared lazy suspension in task scope *)
   | Parse_error  (** P0: the file could not be parsed at all *)
+  | Unreadable  (** P1: the file could not be read at all *)
 
 val all_rules : rule list
 

@@ -1,0 +1,201 @@
+(** Whole-program value/closure graph over the scanned tree.
+
+    Nodes are top-level value bindings, identified by (module, value)
+    qualified names; edges are references from one binding's
+    right-hand side to another binding, resolved syntactically:
+
+    - [Lident v] resolves against the binding's own module only
+      (values pulled in by [open M] are a documented blind spot —
+      this codebase references cross-module values qualified);
+    - [Ldot (p, v)] resolves by the *last* module component of [p],
+      which makes [Machine.run], [Ddbm.Machine.run] and
+      [Stdlib.Hashtbl.fold] all resolve the same way regardless of
+      library wrapping;
+    - top-level [module A = X.Y] aliases are expanded (one level,
+      functor-free), and [module M = struct ... end] submodules
+      contribute their own bindings under [M].
+
+    The graph is deliberately an over-approximation: a resolved name
+    collision (two scanned modules with the same name) yields edges to
+    both candidates, never silently to neither. *)
+
+open Parsetree
+
+(* ------------------------------------------------------------------ *)
+(* Keys and sites                                                       *)
+
+type key = { km : string;  (** module name, e.g. ["Machine"] *)
+             kv : string  (** value name, e.g. ["run"] *) }
+
+let key_compare a b =
+  let c = String.compare a.km b.km in
+  if c <> 0 then c else String.compare a.kv b.kv
+
+let key_equal a b = key_compare a b = 0
+let key_to_string k = k.km ^ "." ^ k.kv
+
+type site = { s_file : string; s_line : int; s_col : int }
+
+let site_of ~file (loc : Location.t) =
+  {
+    s_file = file;
+    s_line = loc.loc_start.Lexing.pos_lnum;
+    s_col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol;
+  }
+
+type binding = {
+  b_key : key;
+  b_file : string;
+  b_line : int;
+  b_expr : expression;  (** the right-hand side, as parsed *)
+}
+
+type reference = { r_target : key; r_site : site }
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers (duplicated from Rules to keep the modules
+   dependency-light in both directions)                                 *)
+
+let rec last_of = function
+  | Longident.Lident n -> n
+  | Longident.Ldot (_, n) -> n
+  | Longident.Lapply (_, p) -> last_of p
+
+let owner_of = function
+  | Longident.Ldot (p, _) -> Some (last_of p)
+  | Longident.Lident _ | Longident.Lapply _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The graph                                                            *)
+
+type t = {
+  bindings : (string, binding list) Hashtbl.t;
+      (** keyed by [key_to_string]; several bindings share a key when
+          module names collide across directories *)
+  aliases : (string, string list) Hashtbl.t;
+      (** top-level module aliases: alias name -> target module names *)
+  modules : (string, unit) Hashtbl.t;  (** every module that has bindings *)
+}
+
+let module_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let add_binding t b =
+  let k = key_to_string b.b_key in
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.bindings k) in
+  Hashtbl.replace t.bindings k (prev @ [ b ]);
+  Hashtbl.replace t.modules b.b_key.km ()
+
+let add_alias t ~alias ~target =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.aliases alias) in
+  if not (List.exists (String.equal target) prev) then
+    Hashtbl.replace t.aliases alias (prev @ [ target ])
+
+(* All value names bound by a pattern (tuples, aliases, constraints). *)
+let rec pattern_vars p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> [ txt ]
+  | Ppat_alias (inner, { txt; _ }) -> txt :: pattern_vars inner
+  | Ppat_tuple ps -> List.concat_map pattern_vars ps
+  | Ppat_constraint (inner, _) -> pattern_vars inner
+  | _ -> []
+
+let rec collect_structure t ~file ~module_name items =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              List.iter
+                (fun v ->
+                  add_binding t
+                    {
+                      b_key = { km = module_name; kv = v };
+                      b_file = file;
+                      b_line = vb.pvb_loc.Location.loc_start.Lexing.pos_lnum;
+                      b_expr = vb.pvb_expr;
+                    })
+                (pattern_vars vb.pvb_pat))
+            vbs
+      | Pstr_module mb -> (
+          match mb.pmb_name.Location.txt with
+          | None -> ()
+          | Some sub -> collect_module t ~file ~sub mb.pmb_expr)
+      | _ -> ())
+    items
+
+and collect_module t ~file ~sub mexpr =
+  match mexpr.pmod_desc with
+  | Pmod_ident { txt = lid; _ } -> add_alias t ~alias:sub ~target:(last_of lid)
+  | Pmod_structure items -> collect_structure t ~file ~module_name:sub items
+  | Pmod_constraint (inner, _) -> collect_module t ~file ~sub inner
+  | _ -> ()  (* functors and applications are out of scope *)
+
+let build files =
+  let t =
+    {
+      bindings = Hashtbl.create 256;
+      aliases = Hashtbl.create 16;
+      modules = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun (file, structure) ->
+      collect_structure t ~file ~module_name:(module_of_path file) structure)
+    files;
+  t
+
+let find t key = Option.value ~default:[] (Hashtbl.find_opt t.bindings (key_to_string key))
+
+let known_value t key = Hashtbl.mem t.bindings (key_to_string key)
+
+(* Owner module component -> candidate module names, through aliases. *)
+let resolve_owner t owner =
+  let aliased = Option.value ~default:[] (Hashtbl.find_opt t.aliases owner) in
+  owner :: aliased
+
+(* ------------------------------------------------------------------ *)
+(* Reference extraction                                                 *)
+
+(** Resolved top-level references inside [expr], attributed to the
+    module [self] (for bare [Lident] resolution). *)
+let refs_in t ~self ~file expr =
+  let acc = ref [] in
+  let add lid loc =
+    let candidates =
+      match lid with
+      | Longident.Lident v -> [ { km = self; kv = v } ]
+      | Longident.Ldot _ -> (
+          match (owner_of lid, lid) with
+          | Some owner, Longident.Ldot (_, v) ->
+              List.map (fun km -> { km; kv = v }) (resolve_owner t owner)
+          | _ -> [])
+      | Longident.Lapply _ -> []
+    in
+    List.iter
+      (fun key ->
+        if known_value t key then
+          acc := { r_target = key; r_site = site_of ~file loc } :: !acc)
+      candidates
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr_it iter e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt = lid; loc } -> add lid loc
+    | _ -> ());
+    super.expr iter e
+  in
+  let it = { super with expr = expr_it } in
+  it.expr it expr;
+  List.rev !acc
+
+(** Every binding, in deterministic (module, value, file) order. *)
+let all_bindings t =
+  Hashtbl.fold (fun _ bs acc -> bs @ acc) t.bindings []
+  |> List.sort (fun a b ->
+         let c = key_compare a.b_key b.b_key in
+         if c <> 0 then c
+         else
+           let c = String.compare a.b_file b.b_file in
+           if c <> 0 then c else Int.compare a.b_line b.b_line)

@@ -1,0 +1,58 @@
+(** Whole-program value/closure graph over the scanned tree: top-level
+    bindings keyed by (module, value) qualified names, top-level module
+    aliases, and syntactically resolved references (functor-free,
+    qualified names resolved by their last module component). *)
+
+type key = { km : string;  (** module name, e.g. ["Machine"] *)
+             kv : string  (** value name, e.g. ["run"] *) }
+
+val key_compare : key -> key -> int
+val key_equal : key -> key -> bool
+
+val key_to_string : key -> string
+(** ["Machine.run"]. *)
+
+type site = { s_file : string; s_line : int; s_col : int }
+
+val site_of : file:string -> Location.t -> site
+
+type binding = {
+  b_key : key;
+  b_file : string;
+  b_line : int;
+  b_expr : Parsetree.expression;  (** the right-hand side, as parsed *)
+}
+
+type reference = { r_target : key; r_site : site }
+
+(** Longident helpers shared with {!Mutability} and {!Race}. *)
+
+val last_of : Longident.t -> string
+val owner_of : Longident.t -> string option
+
+val module_of_path : string -> string
+(** ["lib/core/machine.ml"] -> ["Machine"]. *)
+
+type t
+
+val build : (string * Parsetree.structure) list -> t
+(** Collect every top-level binding, submodule binding and module alias
+    of the parsed [(path, structure)] files. *)
+
+val find : t -> key -> binding list
+(** All bindings with that qualified name (module-name collisions give
+    several; resolution is a deliberate over-approximation). *)
+
+val known_value : t -> key -> bool
+
+val resolve_owner : t -> string -> string list
+(** Candidate module names for an owner component, through top-level
+    aliases: the owner itself first, then alias targets. *)
+
+val refs_in : t -> self:string -> file:string -> Parsetree.expression -> reference list
+(** Resolved top-level references inside an expression. Bare [Lident]s
+    resolve against [self] (the expression's own module) only; values
+    pulled in by [open] are a documented blind spot. *)
+
+val all_bindings : t -> binding list
+(** Every binding, in deterministic (module, value, file, line) order. *)

@@ -1,0 +1,301 @@
+(** ddbm-race: whole-program domain-safety analysis.
+
+    PR 6 moved every fan-out onto a work-stealing pool of OCaml 5
+    domains ([Par.Pool]); the only dynamic guard against a data race
+    corrupting results is the per-seed bit-identity test. This pass
+    makes the guarantee static: it computes the set of top-level
+    bindings reachable from closures submitted to
+    [Par.Pool.map]/[map_array]/[run] (over the {!Graph} value/closure
+    graph) and reports three rules inside that *task scope*:
+
+    - {b D7} ([shared-mutable]): a reference to a top-level binding
+      that allocates mutable state at module-initialization time
+      ({!Mutability}) — every worker domain sees the same cell.
+    - {b D8} ([unsafe-stdlib]): domain-unsafe stdlib — output to the
+      shared [stdout]/[stderr]/[Format.std_formatter] channels, the
+      [Logs] global reporter, ambient [Random] state, randomized
+      [Hashtbl.hash], and ambient [Sys]/[Unix] calls beyond the ones
+      rule D3 already bans everywhere.
+    - {b D9} ([shared-lazy]): a reference to a shared top-level lazy
+      suspension — two domains racing on [Lazy.force] is undefined
+      ([CamlinternalLazy.Undefined] or a torn result).
+
+    Task submissions are only rooted in files under [lib/] and [bin/]:
+    the test tree deliberately shares state across tasks to test the
+    pool itself, and the bench harness runs its pools serially.
+
+    Blind spots, by construction (untyped, functor-free, qualified-name
+    resolution): state reached through functor instantiations, values
+    pulled in by [open], first-class modules, and mutable values passed
+    as task *inputs* (the dynamic bit-identity test keeps covering
+    those). *)
+
+open Parsetree
+
+(* Files whose [Par.Pool] submissions root the analysis. *)
+let root_prefixes = [ "lib/"; "bin/" ]
+
+let in_root_scope path =
+  List.exists (fun p -> String.starts_with ~prefix:p path) root_prefixes
+
+(* ------------------------------------------------------------------ *)
+(* Submission sites                                                     *)
+
+let submit_fns = [ "map"; "map_array"; "run" ]
+
+(* [Par.Pool.map], [Pool.map_array], or an alias [module P = Par.Pool]
+   followed by [P.map]. *)
+let is_submission graph lid =
+  match (Graph.owner_of lid, lid) with
+  | Some owner, Longident.Ldot (_, fn) ->
+      List.exists (String.equal fn) submit_fns
+      && List.exists (String.equal "Pool") (Graph.resolve_owner graph owner)
+  | _ -> false
+
+type submission = {
+  sub_site : Graph.site;  (** the [Pool.map ...] application *)
+  sub_closure : expression;  (** the task argument *)
+  sub_module : string;  (** module containing the submission *)
+  sub_file : string;
+}
+
+let positional args =
+  List.filter_map
+    (fun (label, e) ->
+      match label with
+      | Asttypes.Nolabel -> Some e
+      | Asttypes.Labelled _ | Asttypes.Optional _ -> None)
+    args
+
+let submissions graph files =
+  let acc = ref [] in
+  List.iter
+    (fun (file, structure) ->
+      if in_root_scope file then begin
+        let self = Graph.module_of_path file in
+        let super = Ast_iterator.default_iterator in
+        let expr iter e =
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt = lid; _ }; _ }, args)
+            when is_submission graph lid -> (
+              (* [map pool task inputs]: the task is the second
+                 positional argument. *)
+              match positional args with
+              | _pool :: task :: _ ->
+                  acc :=
+                    {
+                      sub_site = Graph.site_of ~file e.pexp_loc;
+                      sub_closure = task;
+                      sub_module = self;
+                      sub_file = file;
+                    }
+                    :: !acc
+              | _ -> ())
+          | _ -> ());
+          super.expr iter e
+        in
+        let it = { super with expr } in
+        it.structure it structure
+      end)
+    files;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Reachability                                                         *)
+
+(* The scopes to scan: each submission's closure expression itself,
+   plus the RHS of every top-level binding reachable from it. Each
+   scope carries the submission that (first) reached it, for the
+   finding message. *)
+type scope = {
+  sc_expr : expression;
+  sc_module : string;  (** for bare-ident resolution *)
+  sc_file : string;
+  sc_via : Graph.site;  (** the rooting submission *)
+}
+
+let reachable_scopes graph subs =
+  let visited = Hashtbl.create 64 in
+  let scopes = ref [] in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      scopes :=
+        {
+          sc_expr = s.sub_closure;
+          sc_module = s.sub_module;
+          sc_file = s.sub_file;
+          sc_via = s.sub_site;
+        }
+        :: !scopes;
+      List.iter
+        (fun (r : Graph.reference) ->
+          Queue.add (r.Graph.r_target, s.sub_site) queue)
+        (Graph.refs_in graph ~self:s.sub_module ~file:s.sub_file s.sub_closure))
+    subs;
+  while not (Queue.is_empty queue) do
+    let key, via = Queue.pop queue in
+    let id = Graph.key_to_string key in
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.replace visited id ();
+      List.iter
+        (fun (b : Graph.binding) ->
+          scopes :=
+            {
+              sc_expr = b.Graph.b_expr;
+              sc_module = b.Graph.b_key.Graph.km;
+              sc_file = b.Graph.b_file;
+              sc_via = via;
+            }
+            :: !scopes;
+          List.iter
+            (fun (r : Graph.reference) ->
+              Queue.add (r.Graph.r_target, via) queue)
+            (Graph.refs_in graph ~self:b.Graph.b_key.Graph.km
+               ~file:b.Graph.b_file b.Graph.b_expr))
+        (Graph.find graph key)
+    end
+  done;
+  List.rev !scopes
+
+(* ------------------------------------------------------------------ *)
+(* D8: domain-unsafe stdlib                                             *)
+
+let list_mem x l = List.exists (String.equal x) l
+
+(** [Some what] when the identifier is domain-unsafe in task scope. *)
+let unsafe_stdlib lid =
+  let fn = Graph.last_of lid in
+  match Graph.owner_of lid with
+  | Some "Printf" when list_mem fn [ "printf"; "eprintf" ] ->
+      Some ("Printf." ^ fn ^ " writes to a channel shared across domains")
+  | Some "Format"
+    when list_mem fn
+           [ "printf"; "eprintf"; "print_string"; "print_newline";
+             "print_flush"; "std_formatter"; "err_formatter";
+             "get_std_formatter"; "get_err_formatter" ] ->
+      Some
+        ("Format." ^ fn
+       ^ " uses the process-wide std/err formatter (not domain-safe)")
+  | Some "Logs" when list_mem fn [ "app"; "err"; "warn"; "info"; "debug"; "msg" ]
+    ->
+      Some ("Logs." ^ fn ^ " goes through the global mutable reporter")
+  | Some "Random" ->
+      Some ("Random." ^ fn ^ " mutates the ambient domain-shared RNG state")
+  | Some "Hashtbl" when list_mem fn [ "hash"; "seeded_hash" ] ->
+      Some ("Hashtbl." ^ fn ^ " depends on randomized seeding per process")
+  | Some "Sys"
+    when list_mem fn
+           [ "time"; "getenv"; "getenv_opt"; "command"; "chdir"; "getcwd";
+             "readdir" ] ->
+      Some ("Sys." ^ fn ^ " reads ambient process state")
+  | Some "Unix"
+    when list_mem fn
+           [ "gettimeofday"; "time"; "sleep"; "sleepf"; "fork"; "system";
+             "getpid"; "environment"; "getenv" ] ->
+      Some ("Unix." ^ fn ^ " reads ambient process state")
+  | _ -> (
+      match lid with
+      | Longident.Lident
+          (( "print_string" | "print_endline" | "print_newline" | "print_char"
+           | "print_int" | "print_float" | "prerr_string" | "prerr_endline"
+           | "prerr_newline" ) as f) ->
+          Some (f ^ " writes to a channel shared across domains")
+      | _ -> None)
+
+(* [Random.State.x] is the sanctioned, explicitly seeded form: its
+   owner is [State], so the [Some "Random"] arm above never sees it. *)
+
+(* ------------------------------------------------------------------ *)
+(* The analysis                                                         *)
+
+let where via = Printf.sprintf "(task submitted at %s:%d)" via.Graph.s_file via.Graph.s_line
+
+let scan_scope graph census scope =
+  let findings = ref [] in
+  let add ~rule ~(site : Graph.site) ~msg ~hint =
+    findings :=
+      Finding.v ~rule ~file:site.Graph.s_file ~line:site.Graph.s_line
+        ~col:site.Graph.s_col ~msg ~hint
+      :: !findings
+  in
+  (* D7 / D9: resolved references to mutable or lazy top-level state. *)
+  List.iter
+    (fun (r : Graph.reference) ->
+      match Mutability.find census r.Graph.r_target with
+      | Some entry -> (
+          let target = Graph.key_to_string r.Graph.r_target in
+          match entry.Mutability.e_kind with
+          | Mutability.Lazy_block ->
+              add ~rule:Finding.Shared_lazy ~site:r.Graph.r_site
+                ~msg:
+                  (Printf.sprintf
+                     "shared lazy suspension '%s' (defined %s:%d) reachable \
+                      from a Par.Pool task %s"
+                     target entry.Mutability.e_file entry.Mutability.e_line
+                     (where scope.sc_via))
+                ~hint:
+                  "two domains racing on Lazy.force is undefined; force it \
+                   before the fan-out or make it per-task"
+          | _ ->
+              add ~rule:Finding.Shared_mutable ~site:r.Graph.r_site
+                ~msg:
+                  (Printf.sprintf
+                     "top-level mutable state '%s' — %s (defined %s:%d) — \
+                      reachable from a Par.Pool task %s"
+                     target
+                     (Mutability.kind_to_string entry.Mutability.e_kind)
+                     entry.Mutability.e_file entry.Mutability.e_line
+                     (where scope.sc_via))
+                ~hint:
+                  "move the state into the task, thread it as task input, \
+                   or justify with '(* lint: allow shared-mutable *)'")
+      | None -> ())
+    (Graph.refs_in graph ~self:scope.sc_module ~file:scope.sc_file
+       scope.sc_expr);
+  (* D8: unsafe stdlib at any identifier site in the scope. *)
+  let super = Ast_iterator.default_iterator in
+  let expr iter e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt = lid; loc } -> (
+        match unsafe_stdlib lid with
+        | Some what ->
+            add ~rule:Finding.Unsafe_stdlib
+              ~site:(Graph.site_of ~file:scope.sc_file loc)
+              ~msg:(what ^ " " ^ where scope.sc_via)
+              ~hint:
+                "draw from seeded per-task state (Desim.Rng, Random.State, \
+                 per-task buffers) or justify with '(* lint: allow \
+                 unsafe-stdlib *)'"
+        | None -> ())
+    | _ -> ());
+    super.expr iter e
+  in
+  let it = { super with expr } in
+  it.expr it scope.sc_expr;
+  List.rev !findings
+
+(** Run the whole-program analysis over parsed [(path, structure)]
+    files; returns D7/D8/D9 findings (deduplicated, in report order). *)
+let analyze files =
+  let graph = Graph.build files in
+  let census = Mutability.census ~files graph in
+  let subs = submissions graph files in
+  let scopes = reachable_scopes graph subs in
+  let raw = List.concat_map (fun s -> scan_scope graph census s) scopes in
+  (* The same site can be reached from several submissions (e.g. two
+     fan-outs sharing Machine.run); report it once. *)
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (f : Finding.t) ->
+      let id =
+        Printf.sprintf "%s|%s:%d:%d" (Finding.code f.Finding.rule)
+          f.Finding.file f.Finding.line f.Finding.col
+      in
+      if Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.replace seen id ();
+        true
+      end)
+    raw
+  |> List.sort Finding.compare

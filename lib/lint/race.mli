@@ -1,0 +1,25 @@
+(** ddbm-race: whole-program domain-safety analysis over the
+    {!Graph}/{!Mutability} layers. Computes the set of top-level
+    bindings reachable from closures submitted to
+    [Par.Pool.map]/[map_array]/[run] in files under [lib/] and [bin/],
+    and reports:
+
+    - {b D7} ([shared-mutable]): top-level mutable state reachable from
+      a domain task;
+    - {b D8} ([unsafe-stdlib]): shared output channels, the [Logs]
+      reporter, ambient [Random], randomized [Hashtbl.hash], and
+      ambient [Sys]/[Unix] calls in task scope;
+    - {b D9} ([shared-lazy]): a shared top-level lazy suspension
+      reachable from task scope (racing [Lazy.force] is undefined).
+
+    Blind spots (untyped, functor-free): functor instantiations,
+    [open]ed values, first-class modules, and mutable task *inputs* —
+    the dynamic per-seed bit-identity test keeps covering those. *)
+
+val unsafe_stdlib : Longident.t -> string option
+(** [Some what] when the identifier is domain-unsafe in task scope. *)
+
+val analyze : (string * Parsetree.structure) list -> Finding.t list
+(** Run the whole-program analysis over parsed [(path, structure)]
+    files; returns D7/D8/D9 findings (deduplicated, in report order).
+    Suppression comments are not consulted here (see {!Allow}). *)

@@ -97,6 +97,12 @@ let test_d5 () =
     "lib/cc requires an mli" true
     (Lint.Driver.mli_required ~path:"lib/cc/foo.ml");
   Alcotest.(check bool)
+    "lib/par requires an mli" true
+    (Lint.Driver.mli_required ~path:"lib/par/pool.ml");
+  Alcotest.(check bool)
+    "the lint library holds itself to the same rule" true
+    (Lint.Driver.mli_required ~path:"lib/lint/race.ml");
+  Alcotest.(check bool)
     "bin does not" false
     (Lint.Driver.mli_required ~path:"bin/ddbm_cli.ml")
 
@@ -157,6 +163,29 @@ let test_allow () =
 
 let test_parse_error () =
   check_codes "unparseable file reports P0" [ "P0" ] (scan "let let let")
+
+(* An unreadable .ml file must surface as a P1 finding in the report,
+   not silently drop out of the scan. A dangling symlink is the one
+   unreadable shape that even a root-run test can produce. *)
+let test_unreadable () =
+  let dir = Filename.temp_file "lint_walk" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      Unix.symlink (Filename.concat dir "nowhere") (Filename.concat dir "gone.ml");
+      match Lint.Driver.run ~roots:[ dir ] () with
+      | Error msg -> Alcotest.failf "run failed outright: %s" msg
+      | Ok report ->
+          check_codes "dangling .ml reported as P1" [ "P1" ] report;
+          Alcotest.(check int)
+            "the file still counts as scanned" 1
+            report.Lint.Driver.files_scanned)
 
 (* --- report rendering ---------------------------------------------- *)
 
@@ -220,6 +249,7 @@ let suite =
     Alcotest.test_case "D6 catch-all-event" `Quick test_d6;
     Alcotest.test_case "allow comments" `Quick test_allow;
     Alcotest.test_case "parse errors surface" `Quick test_parse_error;
+    Alcotest.test_case "unreadable files surface" `Quick test_unreadable;
     Alcotest.test_case "JSON report well-formed" `Quick test_json;
     Alcotest.test_case "self-run is clean" `Quick test_self_run;
   ]
