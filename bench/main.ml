@@ -190,6 +190,7 @@ let run_observability ~out =
         };
       durability = Params.default_durability;
       faults = Fault_plan.zero;
+      arrivals = Arrival.zero;
     }
   in
   (* best of [reps] to damp scheduler noise *)
@@ -714,6 +715,107 @@ let run_metrics ~out ~gate =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Open-loop admission-control overhead: the arrival pump, admission
+   queue and MPL limiter replace the closed-loop terminal processes, so
+   driving the same machine open loop must cost at most 5% events/sec vs
+   the closed-loop baseline. The open-loop run's admission books must
+   also balance exactly — offered = admitted + shed + expired +
+   still_queued — which is asserted unconditionally. *)
+
+let run_overload ~out ~gate =
+  let closed_params =
+    let open Ddbm_model in
+    let p = parallel_batch_params 1 in
+    (* longer than the parallel batch so the wall clock dominates any
+       fixed setup cost *)
+    { p with Params.run = { p.Params.run with Params.measure = 120. } }
+  in
+  let open_params =
+    let open Ddbm_model in
+    (* qps just under the closed loop's ~6.7 tx/s capacity, MPL near its
+       ~57 mean population: the same machine at a comparable operating
+       point, driven open loop instead of by terminals. Overloading it
+       instead would change the event mix (deadlock thrash) and measure
+       the regime, not the admission machinery. *)
+    let arrivals =
+      match Arrival.of_spec "qps=6,cap=64,mpl=56" with
+      | Ok a -> a
+      | Error msg -> failwith msg
+    in
+    {
+      closed_params with
+      Params.workload =
+        { closed_params.Params.workload with Params.think_time = 0. };
+      arrivals;
+    }
+  in
+  let measure params =
+    let reps = 3 in
+    let best = ref 0. in
+    let last = ref None in
+    for _ = 1 to reps do
+      let m = Ddbm.Machine.create params in
+      let r = Ddbm.Machine.execute m in
+      if r.Ddbm.Sim_result.events_per_sec > !best then
+        best := r.Ddbm.Sim_result.events_per_sec;
+      last := Some r
+    done;
+    (!best, Option.get !last)
+  in
+  let closed, closed_r = measure closed_params in
+  let opened, open_r = measure open_params in
+  let overhead = (closed -. opened) /. closed *. 100. in
+  let offered = open_r.Ddbm.Sim_result.offered
+  and admitted = open_r.Ddbm.Sim_result.admitted
+  and shed = open_r.Ddbm.Sim_result.shed
+  and expired = open_r.Ddbm.Sim_result.expired
+  and still_queued = open_r.Ddbm.Sim_result.still_queued in
+  let conserved = offered = admitted + shed + expired + still_queued in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"config\": \"2pl, 8 nodes, qps=6 cap=64 mpl=56 vs 64 closed \
+     terminals, 125 s simulated\",\n\
+    \  \"events_per_sec_closed\": %.0f,\n\
+    \  \"events_per_sec_open\": %.0f,\n\
+    \  \"overhead_pct\": %.2f,\n\
+    \  \"offered\": %d,\n\
+    \  \"admitted\": %d,\n\
+    \  \"shed\": %d,\n\
+    \  \"expired\": %d,\n\
+    \  \"still_queued\": %d,\n\
+    \  \"conservation_holds\": %b,\n\
+    \  \"queue_depth_max\": %d,\n\
+    \  \"closed_overload_counters_zero\": %b\n\
+     }\n"
+    closed opened overhead offered admitted shed expired still_queued conserved
+    open_r.Ddbm.Sim_result.queue_depth_max
+    (closed_r.Ddbm.Sim_result.offered = 0
+    && closed_r.Ddbm.Sim_result.queue_depth_max = 0);
+  close_out oc;
+  Printf.printf
+    "== open-loop admission overhead ==\n\
+     closed loop     %10.0f events/s\n\
+     open loop       %10.0f events/s (%.1f%% overhead)\n\
+     admission books: %d offered = %d admitted + %d shed + %d expired + %d \
+     queued (%s)\n\
+     written to %s\n\n\
+     %!"
+    closed opened overhead offered admitted shed expired still_queued
+    (if conserved then "balanced" else "VIOLATED")
+    out;
+  if not conserved then begin
+    Printf.eprintf "BENCH_overload: admission conservation violated\n%!";
+    exit 1
+  end;
+  if gate && overhead > 5.0 then begin
+    Printf.eprintf
+      "BENCH_overload gate: open-loop overhead %.2f%% exceeds the 5%% bound\n%!"
+      overhead;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let profile_conv =
   let parse s =
@@ -803,6 +905,17 @@ let main =
       & opt string "BENCH_metrics.json"
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:"Where to write the tail-latency telemetry overhead report.")
+  and+ skip_overload =
+    Arg.(
+      value & flag
+      & info [ "no-overload" ]
+          ~doc:"Skip the open-loop admission overhead benchmark.")
+  and+ overload_out =
+    Arg.(
+      value
+      & opt string "BENCH_overload.json"
+      & info [ "overload-out" ] ~docv:"FILE"
+          ~doc:"Where to write the open-loop admission overhead report.")
   and+ gate =
     Arg.(
       value & flag
@@ -810,8 +923,9 @@ let main =
           ~doc:
             "Fail (exit 1) when the parallel benchmark's normalized \
              events/sec regresses more than 10% below the committed pin, \
-             or when the metrics benchmark's histogram overhead exceeds \
-             5% events/sec.")
+             or when the metrics benchmark's histogram overhead or the \
+             overload benchmark's open-loop overhead exceeds 5% \
+             events/sec.")
   and+ pin =
     Arg.(
       value
@@ -838,6 +952,7 @@ let main =
   if not skip_faults then run_faults ~out:faults_out;
   if not skip_recovery then run_recovery ~out:recovery_out;
   if not skip_metrics then run_metrics ~out:metrics_out ~gate;
+  if not skip_overload then run_overload ~out:overload_out ~gate;
   if not skip_parallel then run_parallel ~jobs ~out:parallel_out ~gate ~pin
 
 let () =

@@ -21,6 +21,13 @@ let faults_conv =
   let print fmt p = Format.pp_print_string fmt (Fault_plan.to_spec p) in
   Arg.conv (parse, print)
 
+let arrivals_conv =
+  let parse s =
+    match Arrival.of_spec s with Ok a -> Ok a | Error e -> Error (`Msg e)
+  in
+  let print fmt a = Format.pp_print_string fmt (Arrival.to_spec a) in
+  Arg.conv (parse, print)
+
 let params_term =
   let open Term.Syntax in
   let+ algorithm =
@@ -132,6 +139,24 @@ let params_term =
              downs host or procN at time AT for DUR seconds; crash-rate \
              adds Poisson crashes with mean repair time mttr. All faults \
              draw from fault-seed only, so runs replay bit-for-bit.")
+  and+ arrivals =
+    Arg.(
+      value
+      & opt arrivals_conv Arrival.zero
+      & info [ "arrivals" ] ~docv:"SPEC"
+          ~doc:
+            "Open-loop arrival process + admission control, replacing the \
+             closed-loop terminals, e.g. 'qps=50,cap=64,mpl=16' \
+             (constant-rate Poisson) or \
+             'profile=ramp:0..80/30,hold:80/60,spike:20^300/10'. Profile \
+             segments: hold:R/D, ramp:A..B/D, sine:M~A/P/D (diurnal), \
+             spike:B^P/D (flash crowd). Admission keys: cap=N (queue \
+             capacity), shed=newest|oldest (full-queue policy), \
+             deadline=D (drop queued arrivals older than D), mpl=N (max \
+             in-flight; 0 = unlimited), retry-base=B/retry-cap=C \
+             (capped-exponential restart backoff). Arrivals draw from a \
+             dedicated RNG stream, so runs replay bit-for-bit; the \
+             default is the paper's closed loop.")
   in
   let degree = Option.value degree ~default:nodes in
   let default = Params.default in
@@ -163,6 +188,7 @@ let params_term =
     durability =
       { Params.default_durability with Params.log_disk; log_force; replicas };
     faults;
+    arrivals;
   }
 
 (* --- observability ------------------------------------------------- *)

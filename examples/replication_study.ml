@@ -30,6 +30,7 @@ let run ~algorithm ~replication ~inst_per_msg =
           restart_delay_floor = 0.5; fresh_restart_plan = false };
       durability = Params.default_durability;
       faults = Fault_plan.zero;
+      arrivals = Arrival.zero;
     }
   in
   Ddbm.Machine.run params

@@ -30,8 +30,13 @@ let clamp_degree ~partitions ~limit degree =
 let build ~nodes ~relations ~partitions ~degree ~file_size ~replication
     ~terminals ~think ~exec_pattern ~pages ~write_prob ~inst_per_page
     ~inst_per_startup ~inst_per_msg ~inst_per_cc_req ~disks ~logging
-    ~detection_interval ~seed ~measure ~fresh_restart_plan ~durability ~faults =
+    ~detection_interval ~seed ~measure ~fresh_restart_plan ~durability ~faults
+    ~arrivals =
   let d = Params.default in
+  (* open-loop arrivals reject fresh restart plans (see Params.validate) *)
+  let fresh_restart_plan =
+    fresh_restart_plan && not (Arrival.open_loop arrivals)
+  in
   {
     Params.database =
       {
@@ -71,6 +76,7 @@ let build ~nodes ~relations ~partitions ~degree ~file_size ~replication
       };
     durability;
     faults;
+    arrivals;
   }
 
 (* Fault plans for the conformance sweep: mostly zero (the paper's
@@ -134,6 +140,60 @@ let gen_durability ~nodes : Params.durability QCheck.Gen.t =
     let* replicas = if nodes = 1 then return 0 else oneofl [ 0; 1; 1 ] in
     return { dd with Params.log_disk; log_force; replicas }
 
+(* Arrival specs for the conformance sweep: mostly closed loop (the
+   paper's terminal model), sometimes an open-loop rate process with the
+   admission queue sized to overload — including flash-crowd spikes — so
+   the serializability audit, the offered = admitted + shed + expired +
+   still-queued conservation identity, and determinism are all exercised
+   under saturation. The MPL limiter is always on for open-loop draws so
+   a high-rate spec cannot flood a tiny machine with unbounded fibers. *)
+let gen_arrivals : Arrival.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let z = Arrival.zero in
+  let* closed = frequencyl [ (3, true); (2, false) ] in
+  if closed then return z
+  else
+    let gen_segment =
+      let* kind = oneofl [ `Hold; `Hold; `Ramp; `Sine; `Spike ] in
+      match kind with
+      | `Hold ->
+          let* rate = oneofl [ 0.; 10.; 40.; 120. ] in
+          let* duration = oneofl [ 1.; 2.; 4. ] in
+          return (Arrival.Hold { rate; duration })
+      | `Ramp ->
+          let* rate_from = oneofl [ 0.; 20.; 80. ] in
+          let* rate_to = oneofl [ 0.; 40.; 160. ] in
+          let* duration = oneofl [ 2.; 4. ] in
+          return (Arrival.Ramp { rate_from; rate_to; duration })
+      | `Sine ->
+          let* mean = oneofl [ 20.; 60. ] in
+          let* amplitude = oneofl [ 10.; 80. ] in
+          let* period = oneofl [ 1.; 3. ] in
+          let* duration = oneofl [ 4.; 8. ] in
+          return (Arrival.Sine { mean; amplitude; period; duration })
+      | `Spike ->
+          let* base = oneofl [ 5.; 20. ] in
+          let* peak = oneofl [ 100.; 250. ] in
+          let* duration = oneofl [ 2.; 4. ] in
+          return (Arrival.Spike { base; peak; duration })
+    in
+    let* process =
+      let* profile = frequencyl [ (2, false); (1, true) ] in
+      if profile then
+        let* segs = list_size (int_range 1 3) gen_segment in
+        return (Arrival.Profile segs)
+      else
+        let* r = oneofl [ 10.; 25.; 50.; 100.; 200. ] in
+        return (Arrival.Qps r)
+    in
+    let* mpl = oneofl [ 2; 4; 8; 16 ] in
+    let* queue_cap = oneofl [ 2; 4; 8; 16; 64 ] in
+    let* shed =
+      oneofl [ Arrival.Reject_newest; Arrival.Reject_newest; Arrival.Reject_oldest ]
+    in
+    let* deadline = oneofl [ 0.; 0.; 0.5; 1. ] in
+    return { z with Arrival.process; mpl; queue_cap; shed; deadline }
+
 let gen : Params.t QCheck.Gen.t =
   let open QCheck.Gen in
   let* nodes = oneofl powers_of_two in
@@ -168,12 +228,13 @@ let gen : Params.t QCheck.Gen.t =
   let* fresh_restart_plan = bool in
   let* durability = gen_durability ~nodes in
   let* faults = gen_faults ~nodes in
+  let* arrivals = gen_arrivals in
   return
     (build ~nodes ~relations ~partitions ~degree ~file_size ~replication
        ~terminals ~think ~exec_pattern ~pages ~write_prob ~inst_per_page
        ~inst_per_startup ~inst_per_msg ~inst_per_cc_req ~disks ~logging
        ~detection_interval ~seed ~measure ~fresh_restart_plan ~durability
-       ~faults)
+       ~faults ~arrivals)
 
 (* Candidate simplifications, each kept only if still valid. *)
 let shrink (p : Params.t) : Params.t QCheck.Iter.t =
@@ -308,6 +369,42 @@ let shrink (p : Params.t) : Params.t QCheck.Iter.t =
              };
            ]
          else []);
+        (* arrival-spec simplifications: back to the closed loop first,
+           then one admission knob at a time *)
+        (let a = p.Params.arrivals in
+         if not (Arrival.open_loop a) then []
+         else
+           [ { p with Params.arrivals = Arrival.zero } ]
+           @ (if a.Arrival.deadline > 0. then
+                [ { p with Params.arrivals = { a with Arrival.deadline = 0. } } ]
+              else [])
+           @ (match a.Arrival.shed with
+             | Arrival.Reject_oldest ->
+                 [
+                   {
+                     p with
+                     Params.arrivals = { a with Arrival.shed = Arrival.Reject_newest };
+                   };
+                 ]
+             | Arrival.Reject_newest -> [])
+           @
+           match a.Arrival.process with
+           | Arrival.Profile (first :: _ :: _) ->
+               [
+                 {
+                   p with
+                   Params.arrivals =
+                     { a with Arrival.process = Arrival.Profile [ first ] };
+                 };
+               ]
+           | Arrival.Profile [ Arrival.Hold { rate; _ } ] when rate > 0. ->
+               [
+                 {
+                   p with
+                   Params.arrivals = { a with Arrival.process = Arrival.Qps rate };
+                 };
+               ]
+           | Arrival.Closed | Arrival.Qps _ | Arrival.Profile _ -> []);
       ]
   in
   let valid = List.filter (fun c -> Result.is_ok (Params.validate c)) candidates in

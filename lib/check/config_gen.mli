@@ -11,6 +11,12 @@ open Ddbm_model
     included; roughly half the mass on the zero fault plan). *)
 val gen : Params.t QCheck.Gen.t
 
+(** Generator over valid arrival specs: mostly the closed loop, the rest
+    open-loop rate processes (constant QPS and multi-segment profiles,
+    flash crowds included) with admission queues sized to overload. The
+    MPL limiter is always on for open-loop draws. *)
+val gen_arrivals : Arrival.t QCheck.Gen.t
+
 (** Shrinker: simplifies toward fewer terminals/nodes/pages, the zero
     fault plan, and the durability model off, never leaving the valid
     region. *)

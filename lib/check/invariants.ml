@@ -85,9 +85,80 @@ let check (r : Ddbm.Sim_result.t) : string list =
   if reason_total <> aborts then
     add "abort reasons sum to %d but aborts = %d" reason_total aborts;
   let active = r.Ddbm.Sim_result.mean_active in
-  let terminals = float_of_int p.Params.workload.Params.num_terminals in
-  if not (active >= 0. && active <= terminals +. 1e-6) then
-    add "mean_active %.17g outside [0, terminals = %g]" active terminals;
+  let open_loop = Arrival.open_loop p.Params.arrivals in
+  (* closed loop: at most one in-flight transaction per terminal; open
+     loop: the MPL limiter is the only population bound (unlimited when
+     mpl = 0, where any backlog is legal) *)
+  let population_cap =
+    if open_loop then
+      if p.Params.arrivals.Arrival.mpl > 0 then
+        Some
+          ( float_of_int p.Params.arrivals.Arrival.mpl,
+            Printf.sprintf "mpl = %d" p.Params.arrivals.Arrival.mpl )
+      else None
+    else
+      Some
+        ( float_of_int p.Params.workload.Params.num_terminals,
+          Printf.sprintf "terminals = %d" p.Params.workload.Params.num_terminals
+        )
+  in
+  (match population_cap with
+  | Some (cap, what) ->
+      if not (active >= 0. && active <= cap +. 1e-6) then
+        add "mean_active %.17g outside [0, %s]" active what
+  | None -> if active < 0. then add "mean_active %.17g negative" active);
+  (* open-loop admission accounting: every offered arrival is admitted,
+     shed, expired, or still queued — an exact whole-run identity *)
+  let offered = r.Ddbm.Sim_result.offered
+  and admitted = r.Ddbm.Sim_result.admitted
+  and shed = r.Ddbm.Sim_result.shed
+  and expired = r.Ddbm.Sim_result.expired
+  and still_queued = r.Ddbm.Sim_result.still_queued in
+  if open_loop then begin
+    List.iter
+      (fun (name, v) -> if v < 0 then add "%s = %d negative" name v)
+      [
+        ("offered", offered);
+        ("admitted", admitted);
+        ("shed", shed);
+        ("expired", expired);
+        ("still_queued", still_queued);
+      ];
+    if offered <> admitted + shed + expired + still_queued then
+      add
+        "admission conservation violated: offered (%d) <> admitted (%d) + \
+         shed (%d) + expired (%d) + still_queued (%d)"
+        offered admitted shed expired still_queued;
+    (* the queue is bounded: its depth can never exceed the capacity *)
+    let cap = p.Params.arrivals.Arrival.queue_cap in
+    if still_queued > cap then
+      add "still_queued %d exceeds queue capacity %d" still_queued cap;
+    if r.Ddbm.Sim_result.queue_depth_max > cap then
+      add "queue_depth_max %d exceeds queue capacity %d"
+        r.Ddbm.Sim_result.queue_depth_max cap;
+    let qmean = r.Ddbm.Sim_result.queue_depth_mean in
+    if not (qmean >= 0. && qmean <= float_of_int cap +. 1e-6) then
+      add "queue_depth_mean %.17g outside [0, cap = %d]" qmean cap;
+    (* a transaction commits at most once, and only after admission *)
+    if commits > admitted then
+      add "commits %d exceed admitted %d" commits admitted
+  end
+  else begin
+    (* closed loop: the admission machinery must not exist at all *)
+    List.iter
+      (fun (name, v) -> if v <> 0 then add "%s = %d on a closed-loop run" name v)
+      [
+        ("offered", offered);
+        ("admitted", admitted);
+        ("shed", shed);
+        ("expired", expired);
+        ("still_queued", still_queued);
+        ("queue_depth_max", r.Ddbm.Sim_result.queue_depth_max);
+      ];
+    if not (Float.equal r.Ddbm.Sim_result.queue_depth_mean 0.) then
+      add "queue_depth_mean %.17g on a closed-loop run"
+        r.Ddbm.Sim_result.queue_depth_mean
+  end;
   (* fault/availability metrics *)
   in01 "availability" r.Ddbm.Sim_result.availability;
   (* goodput counts pages, throughput transactions; every committed

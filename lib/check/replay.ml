@@ -82,6 +82,7 @@ let params_fields (p : Params.t) =
     (* the spec value may itself contain '='; split_kv cuts at the first
        one, so the line round-trips *)
     ("faults", Fault_plan.to_spec p.Params.faults);
+    ("arrivals", Arrival.to_spec p.Params.arrivals);
   ]
 
 (** The parameter record as `key = value` lines (no header); also used as
@@ -183,6 +184,13 @@ let params_of_assoc assoc =
     | None -> Ok Fault_plan.zero
     | Some spec -> Fault_plan.of_spec spec
   in
+  (* absent in artifacts written before open-loop arrivals existed:
+     closed loop *)
+  let* arrivals =
+    match List.assoc_opt "arrivals" assoc with
+    | None -> Ok Arrival.zero
+    | Some spec -> Arrival.of_spec spec
+  in
   (* legacy artifacts carried chaos switches as separate `fault = name`
      lines; fold them into the plan *)
   let faults =
@@ -237,6 +245,7 @@ let params_of_assoc assoc =
       durability =
         { Params.log_disk; log_min_time; log_max_time; log_force; replicas };
       faults;
+      arrivals;
     }
   in
   match Params.validate params with

@@ -112,6 +112,7 @@ let params_of_config ?(profile = Quick) ?(seed = 1) (c : config) =
     run = run_params profile ~think:c.think ~nodes:c.nodes ~seed;
     durability = Params.default_durability;
     faults = Fault_plan.zero;
+    arrivals = Arrival.zero;
   }
 
 (** Memoized runner: figures that share configurations share runs. *)

@@ -700,6 +700,52 @@ let abl_restart cache ~profile ~thinks =
     series;
   }
 
+(* Open-loop saturation: drive the 8-way machine with constant-QPS
+   Poisson arrivals through and past its capacity. The paper's closed
+   loop self-limits (128 terminals hold at most 128 transactions in
+   flight); the open loop exposes the knee instead — throughput flattens
+   at machine capacity while p99 climbs and the admission queue starts
+   shedding. 2PL (blocking) vs OPT (restarts), as in the tail figures. *)
+let saturation cache ~profile ~thinks:_ =
+  let rates = [ 2.; 5.; 10.; 20.; 40.; 80. ] in
+  let p99 (r : Sim_result.t) = r.Sim_result.response_p99 in
+  let run_rate algorithm qps =
+    let params =
+      params_of_config ~profile { eight_way with algorithm; think = 0. }
+    in
+    let params =
+      {
+        params with
+        Params.arrivals =
+          { Arrival.zero with Arrival.process = Arrival.Qps qps; mpl = 64 };
+      }
+    in
+    run cache params
+  in
+  let series =
+    List.concat_map
+      (fun (metric, tag) ->
+        List.map
+          (fun algorithm ->
+            {
+              Figure.label = Printf.sprintf "%s/%s" (algo_label algorithm) tag;
+              points =
+                List.map
+                  (fun qps ->
+                    { Figure.x = qps; y = metric (run_rate algorithm qps) })
+                  rates;
+            })
+          [ Params.Twopl; Params.Opt ])
+      [ (throughput, "tput"); (p99, "p99") ]
+  in
+  {
+    Figure.id = "saturation";
+    title = "Open-loop saturation: throughput and p99 vs offered QPS, 8-way";
+    xlabel = "offered arrivals (tx/s)";
+    ylabel = "throughput (tx/s) / p99 response (s)";
+    series;
+  }
+
 (* ---------------- Registry ----------------------------------------- *)
 
 type generator =
@@ -735,6 +781,7 @@ let all : (string * generator) list =
     ("abl-writeprob", abl_writeprob);
     ("abl-mpl", abl_mpl);
     ("tail-mpl", tail_mpl);
+    ("saturation", saturation);
     ("abl-restart", abl_restart);
     ("ext-algos", ext_algos);
     ("ext-repl", ext_replication);

@@ -57,6 +57,26 @@ type fault_rt = {
   mutable total_downtime : float;
 }
 
+(* Open-loop arrival runtime, installed only when the arrival spec is
+   open loop ([Arrival.open_loop]). A closed spec leaves [t.arrivals =
+   None]: no pump fiber, no admission queue, no extra RNG split — the
+   machine is bit-for-bit identical to a closed-loop build. *)
+type pending = {
+  seq : int;  (** arrival number; selects the workload terminal stream *)
+  enqueued_at : float;
+  pending_plan : Plan.t;
+}
+
+type arrival_rt = {
+  spec : Arrival.t;
+  arr_rng : Rng.t;
+      (** dedicated inter-arrival stream (thinning draws included) *)
+  queue : pending Queue.t;  (** bounded FIFO admission queue *)
+  mutable in_flight : int;
+      (** dispatched and not yet committed; gates the MPL limiter *)
+  mutable next_seq : int;
+}
+
 type t = {
   eng : Engine.t;
   params : Params.t;
@@ -81,6 +101,7 @@ type t = {
           updating-cohort nodes after failover relocation) of every fully
           committed transaction; checked against the WALs at end of run
           ([lost_commits] must be 0) *)
+  arrivals : arrival_rt option;
   mutable faults : fault_rt option;
   mutable snoop : Ddbm_cc.Snoop.t option;
   mutable audit : Audit.t option;
@@ -171,6 +192,23 @@ let create ?(histograms = true) (params : Params.t) =
     end
     else None
   in
+  (* Open-loop arrival stream: split last, and only when the spec is
+     open, so a closed spec performs zero extra splits and every existing
+     stream (hence the committed pins and the golden trace) is
+     unchanged. *)
+  let arrivals =
+    let a = params.Params.arrivals in
+    if Arrival.open_loop a then
+      Some
+        {
+          spec = a;
+          arr_rng = Rng.split rng;
+          queue = Queue.create ();
+          in_flight = 0;
+          next_seq = 0;
+        }
+    else None
+  in
   let t =
     {
       eng;
@@ -191,6 +229,7 @@ let create ?(histograms = true) (params : Params.t) =
       recoveries = 0;
       recovery_time = 0.;
       committed_cov = [];
+      arrivals;
       faults = None;
       snoop = None;
       audit = None;
@@ -1493,6 +1532,152 @@ let run_terminal t ~index =
       session ())
 
 (* ------------------------------------------------------------------ *)
+(* Open-loop arrivals and admission control                            *)
+
+let mpl_free a = a.spec.Arrival.mpl = 0 || a.in_flight < a.spec.Arrival.mpl
+
+(* Lazy deadline expiry: overstayed entries are dropped from the queue
+   head when we next look at it. Entries that would have expired but are
+   never reached before the run ends still count as queued — the
+   conservation identity absorbs them in still-queued. *)
+let expire_stale t a =
+  let deadline = a.spec.Arrival.deadline in
+  if deadline > 0. then begin
+    let now = Engine.now t.eng in
+    let dropped = ref false in
+    let rec loop () =
+      match Queue.peek_opt a.queue with
+      | Some p when now -. p.enqueued_at > deadline ->
+          ignore (Queue.pop a.queue : pending);
+          Metrics.record_expired t.metrics;
+          dropped := true;
+          loop ()
+      | Some _ | None -> ()
+    in
+    loop ();
+    if !dropped then Metrics.set_queue_depth t.metrics (Queue.length a.queue)
+  end
+
+(* Dispatch one admitted arrival: the open-loop analogue of a terminal's
+   inner attempt loop. The one behavioural difference is the restart
+   wait: closed-loop restarts sleep one observed mean response time,
+   which couples restart pressure to the very congestion admission
+   control is trying to relieve; open-loop restarts back off on the
+   spec's capped-exponential schedule instead. *)
+let rec dispatch t a (p : pending) =
+  a.in_flight <- a.in_flight + 1;
+  Metrics.record_admitted t.metrics;
+  Metrics.record_queue_wait t.metrics ~dur:(Engine.now t.eng -. p.enqueued_at);
+  Engine.spawn t.eng ~name:(Printf.sprintf "arrival-%d" p.seq) (fun () ->
+      await_host_up t;
+      let origin_time = Engine.now t.eng in
+      Metrics.record_submit t.metrics;
+      let tid = fresh_tid t in
+      emit t (fun () -> Event.Submit { tid });
+      let startup_ts = Timestamp.Clock.make t.clock ~time:origin_time in
+      let rec attempt k plan =
+        let txn = make_attempt t ~tid ~attempt:k ~origin_time ~startup_ts ~plan in
+        let outcome = run_attempt t txn in
+        Metrics.record_completion t.metrics;
+        match outcome with
+        | Committed decomp ->
+            Option.iter (fun au -> Audit.record_commit au txn) t.audit;
+            tracef t ~tag:"commit" (fun () ->
+                Format.asprintf "%a after %.3fs" Txn.pp txn
+                  (Engine.now t.eng -. origin_time));
+            emit t (fun () ->
+                Event.Committed
+                  {
+                    tid;
+                    attempt = k;
+                    response = Engine.now t.eng -. origin_time;
+                  });
+            Metrics.record_commit t.metrics ~origin_time
+              ~pages:(plan_pages txn.Txn.plan) ~decomp
+        | Aborted reason ->
+            Option.iter (fun au -> Audit.record_abort au txn) t.audit;
+            tracef t ~tag:"abort" (fun () ->
+                Format.asprintf "%a: %s, restarting" Txn.pp txn
+                  (Txn.abort_reason_name reason));
+            emit t (fun () -> Event.Aborted { tid; attempt = k; reason });
+            Metrics.record_abort t.metrics ~reason;
+            let delay =
+              Backoff.delay ~base:a.spec.Arrival.retry_base
+                ~cap:a.spec.Arrival.retry_cap ~round:k
+            in
+            emit t (fun () -> Event.Restart_wait { tid; attempt = k; delay });
+            Engine.wait delay;
+            await_host_up t;
+            (* [Params.validate] rejects fresh_restart_plan with open-loop
+               arrivals, so the retried plan is always the original. *)
+            attempt (k + 1) plan
+      in
+      attempt 1 p.pending_plan;
+      a.in_flight <- a.in_flight - 1;
+      drain t a)
+
+(* A completion freed an MPL slot (or expiry shortened the queue): move
+   queued work into the system while the gate allows. *)
+and drain t a =
+  expire_stale t a;
+  let continue = ref true in
+  while !continue do
+    if (not (Queue.is_empty a.queue)) && mpl_free a then begin
+      let p = Queue.pop a.queue in
+      Metrics.set_queue_depth t.metrics (Queue.length a.queue);
+      dispatch t a p
+    end
+    else continue := false
+  done
+
+(* Admission: dispatch when the MPL gate is open and nothing waits ahead
+   of us; queue while there is room; shed per policy at capacity. *)
+let admit t a p =
+  expire_stale t a;
+  if Queue.is_empty a.queue && mpl_free a then dispatch t a p
+  else if Queue.length a.queue < a.spec.Arrival.queue_cap then begin
+    Queue.push p a.queue;
+    Metrics.set_queue_depth t.metrics (Queue.length a.queue)
+  end
+  else
+    match a.spec.Arrival.shed with
+    | Arrival.Reject_newest -> Metrics.record_shed t.metrics
+    | Arrival.Reject_oldest ->
+        (* head out, arrival in: depth is unchanged *)
+        ignore (Queue.pop a.queue : pending);
+        Metrics.record_shed t.metrics;
+        Queue.push p a.queue
+
+(* The arrival pump: one fiber sampling the rate process and pushing
+   arrivals through admission. Plans are drawn at arrival time from the
+   per-terminal workload streams, round-robin over [num_terminals], so
+   the offered plan sequence depends only on the seed and the arrival
+   spec — never on the CC algorithm or on admission outcomes
+   (cross-algorithm workload agreement, exactly as in the closed loop). *)
+let run_arrival_pump t a =
+  let num_terminals = t.params.Params.workload.Params.num_terminals in
+  let run = t.params.Params.run in
+  let horizon = run.Params.warmup +. run.Params.measure in
+  Engine.spawn t.eng ~name:"arrival-pump" (fun () ->
+      let rec pump () =
+        let now = Engine.now t.eng in
+        match Arrival.next_arrival a.spec a.arr_rng ~now ~horizon with
+        | None -> ()
+        | Some at ->
+            if at > now then Engine.wait (at -. now);
+            Metrics.record_offered t.metrics;
+            let seq = a.next_seq in
+            a.next_seq <- seq + 1;
+            let plan =
+              Workload.generate_plan t.workload ~terminal:(seq mod num_terminals)
+            in
+            admit t a
+              { seq; enqueued_at = Engine.now t.eng; pending_plan = plan };
+            pump ()
+      in
+      pump ())
+
+(* ------------------------------------------------------------------ *)
 (* Run control and result collection                                   *)
 
 let reset_observation_windows t =
@@ -1657,6 +1842,14 @@ let collect_result t ~wall_seconds =
       | None -> 0
       | Some f -> Metrics.indoubt_overdue t.metrics ~grace:(indoubt_grace t f));
     decomp = Metrics.decomp_mean t.metrics;
+    offered = Metrics.offered t.metrics;
+    admitted = Metrics.admitted t.metrics;
+    shed = Metrics.shed t.metrics;
+    expired = Metrics.expired t.metrics;
+    still_queued =
+      (match t.arrivals with None -> 0 | Some a -> Queue.length a.queue);
+    queue_depth_max = Metrics.queue_depth_max t.metrics;
+    queue_depth_mean = Metrics.mean_queue_depth t.metrics;
     sim_events = Engine.events_processed t.eng;
     sim_end = Engine.now t.eng;
     wall_seconds;
@@ -1778,7 +1971,41 @@ let registry t : Metric.t =
           ~help:"Crash-recovery pass duration" (Metrics.recovery_hist m);
       ]
   in
-  counters @ gauges @ rollups @ histograms
+  (* Overload telemetry only exists on an open-loop run, so closed-loop
+     expositions are byte-identical to builds without the subsystem. *)
+  let overload =
+    match t.arrivals with
+    | None -> []
+    | Some a ->
+        [
+          ic "ddbm_offered_total" "Arrivals generated by the rate process"
+            (Metrics.offered m);
+          ic "ddbm_admitted_total" "Arrivals dispatched into the system"
+            (Metrics.admitted m);
+          ic "ddbm_shed_total" "Arrivals rejected at a full admission queue"
+            (Metrics.shed m);
+          ic "ddbm_expired_total"
+            "Queued arrivals dropped for overstaying the deadline"
+            (Metrics.expired m);
+          g "ddbm_admission_queue_depth" "Instantaneous admission-queue depth"
+            (float_of_int (Queue.length a.queue));
+          g "ddbm_admission_queue_depth_mean"
+            "Time-average admission-queue depth over the window"
+            (Metrics.mean_queue_depth m);
+          g "ddbm_admission_queue_depth_max"
+            "Max admission-queue depth over the window"
+            (float_of_int (Metrics.queue_depth_max m));
+        ]
+        @
+        if not (Metrics.quantiles_enabled m) then []
+        else
+          [
+            Metric.histogram ~name:"ddbm_admission_queue_wait_seconds"
+              ~help:"Admission-queue wait of dispatched arrivals"
+              (Metrics.queue_wait_hist m);
+          ]
+  in
+  counters @ gauges @ rollups @ histograms @ overload
 
 (** Attach an event trace (before {!execute}). *)
 let enable_trace ?(capacity = 10_000) t =
@@ -1894,9 +2121,12 @@ let execute ?(log = false) t =
     (Engine.schedule t.eng ~at:run_params.Params.warmup (fun () ->
          reset_observation_windows t)
       : Engine.handle);
-  for index = 0 to t.params.Params.workload.Params.num_terminals - 1 do
-    run_terminal t ~index
-  done;
+  (match t.arrivals with
+  | None ->
+      for index = 0 to t.params.Params.workload.Params.num_terminals - 1 do
+        run_terminal t ~index
+      done
+  | Some a -> run_arrival_pump t a);
   Option.iter (fun f -> schedule_faults t f) t.faults;
   Option.iter Ddbm_cc.Snoop.start t.snoop;
   (* Wall-clock cost is reported, never simulated; each worker domain

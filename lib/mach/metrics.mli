@@ -105,6 +105,52 @@ val decomp_records : t -> (float * Decomp.t) list
 (** Aggregated CC blocking-time tally (owned by callers). *)
 val blocked_time : t -> Desim.Stats.Tally.t
 
+(** {2 Open-loop admission accounting}
+
+    The admission counters are {e not} windowed: the conservation
+    identity offered = admitted + shed + expired + still-queued is an
+    exact whole-run integer identity, which a warmup reset would break.
+    The queue-depth statistics window like everything else. All of these
+    stay zero on a closed-loop run. *)
+
+(** The rate process generated an arrival. *)
+val record_offered : t -> unit
+
+(** An arrival was dispatched into the system (immediately or from the
+    admission queue). *)
+val record_admitted : t -> unit
+
+(** An arrival was rejected at a full admission queue. *)
+val record_shed : t -> unit
+
+(** A queued arrival was dropped for overstaying its deadline. *)
+val record_expired : t -> unit
+
+(** The admission queue is now [depth] entries deep (updates the depth
+    time series and the windowed max). *)
+val set_queue_depth : t -> int -> unit
+
+(** A dispatched arrival waited [dur] seconds in the admission queue
+    (histogram; no-op with [~quantiles:false]). *)
+val record_queue_wait : t -> dur:float -> unit
+
+val offered : t -> int
+val admitted : t -> int
+val shed : t -> int
+val expired : t -> int
+
+(** Instantaneous admission-queue depth (for the time-series sampler). *)
+val queue_depth : t -> int
+
+(** Windowed max admission-queue depth. *)
+val queue_depth_max : t -> int
+
+(** Time-average admission-queue depth over the window. *)
+val mean_queue_depth : t -> float
+
+(** Windowed admission-queue waits of dispatched arrivals. *)
+val queue_wait_hist : t -> Desim.Stats.Hdr.t
+
 (** {2 Tail-latency histograms}
 
     Windowed, deterministic, log-scaled histograms (see

@@ -169,6 +169,10 @@ type t = {
   faults : Fault_plan.t;
       (** seeded fault plan ({!Fault_plan.zero} = the paper's failure-free
           machine; a zero plan is a true no-op) *)
+  arrivals : Arrival.t;
+      (** open-loop arrival process + admission control ({!Arrival.zero}
+          = the paper's closed-loop terminals; a closed spec is a true
+          no-op) *)
 }
 
 (** Parameter values of Table 4 (the "fixed" column): 8 processing nodes,
@@ -211,6 +215,7 @@ let default =
       { seed = 1; warmup = 60.; measure = 600.; restart_delay_floor = 0.5; fresh_restart_plan = false };
     durability = default_durability;
     faults = Fault_plan.zero;
+    arrivals = Arrival.zero;
   }
 
 let num_files t = t.database.num_relations * t.database.partitions_per_relation
@@ -279,4 +284,11 @@ let validate t =
       (dur.replicas >= 0 && dur.replicas <= d.num_proc_nodes - 1)
       "replicas must be in [0, num_proc_nodes - 1]"
   in
-  Fault_plan.validate ~num_proc_nodes:d.num_proc_nodes t.faults
+  let* () = Fault_plan.validate ~num_proc_nodes:d.num_proc_nodes t.faults in
+  let* () = Arrival.validate t.arrivals in
+  (* Open-loop restarts rerun the same plan: a fresh draw at a CC-timed
+     restart would interleave with the arrival pump's draws on the shared
+     per-class streams and break cross-algorithm workload agreement. *)
+  check
+    (not (Arrival.open_loop t.arrivals && t.run.fresh_restart_plan))
+    "fresh_restart_plan is incompatible with open-loop arrivals"

@@ -140,6 +140,10 @@ type t = {
   faults : Fault_plan.t;
       (** seeded fault plan ({!Fault_plan.zero} = the paper's failure-free
           machine; a zero plan is a true no-op) *)
+  arrivals : Arrival.t;
+      (** open-loop arrival process + admission control ({!Arrival.zero}
+          = the paper's closed-loop terminals; a closed spec is a true
+          no-op) *)
 }
 
 (** Parameter values of Table 4 (the "fixed" column): 8 processing nodes,

@@ -31,6 +31,7 @@ let golden_params =
       };
     durability = Params.default_durability;
     faults = Fault_plan.zero;
+    arrivals = Arrival.zero;
   }
 
 let () =

@@ -105,6 +105,7 @@ let audited_run algorithm =
           restart_delay_floor = 0.5; fresh_restart_plan = false };
       durability = Params.default_durability;
       faults = Fault_plan.zero;
+      arrivals = Arrival.zero;
     }
   in
   let machine = Ddbm.Machine.create params in

@@ -78,6 +78,7 @@ let hot_2pl_params =
       };
       durability = Params.default_durability;
       faults = Fault_plan.zero;
+      arrivals = Arrival.zero;
   }
 
 let test_clean_machine_conforms () =

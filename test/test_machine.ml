@@ -28,6 +28,7 @@ let small_params ?(algorithm = Params.Twopl) ?(nodes = 4) ?(degree = 4)
     run = { Params.seed; warmup = 10.; measure; restart_delay_floor = 0.5; fresh_restart_plan = false };
       durability = Params.default_durability;
       faults = Fault_plan.zero;
+      arrivals = Arrival.zero;
   }
 
 let check_result_sane (r : Ddbm.Sim_result.t) =

@@ -33,6 +33,7 @@ let small_params ?(algorithm = Params.Twopl) ?(seed = 11) () =
       };
     durability = Params.default_durability;
     faults = Fault_plan.zero;
+    arrivals = Arrival.zero;
   }
 
 (* --- tail quantiles surface in Sim_result --------------------------- *)

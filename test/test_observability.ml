@@ -34,6 +34,7 @@ let mk_params ?(algorithm = Params.Twopl) ?(nodes = 4) ?(terminals = 16)
       };
       durability = Params.default_durability;
       faults = Fault_plan.zero;
+      arrivals = Arrival.zero;
   }
 
 (* Run with the typed-event pipeline attached; returns the result, the

@@ -106,6 +106,7 @@ let test_machine_littles_law () =
           restart_delay_floor = 0.5; fresh_restart_plan = false };
       durability = Params.default_durability;
       faults = Fault_plan.zero;
+      arrivals = Arrival.zero;
     }
   in
   let r = Ddbm.Machine.run params in
@@ -134,6 +135,7 @@ let test_machine_interactive_response_law () =
           restart_delay_floor = 0.5; fresh_restart_plan = false };
       durability = Params.default_durability;
       faults = Fault_plan.zero;
+      arrivals = Arrival.zero;
     }
   in
   let r = Ddbm.Machine.run params in

@@ -99,6 +99,7 @@ let replicated_params ?(algorithm = Params.Twopl) ?(replication = 2)
         restart_delay_floor = 0.5; fresh_restart_plan = false };
       durability = Params.default_durability;
       faults = Fault_plan.zero;
+      arrivals = Arrival.zero;
   }
 
 let test_replicated_runs_all_algorithms () =

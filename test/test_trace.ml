@@ -98,6 +98,7 @@ let test_machine_trace () =
           restart_delay_floor = 0.5; fresh_restart_plan = false };
       durability = Params.default_durability;
       faults = Fault_plan.zero;
+      arrivals = Arrival.zero;
     }
   in
   let m = Ddbm.Machine.create params in
