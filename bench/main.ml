@@ -363,124 +363,13 @@ let run_faults ~out =
     lossy_r.Ddbm.Sim_result.availability out
 
 (* ------------------------------------------------------------------ *)
-(* Durability & recovery: under a rate-driven crash plan with the log
-   disk on, primary/backup failover (replicas=1) must strictly beat the
-   doom-every-resident-cohort baseline (replicas=0) on goodput without
-   hurting availability, and neither run may lose a committed
-   transaction. (Availability counts node-seconds up, so under one
-   crash plan it is identical by construction; failover's gain is the
-   committed work salvaged while nodes are down.) *)
-
-let run_recovery ~out =
-  let open Ddbm_model in
-  let d = Params.default in
-  let crashy =
-    {
-      Fault_plan.zero with
-      Fault_plan.crash_rate = 0.02;
-      mean_repair = 1.5;
-      msg_loss = 0.02;
-      timeout = 0.5;
-      timeout_cap = 2.;
-      max_retries = 4;
-      fault_seed = 31;
-    }
-  in
-  let params replicas =
-    {
-      d with
-      Params.database =
-        {
-          d.Params.database with
-          Params.num_proc_nodes = 8;
-          partitioning_degree = 8;
-          file_size = 120;
-        };
-      workload =
-        { d.Params.workload with Params.think_time = 1.; num_terminals = 64 };
-      cc = { d.Params.cc with Params.algorithm = Params.Twopl };
-      run =
-        {
-          Params.seed = 1;
-          warmup = 5.;
-          measure = 30.;
-          restart_delay_floor = 0.5;
-          fresh_restart_plan = false;
-        };
-      durability =
-        {
-          Params.log_disk = true;
-          log_min_time = 0.002;
-          log_max_time = 0.006;
-          log_force = Params.At_prepare;
-          replicas;
-        };
-      faults = crashy;
-    }
-  in
-  let doom = Ddbm.Machine.run (params 0) in
-  let failover = Ddbm.Machine.run (params 1) in
-  let improved =
-    failover.Ddbm.Sim_result.availability >= doom.Ddbm.Sim_result.availability
-    && failover.Ddbm.Sim_result.goodput > doom.Ddbm.Sim_result.goodput
-  in
-  let line tag (r : Ddbm.Sim_result.t) =
-    Printf.sprintf
-      "  \"%s\": {\"availability\": %.6f, \"goodput\": %.4f, \"throughput\": \
-       %.4f, \"recoveries\": %d, \"mean_recovery_time\": %.4f, \"failovers\": \
-       %d, \"orphaned\": %d, \"lost_commits\": %d}"
-      tag r.Ddbm.Sim_result.availability r.Ddbm.Sim_result.goodput
-      r.Ddbm.Sim_result.throughput r.Ddbm.Sim_result.recoveries
-      r.Ddbm.Sim_result.mean_recovery_time r.Ddbm.Sim_result.failovers
-      r.Ddbm.Sim_result.orphaned r.Ddbm.Sim_result.lost_commits
-  in
-  let oc = open_out out in
-  Printf.fprintf oc
-    "{\n\
-    \  \"config\": \"2pl, 8 nodes, 64 terminals, log disk + rate-driven \
-     crashes, 35 s simulated\",\n\
-     %s,\n\
-     %s,\n\
-    \  \"failover_improves\": %b\n\
-     }\n"
-    (line "replicas_0" doom)
-    (line "replicas_1" failover)
-    improved;
-  close_out oc;
-  Printf.printf
-    "== durability & recovery ==\n\
-     replicas=0  availability %.4f, goodput %6.2f pages/s, %d recoveries, %d \
-     orphaned, %d lost\n\
-     replicas=1  availability %.4f, goodput %6.2f pages/s, %d recoveries, %d \
-     failovers, %d lost\n\
-     failover improves goodput without hurting availability: %b\n\
-     written to %s\n\n\
-     %!"
-    doom.Ddbm.Sim_result.availability doom.Ddbm.Sim_result.goodput
-    doom.Ddbm.Sim_result.recoveries doom.Ddbm.Sim_result.orphaned
-    doom.Ddbm.Sim_result.lost_commits failover.Ddbm.Sim_result.availability
-    failover.Ddbm.Sim_result.goodput failover.Ddbm.Sim_result.recoveries
-    failover.Ddbm.Sim_result.failovers failover.Ddbm.Sim_result.lost_commits
-    improved out;
-  if doom.Ddbm.Sim_result.lost_commits <> 0
-     || failover.Ddbm.Sim_result.lost_commits <> 0
-     || not improved
-  then begin
-    Printf.eprintf "BENCH_recovery: durability acceptance FAILED\n%!";
-    exit 1
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Parallel sweep scenario: wall-clock speedup over the pool, per-seed
-   bit-identity against serial execution, and an events/sec regression
-   gate against a committed pin.
-
-   Raw events/sec is hardware-dependent, so the pinned number would not
-   transfer between a laptop and the CI runner. The gate therefore pins
-   events/sec *normalized by a calibration workload* (a fixed, pure
-   single-core heap exercise measured in the same process): the ratio
-   cancels most of the machine-speed difference and moves only when the
-   simulator's own hot path moves. *)
+(* Raw events/sec is hardware-dependent, so a pinned number would not
+   transfer between a laptop and the CI runner. Gated scenarios
+   (BENCH_parallel, BENCH_recovery) therefore pin events/sec
+   *normalized by a calibration workload* (a fixed, pure single-core
+   heap exercise measured in the same process): the ratio cancels most
+   of the machine-speed difference and moves only when the simulator's
+   own hot path moves. *)
 
 let calibration_units_per_sec () =
   let iters = 2_000 in
@@ -497,31 +386,6 @@ let calibration_units_per_sec () =
   done;
   ignore (Sys.opaque_identity !sink);
   float_of_int iters /. (wall_now () -. t0)
-
-let parallel_batch_params seed =
-  let open Ddbm_model in
-  let d = Params.default in
-  {
-    d with
-    Params.database =
-      {
-        d.Params.database with
-        Params.num_proc_nodes = 8;
-        partitioning_degree = 8;
-        file_size = 120;
-      };
-    workload =
-      { d.Params.workload with Params.think_time = 1.; num_terminals = 64 };
-    cc = { d.Params.cc with Params.algorithm = Params.Twopl };
-    run =
-      {
-        Params.seed;
-        warmup = 5.;
-        measure = 30.;
-        restart_delay_floor = 0.5;
-        fresh_restart_plan = false;
-      };
-  }
 
 (* Minimal scanner for the flat pin file: the float following
    ["key": ]. No JSON library is available in this environment. *)
@@ -553,6 +417,250 @@ let json_number ~key text =
       done;
       if !i = start then None
       else float_of_string_opt (String.sub text start (!i - start))
+
+(* ------------------------------------------------------------------ *)
+(* Durability & recovery: under a rate-driven crash plan with the log
+   disk on, primary/backup failover (replicas=1) must strictly beat the
+   doom-every-resident-cohort baseline (replicas=0) on goodput without
+   hurting availability, and neither run may lose a committed
+   transaction. (Availability counts node-seconds up, so under one
+   crash plan it is identical by construction; failover's gain is the
+   committed work salvaged while nodes are down.) *)
+
+let run_recovery ~out ~gate ~pin =
+  let open Ddbm_model in
+  let d = Params.default in
+  let crashy =
+    {
+      Fault_plan.zero with
+      Fault_plan.crash_rate = 0.02;
+      mean_repair = 1.5;
+      msg_loss = 0.02;
+      timeout = 0.5;
+      timeout_cap = 2.;
+      max_retries = 4;
+      fault_seed = 31;
+    }
+  in
+  let params ?(recovery_jobs = 1) ?(faults = crashy) replicas =
+    {
+      d with
+      Params.database =
+        {
+          d.Params.database with
+          Params.num_proc_nodes = 8;
+          partitioning_degree = 8;
+          file_size = 120;
+        };
+      workload =
+        { d.Params.workload with Params.think_time = 1.; num_terminals = 64 };
+      cc = { d.Params.cc with Params.algorithm = Params.Twopl };
+      run =
+        {
+          Params.seed = 1;
+          warmup = 5.;
+          measure = 30.;
+          restart_delay_floor = 0.5;
+          fresh_restart_plan = false;
+        };
+      durability =
+        {
+          Params.log_disk = true;
+          log_min_time = 0.002;
+          log_max_time = 0.006;
+          log_force = Params.At_prepare;
+          replicas;
+          recovery_jobs;
+        };
+      faults;
+    }
+  in
+  let doom = Ddbm.Machine.run (params 0) in
+  let failover = Ddbm.Machine.run (params 1) in
+  (* recovery at scale: the same crashy machine with torn tails and
+     crash-during-recovery layered on, recovered serially and with four
+     chain-parallel redo workers. Correctness must be mode-independent
+     (lost_commits = 0 both ways, run-twice determinism) and the
+     chain-parallel run's wall-clock cost is pinned normalized to the
+     calibration workload, like BENCH_parallel. *)
+  let chaos =
+    { crashy with Fault_plan.torn_tail = 0.25; recrash = 0.2; fault_seed = 47 }
+  in
+  let serial_chaos = Ddbm.Machine.run (params ~faults:chaos 1) in
+  let t0 = wall_now () in
+  let chained = Ddbm.Machine.run (params ~recovery_jobs:4 ~faults:chaos 1) in
+  let wall_chained = wall_now () -. t0 in
+  let t1 = wall_now () in
+  let chained2 = Ddbm.Machine.run (params ~recovery_jobs:4 ~faults:chaos 1) in
+  let wall_chained2 = wall_now () -. t1 in
+  let deterministic = Ddbm.Sim_result.equal chained chained2 in
+  (* best of the two (identical) runs: a scheduling hiccup in one run
+     must not read as a simulator regression *)
+  let events_per_sec =
+    float_of_int chained.Ddbm.Sim_result.sim_events
+    /. Stdlib.min wall_chained wall_chained2
+  in
+  let calib = calibration_units_per_sec () in
+  let normalized = events_per_sec /. calib in
+  let improved =
+    failover.Ddbm.Sim_result.availability >= doom.Ddbm.Sim_result.availability
+    && failover.Ddbm.Sim_result.goodput > doom.Ddbm.Sim_result.goodput
+  in
+  let line tag (r : Ddbm.Sim_result.t) =
+    Printf.sprintf
+      "  \"%s\": {\"availability\": %.6f, \"goodput\": %.4f, \"throughput\": \
+       %.4f, \"recoveries\": %d, \"mean_recovery_time\": %.4f, \"failovers\": \
+       %d, \"orphaned\": %d, \"lost_commits\": %d, \"recovery_chains\": %d, \
+       \"recovery_degraded\": %d, \"wal_torn_tails\": %d}"
+      tag r.Ddbm.Sim_result.availability r.Ddbm.Sim_result.goodput
+      r.Ddbm.Sim_result.throughput r.Ddbm.Sim_result.recoveries
+      r.Ddbm.Sim_result.mean_recovery_time r.Ddbm.Sim_result.failovers
+      r.Ddbm.Sim_result.orphaned r.Ddbm.Sim_result.lost_commits
+      r.Ddbm.Sim_result.recovery_chains r.Ddbm.Sim_result.recovery_degraded
+      r.Ddbm.Sim_result.wal_torn_tails
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"config\": \"2pl, 8 nodes, 64 terminals, log disk + rate-driven \
+     crashes, 35 s simulated\",\n\
+     %s,\n\
+     %s,\n\
+     %s,\n\
+     %s,\n\
+    \  \"failover_improves\": %b,\n\
+    \  \"chained_deterministic\": %b,\n\
+    \  \"events_per_sec\": %.0f,\n\
+    \  \"calibration_units_per_sec\": %.1f,\n\
+    \  \"normalized_events_per_calib\": %.2f\n\
+     }\n"
+    (line "replicas_0" doom)
+    (line "replicas_1" failover)
+    (line "chaos_serial" serial_chaos)
+    (line "chaos_jobs4" chained)
+    improved deterministic events_per_sec calib normalized;
+  close_out oc;
+  Printf.printf
+    "== durability & recovery ==\n\
+     replicas=0  availability %.4f, goodput %6.2f pages/s, %d recoveries, %d \
+     orphaned, %d lost\n\
+     replicas=1  availability %.4f, goodput %6.2f pages/s, %d recoveries, %d \
+     failovers, %d lost\n\
+     failover improves goodput without hurting availability: %b\n\
+     chaos serial  mttr %.4f s, %d recoveries, %d torn tails, %d degraded, %d \
+     lost\n\
+     chaos jobs=4  mttr %.4f s, %d recoveries, %d chains replayed, %d lost \
+     (normalized %.2f, deterministic %b)\n\
+     written to %s\n\n\
+     %!"
+    doom.Ddbm.Sim_result.availability doom.Ddbm.Sim_result.goodput
+    doom.Ddbm.Sim_result.recoveries doom.Ddbm.Sim_result.orphaned
+    doom.Ddbm.Sim_result.lost_commits failover.Ddbm.Sim_result.availability
+    failover.Ddbm.Sim_result.goodput failover.Ddbm.Sim_result.recoveries
+    failover.Ddbm.Sim_result.failovers failover.Ddbm.Sim_result.lost_commits
+    improved serial_chaos.Ddbm.Sim_result.mean_recovery_time
+    serial_chaos.Ddbm.Sim_result.recoveries
+    serial_chaos.Ddbm.Sim_result.wal_torn_tails
+    serial_chaos.Ddbm.Sim_result.recovery_degraded
+    serial_chaos.Ddbm.Sim_result.lost_commits
+    chained.Ddbm.Sim_result.mean_recovery_time
+    chained.Ddbm.Sim_result.recoveries chained.Ddbm.Sim_result.recovery_chains
+    chained.Ddbm.Sim_result.lost_commits normalized deterministic out;
+  if doom.Ddbm.Sim_result.lost_commits <> 0
+     || failover.Ddbm.Sim_result.lost_commits <> 0
+     || not improved
+  then begin
+    Printf.eprintf "BENCH_recovery: durability acceptance FAILED\n%!";
+    exit 1
+  end;
+  if serial_chaos.Ddbm.Sim_result.lost_commits <> 0
+     || chained.Ddbm.Sim_result.lost_commits <> 0
+  then begin
+    Printf.eprintf
+      "BENCH_recovery: chaos run lost committed transactions (serial %d, \
+       jobs=4 %d)\n\
+       %!"
+      serial_chaos.Ddbm.Sim_result.lost_commits
+      chained.Ddbm.Sim_result.lost_commits;
+    exit 1
+  end;
+  if chained.Ddbm.Sim_result.recovery_chains = 0 then begin
+    Printf.eprintf
+      "BENCH_recovery: jobs=4 chaos run replayed no chains (recovery never \
+       took the parallel path)\n\
+       %!";
+    exit 1
+  end;
+  if not deterministic then begin
+    Printf.eprintf
+      "BENCH_recovery: jobs=4 chaos run is not deterministic (run-twice \
+       results diverged)\n\
+       %!";
+    exit 1
+  end;
+  if gate then begin
+    let text =
+      try In_channel.with_open_text pin In_channel.input_all
+      with Sys_error msg ->
+        Printf.eprintf "BENCH_recovery gate: cannot read pin %s: %s\n%!" pin
+          msg;
+        exit 1
+    in
+    match json_number ~key:"normalized_events_per_calib" text with
+    | None ->
+        Printf.eprintf
+          "BENCH_recovery gate: no normalized_events_per_calib in %s\n%!" pin;
+        exit 1
+    | Some pinned ->
+        let floor = pinned *. 0.9 in
+        Printf.printf
+          "== recovery bench gate ==\n\
+           pinned normalized events/sec %.2f (floor %.2f), measured %.2f: %s\n\n\
+           %!"
+          pinned floor normalized
+          (if normalized >= floor then "PASS" else "FAIL");
+        if normalized < floor then begin
+          Printf.eprintf
+            "BENCH_recovery gate: normalized events/sec regressed >10%% \
+             (%.2f < %.2f)\n\
+             %!"
+            normalized floor;
+          exit 1
+        end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep scenario: wall-clock speedup over the pool, per-seed
+   bit-identity against serial execution, and an events/sec regression
+   gate against a committed pin.
+
+   The gate pins events/sec normalized by the calibration workload (see
+   above). *)
+
+let parallel_batch_params seed =
+  let open Ddbm_model in
+  let d = Params.default in
+  {
+    d with
+    Params.database =
+      {
+        d.Params.database with
+        Params.num_proc_nodes = 8;
+        partitioning_degree = 8;
+        file_size = 120;
+      };
+    workload =
+      { d.Params.workload with Params.think_time = 1.; num_terminals = 64 };
+    cc = { d.Params.cc with Params.algorithm = Params.Twopl };
+    run =
+      {
+        Params.seed;
+        warmup = 5.;
+        measure = 30.;
+        restart_delay_floor = 0.5;
+        fresh_restart_plan = false;
+      };
+  }
 
 let run_parallel ~jobs ~out ~gate ~pin =
   let jobs =
@@ -921,17 +1029,25 @@ let main =
       value & flag
       & info [ "gate" ]
           ~doc:
-            "Fail (exit 1) when the parallel benchmark's normalized \
-             events/sec regresses more than 10% below the committed pin, \
-             or when the metrics benchmark's histogram overhead or the \
-             overload benchmark's open-loop overhead exceeds 5% \
-             events/sec.")
+            "Fail (exit 1) when the parallel or recovery benchmark's \
+             normalized events/sec regresses more than 10% below its \
+             committed pin, or when the metrics benchmark's histogram \
+             overhead or the overload benchmark's open-loop overhead \
+             exceeds 5% events/sec.")
   and+ pin =
     Arg.(
       value
       & opt string "bench/BENCH_parallel.pin.json"
       & info [ "pin" ] ~docv:"FILE"
           ~doc:"Committed pin the --gate compares against.")
+  and+ recovery_pin =
+    Arg.(
+      value
+      & opt string "bench/BENCH_recovery.pin.json"
+      & info [ "recovery-pin" ] ~docv:"FILE"
+          ~doc:
+            "Committed pin the --gate compares the recovery benchmark's \
+             normalized events/sec against.")
   and+ jobs =
     Arg.(
       value
@@ -950,7 +1066,8 @@ let main =
   if not skip_micro then run_micro ();
   if not skip_obs then run_observability ~out:obs_out;
   if not skip_faults then run_faults ~out:faults_out;
-  if not skip_recovery then run_recovery ~out:recovery_out;
+  if not skip_recovery then
+    run_recovery ~out:recovery_out ~gate ~pin:recovery_pin;
   if not skip_metrics then run_metrics ~out:metrics_out ~gate;
   if not skip_overload then run_overload ~out:overload_out ~gate;
   if not skip_parallel then run_parallel ~jobs ~out:parallel_out ~gate ~pin

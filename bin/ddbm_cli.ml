@@ -115,6 +115,17 @@ let params_term =
              nodes at work-done; when the primary crashes mid-transaction \
              the coordinator fails over to a live backup instead of \
              aborting (0 = off).")
+  and+ recovery_jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "recovery-jobs" ] ~docv:"N"
+          ~doc:
+            "Redo chains replayed concurrently during crash recovery \
+             (with --log-disk). 1 (default) is the serial redo pass; with \
+             $(docv) > 1 the dependency records logged with each update \
+             partition the commit-decided set into independent chains \
+             replayed on $(docv) worker fibers. A torn log tail degrades \
+             the pass back to serial physical redo.")
   and+ warmup =
     Arg.(
       value & opt float 60.
@@ -137,7 +148,11 @@ let params_term =
              fault-seed=7'. Message-loss/duplication/extra-delay \
              probabilities apply to commit-protocol traffic; crash=TGT\\@AT+DUR \
              downs host or procN at time AT for DUR seconds; crash-rate \
-             adds Poisson crashes with mean repair time mttr. All faults \
+             adds Poisson crashes with mean repair time mttr; torn-tail=P \
+             tears the WAL's dropped volatile tail at a crash with \
+             probability P (recovery degrades to serial physical redo); \
+             recrash=P crashes a node again during its own recovery with \
+             probability P (recovery is re-entrant). All faults \
              draw from fault-seed only, so runs replay bit-for-bit.")
   and+ arrivals =
     Arg.(
@@ -186,7 +201,13 @@ let params_term =
     cc = { default.Params.cc with Params.algorithm };
     run = { default.Params.run with Params.seed; warmup; measure };
     durability =
-      { Params.default_durability with Params.log_disk; log_force; replicas };
+      {
+        Params.default_durability with
+        Params.log_disk;
+        log_force;
+        replicas;
+        recovery_jobs;
+      };
     faults;
     arrivals;
   }

@@ -107,6 +107,11 @@ let gen_faults ~nodes : Fault_plan.t QCheck.Gen.t =
           return [ { Fault_plan.target = Ids.Host; at; duration } ]
     in
     let* crash_rate = oneofl [ 0.; 0.; 0.; 0.05 ] in
+    (* recovery-robustness modes: occasionally tear the WAL tail at a
+       crash, or crash again during recovery itself — the no-lost-commit
+       invariant must survive both *)
+    let* torn_tail = oneofl [ 0.; 0.; 0.; 0.5; 1. ] in
+    let* recrash = oneofl [ 0.; 0.; 0.; 0.3 ] in
     let* timeout = oneofl [ 0.25; 1. ] in
     let* max_retries = oneofl [ 2; 4 ] in
     let* fault_seed = int_range 1 1_000_000 in
@@ -119,6 +124,8 @@ let gen_faults ~nodes : Fault_plan.t QCheck.Gen.t =
         msg_loss;
         msg_dup;
         msg_delay;
+        recrash;
+        torn_tail;
         timeout;
         timeout_cap = 4. *. timeout;
         max_retries;
@@ -138,7 +145,8 @@ let gen_durability ~nodes : Params.durability QCheck.Gen.t =
     let* log_disk = frequencyl [ (1, false); (3, true) ] in
     let* log_force = oneofl [ Params.At_prepare; Params.At_prepare; Params.At_commit ] in
     let* replicas = if nodes = 1 then return 0 else oneofl [ 0; 1; 1 ] in
-    return { dd with Params.log_disk; log_force; replicas }
+    let* recovery_jobs = oneofl [ 1; 1; 2; 4 ] in
+    return { dd with Params.log_disk; log_force; replicas; recovery_jobs }
 
 (* Arrival specs for the conformance sweep: mostly closed loop (the
    paper's terminal model), sometimes an open-loop rate process with the
@@ -323,6 +331,14 @@ let shrink (p : Params.t) : Params.t QCheck.Iter.t =
          @ (if dur.Params.replicas > 0 then
               [ { p with Params.durability = { dur with Params.replicas = 0 } } ]
             else [])
+         @ (if dur.Params.recovery_jobs > 1 then
+              [
+                {
+                  p with
+                  Params.durability = { dur with Params.recovery_jobs = 1 };
+                };
+              ]
+            else [])
          @
          if dur.Params.log_disk then
            [ { p with Params.durability = { dur with Params.log_disk = false } } ]
@@ -348,6 +364,22 @@ let shrink (p : Params.t) : Params.t QCheck.Iter.t =
                 {
                   p with
                   Params.faults = { fp with Fault_plan.crash_rate = 0. };
+                };
+              ]
+            else [])
+         @ (if fp.Fault_plan.torn_tail > 0. then
+              [
+                {
+                  p with
+                  Params.faults = { fp with Fault_plan.torn_tail = 0. };
+                };
+              ]
+            else [])
+         @ (if fp.Fault_plan.recrash > 0. then
+              [
+                {
+                  p with
+                  Params.faults = { fp with Fault_plan.recrash = 0. };
                 };
               ]
             else [])

@@ -187,6 +187,32 @@ let check (r : Ddbm.Sim_result.t) : string list =
   if r.Ddbm.Sim_result.mean_recovery_time < 0. then
     add "mean_recovery_time %.17g negative"
       r.Ddbm.Sim_result.mean_recovery_time;
+  if r.Ddbm.Sim_result.recovery_chains < 0 then
+    add "recovery_chains %d negative" r.Ddbm.Sim_result.recovery_chains;
+  if r.Ddbm.Sim_result.recovery_degraded < 0 then
+    add "recovery_degraded %d negative" r.Ddbm.Sim_result.recovery_degraded;
+  if r.Ddbm.Sim_result.wal_torn_tails < 0 then
+    add "wal_torn_tails %d negative" r.Ddbm.Sim_result.wal_torn_tails;
+  (* chain-parallel replay and degradation only exist behind the flag *)
+  if
+    p.Params.durability.Params.recovery_jobs <= 1
+    && r.Ddbm.Sim_result.recovery_chains <> 0
+  then
+    add "recovery_chains = %d with recovery_jobs = 1"
+      r.Ddbm.Sim_result.recovery_chains;
+  if
+    p.Params.durability.Params.recovery_jobs <= 1
+    && r.Ddbm.Sim_result.recovery_degraded <> 0
+  then
+    add "recovery_degraded = %d with recovery_jobs = 1"
+      r.Ddbm.Sim_result.recovery_degraded;
+  (* a torn tail requires the torn-tail fault mode *)
+  if
+    Float.equal p.Params.faults.Fault_plan.torn_tail 0.
+    && r.Ddbm.Sim_result.wal_torn_tails <> 0
+  then
+    add "wal_torn_tails = %d without the torn-tail fault"
+      r.Ddbm.Sim_result.wal_torn_tails;
   in01 "log_disk_util" r.Ddbm.Sim_result.log_disk_util;
   if not p.Params.durability.Params.log_disk then begin
     (* the durability model off must cost nothing and record nothing *)
@@ -196,7 +222,16 @@ let check (r : Ddbm.Sim_result.t) : string list =
       add "log_disk_util %.17g without a log disk"
         r.Ddbm.Sim_result.log_disk_util;
     if r.Ddbm.Sim_result.recoveries <> 0 then
-      add "recoveries = %d without a log disk" r.Ddbm.Sim_result.recoveries
+      add "recoveries = %d without a log disk" r.Ddbm.Sim_result.recoveries;
+    if r.Ddbm.Sim_result.recovery_chains <> 0 then
+      add "recovery_chains = %d without a log disk"
+        r.Ddbm.Sim_result.recovery_chains;
+    if r.Ddbm.Sim_result.recovery_degraded <> 0 then
+      add "recovery_degraded = %d without a log disk"
+        r.Ddbm.Sim_result.recovery_degraded;
+    if r.Ddbm.Sim_result.wal_torn_tails <> 0 then
+      add "wal_torn_tails = %d without a log disk"
+        r.Ddbm.Sim_result.wal_torn_tails
   end;
   let fault_active = Fault_plan.active p.Params.faults in
   if not fault_active then begin
@@ -211,7 +246,10 @@ let check (r : Ddbm.Sim_result.t) : string list =
     zero "node_crashes" r.Ddbm.Sim_result.node_crashes;
     zero "orphaned" r.Ddbm.Sim_result.orphaned;
     zero "failovers" r.Ddbm.Sim_result.failovers;
-    zero "recoveries" r.Ddbm.Sim_result.recoveries
+    zero "recoveries" r.Ddbm.Sim_result.recoveries;
+    zero "recovery_chains" r.Ddbm.Sim_result.recovery_chains;
+    zero "recovery_degraded" r.Ddbm.Sim_result.recovery_degraded;
+    zero "wal_torn_tails" r.Ddbm.Sim_result.wal_torn_tails
   end;
   if p.Params.durability.Params.replicas = 0 && r.Ddbm.Sim_result.failovers <> 0
   then add "failovers = %d without replication" r.Ddbm.Sim_result.failovers;

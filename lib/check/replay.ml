@@ -74,6 +74,7 @@ let params_fields (p : Params.t) =
     ("log_max_time", f dur.Params.log_max_time);
     ("log_force", Params.log_force_name dur.Params.log_force);
     ("replicas", string_of_int dur.Params.replicas);
+    ("recovery_jobs", string_of_int dur.Params.recovery_jobs);
     ("seed", string_of_int run.Params.seed);
     ("warmup", f run.Params.warmup);
     ("measure", f run.Params.measure);
@@ -173,6 +174,9 @@ let params_of_assoc assoc =
   let* log_max_time = opt_field "log_max_time" float_conv dd.Params.log_max_time in
   let* log_force = opt_field "log_force" Params.log_force_of_string dd.Params.log_force in
   let* replicas = opt_field "replicas" int_conv dd.Params.replicas in
+  let* recovery_jobs =
+    opt_field "recovery_jobs" int_conv dd.Params.recovery_jobs
+  in
   let* seed = field assoc "seed" int_conv in
   let* warmup = field assoc "warmup" float_conv in
   let* measure = field assoc "measure" float_conv in
@@ -243,7 +247,14 @@ let params_of_assoc assoc =
           fresh_restart_plan;
         };
       durability =
-        { Params.log_disk; log_min_time; log_max_time; log_force; replicas };
+        {
+          Params.log_disk;
+          log_min_time;
+          log_max_time;
+          log_force;
+          replicas;
+          recovery_jobs;
+        };
       faults;
       arrivals;
     }

@@ -33,6 +33,12 @@ type fault_rt = {
   jitter_rng : Rng.t;
       (** drives the optional timeout jitter; untouched (and never drawn
           from) when the plan's [timeout_jitter] is zero *)
+  tear_rng : Rng.t;
+      (** one draw per WAL-tearing opportunity (a crash dropping a
+          non-empty volatile tail); untouched when [torn_tail] is zero *)
+  recrash_rng : Rng.t;
+      (** one draw per recovery start (plus the re-crash schedule when it
+          hits); untouched when [recrash] is zero *)
   decisions : (int * int, bool) Hashtbl.t;
       (** 2PC decision log, (tid, attempt) -> commit; written before any
           phase-two message is sent and kept for the whole run so the
@@ -96,6 +102,11 @@ type t = {
   mutable next_tid : int;
   mutable recoveries : int;  (** completed crash-recovery passes *)
   mutable recovery_time : float;  (** summed recovery durations *)
+  mutable recovery_chains : int;
+      (** dependency chains replayed by chain-parallel recovery *)
+  mutable recovery_degraded : int;
+      (** chain-parallel passes degraded to serial physical redo because
+          a torn tail clipped the dependency records *)
   mutable committed_cov : (int * int * int list) list;
       (** durability coverage obligations, newest first: (tid, attempt,
           updating-cohort nodes after failover relocation) of every fully
@@ -228,6 +239,8 @@ let create ?(histograms = true) (params : Params.t) =
       next_tid = 0;
       recoveries = 0;
       recovery_time = 0.;
+      recovery_chains = 0;
+      recovery_degraded = 0;
       committed_cov = [];
       arrivals;
       faults = None;
@@ -276,6 +289,11 @@ let create ?(histograms = true) (params : Params.t) =
        see the same splits as before the jitter stream existed *)
     let crash_rngs = Array.init n (fun _ -> Rng.split frng) in
     let jitter_rng = Rng.split frng in
+    (* later additions keep appending: tear and recrash streams split
+       after the jitter stream so link/crash/jitter draws are unchanged
+       on plans that predate them *)
+    let tear_rng = Rng.split frng in
+    let recrash_rng = Rng.split frng in
     let f =
       {
         plan;
@@ -286,6 +304,8 @@ let create ?(histograms = true) (params : Params.t) =
         host_state = Faults.Crashable.create ();
         crash_rngs;
         jitter_rng;
+        tear_rng;
+        recrash_rng;
         decisions = Hashtbl.create 256;
         host_down_until = 0.;
         timeouts = 0;
@@ -364,92 +384,6 @@ let resident_node (rt : Messages.attempt_runtime) node =
   match Hashtbl.find_opt rt.Messages.relocated node with
   | Some b -> b
   | None -> node
-
-(* Crash recovery at a processing node (WAL model on): an analysis scan
-   of the durable log, one control-plane round trip resolving the
-   in-doubt set against the host's decision log, a redo pass installing
-   the durable updates of commit-decided transactions onto the data
-   disks, and a truncating checkpoint. A cohort fiber that later receives
-   the (retried) Do_commit finds its installs already done and only
-   releases its CC footprint and acknowledges. In-doubt attempts that are
-   still live stay in doubt — the ordinary termination protocol resolves
-   them — and finished attempts without a logged decision are presumed
-   aborted. *)
-let spawn_recovery t f i wal =
-  Engine.spawn t.eng (fun () ->
-      emit t (fun () -> Event.Recovery_started { node = i });
-      let t0 = Engine.now t.eng in
-      Wal.scan wal;
-      let doubts = Wal.in_doubt wal in
-      let resolved = ref [] in
-      if doubts <> [] then begin
-        let got : unit Ivar.t = Ivar.create () in
-        Net.send t.net ~src:(Proc i) ~dst:Host (fun () ->
-            let answers =
-              List.map
-                (fun (tid, attempt) ->
-                  let live =
-                    match Hashtbl.find_opt t.live tid with
-                    | Some rt -> Int.equal rt.Messages.txn.Txn.attempt attempt
-                    | None -> false
-                  in
-                  (tid, attempt, live, Hashtbl.find_opt f.decisions (tid, attempt)))
-                doubts
-            in
-            Net.send_async t.net ~src:Host ~dst:(Proc i) (fun () ->
-                resolved := answers;
-                Ivar.fill got ()));
-        Ivar.read got
-      end;
-      (* a re-crash while recovering abandons the pass; the next recovery
-         starts over from the durable log *)
-      if Faults.Crashable.up f.node_state.(i) then begin
-        let redone = ref 0 in
-        let node = t.procs.(i) in
-        let inst = t.params.Params.resources.Params.inst_per_update in
-        List.iter
-          (fun (tid, attempt, live, decision) ->
-            match decision with
-            | Some true ->
-                for _ = 1 to Wal.redo_pages wal ~tid ~attempt do
-                  Cpu.consume node.Node.cpu ~instructions:inst;
-                  Disk.write (Node.random_disk node)
-                done;
-                Wal.append wal (Wal.Commit { tid; attempt });
-                Wal.mark_installed wal ~tid ~attempt;
-                incr redone
-            | Some false -> Wal.append wal (Wal.Abort { tid; attempt })
-            | None ->
-                if not live then Wal.append wal (Wal.Abort { tid; attempt }))
-          !resolved;
-        Wal.append wal (Wal.Checkpoint { active = List.length doubts });
-        Wal.force wal;
-        if Faults.Crashable.up f.node_state.(i) then begin
-          let dur = Engine.now t.eng -. t0 in
-          t.recoveries <- t.recoveries + 1;
-          t.recovery_time <- t.recovery_time +. dur;
-          Metrics.record_recovery t.metrics ~dur;
-          emit t (fun () ->
-              Event.Recovery_completed
-                { node = i; duration = dur; redone = !redone })
-        end
-      end)
-
-let recover_node t f i =
-  if not (Faults.Crashable.up f.node_state.(i)) then begin
-    Faults.Crashable.recover f.node_state.(i);
-    (match f.node_down_since.(i) with
-    | Some since ->
-        let d = Engine.now t.eng -. since in
-        f.node_downtime.(i) <- f.node_downtime.(i) +. d;
-        f.total_downtime <- f.total_downtime +. d;
-        f.node_down_since.(i) <- None
-    | None -> ());
-    emit t (fun () -> Event.Node_recovered { node = Proc i });
-    match t.wal with
-    | Some wals -> spawn_recovery t f i wals.(i)
-    | None -> ()
-  end
 
 let recover_host t f =
   if not (Faults.Crashable.up f.host_state) then begin
@@ -922,6 +856,215 @@ let run_cohort ?(proxy = false) t (rt : Messages.attempt_runtime)
     drain ~round:1;
     send_coord (Messages.Done_ack my_node)
 
+(* Crash recovery at a processing node (WAL model on), in three stages:
+
+   1. analysis — scan the durable log and resolve the in-doubt set
+      against the host's decision log (one control-plane round trip);
+   2. partition — group the commit-decided transactions into
+      independent redo chains from the dependency records logged with
+      each update ([Wal.redo_chains]): transactions whose write-sets
+      never met land in different chains;
+   3. redo — replay the chains on [durability.recovery_jobs] concurrent
+      worker fibers, installing the durable updates of commit-decided
+      transactions onto the data disks, then take a truncating
+      checkpoint.
+
+   [recovery_jobs = 1] preserves the original serial redo pass exactly.
+   When a torn log tail clipped the dependency records
+   ([Wal.deps_corrupt]), a chain-parallel pass degrades to the same
+   serial physical redo — which needs no dependency information — and
+   repairs the dependency index once the checkpoint lands.
+
+   Recovery is re-entrant: a re-crash while recovering abandons the
+   pass (the up-guards below), and the next recovery starts over from
+   the durable log; redo is idempotent, so no committed update is
+   lost. A cohort fiber that later receives the (retried) Do_commit
+   finds its installs already done and only releases its CC footprint
+   and acknowledges. In-doubt attempts that are still live stay in
+   doubt — the ordinary termination protocol resolves them — and
+   finished attempts without a logged decision are presumed aborted. *)
+let rec spawn_recovery t f i wal =
+  Engine.spawn t.eng (fun () ->
+      emit t (fun () -> Event.Recovery_started { node = i });
+      let t0 = Engine.now t.eng in
+      (* crash-during-recovery fault: with probability [recrash] this
+         pass is interrupted by a second crash moments after it starts,
+         exercising the re-entrancy above. The repair time reuses the
+         plan's MTTR stream parameters. *)
+      if
+        f.plan.Fault_plan.recrash > 0.
+        && Rng.bool f.recrash_rng ~p:f.plan.Fault_plan.recrash
+      then begin
+        let delay =
+          Rng.exponential f.recrash_rng
+            ~mean:(f.plan.Fault_plan.mean_repair /. 100.)
+        in
+        let duration =
+          Rng.exponential f.recrash_rng ~mean:f.plan.Fault_plan.mean_repair
+        in
+        ignore
+          (Engine.schedule_after t.eng ~delay (fun () ->
+               crash_node t f i ~duration)
+            : Engine.handle)
+      end;
+      Wal.scan wal;
+      let doubts = Wal.in_doubt wal in
+      let resolved = ref [] in
+      if doubts <> [] then begin
+        let got : unit Ivar.t = Ivar.create () in
+        Net.send t.net ~src:(Proc i) ~dst:Host (fun () ->
+            let answers =
+              List.map
+                (fun (tid, attempt) ->
+                  let live =
+                    match Hashtbl.find_opt t.live tid with
+                    | Some rt -> Int.equal rt.Messages.txn.Txn.attempt attempt
+                    | None -> false
+                  in
+                  (tid, attempt, live, Hashtbl.find_opt f.decisions (tid, attempt)))
+                doubts
+            in
+            Net.send_async t.net ~src:Host ~dst:(Proc i) (fun () ->
+                resolved := answers;
+                Ivar.fill got ()));
+        Ivar.read got
+      end;
+      if Faults.Crashable.up f.node_state.(i) then begin
+        let redone = ref 0 in
+        let node = t.procs.(i) in
+        let inst = t.params.Params.resources.Params.inst_per_update in
+        let jobs = t.params.Params.durability.Params.recovery_jobs in
+        let corrupt = Wal.deps_corrupt wal in
+        let abort_undecided (tid, attempt, live, decision) =
+          match decision with
+          | Some true -> ()
+          | Some false -> Wal.append wal (Wal.Abort { tid; attempt })
+          | None ->
+              if not live then Wal.append wal (Wal.Abort { tid; attempt })
+        in
+        let replay_commit ~tid ~attempt =
+          for _ = 1 to Wal.redo_pages wal ~tid ~attempt do
+            Cpu.consume node.Node.cpu ~instructions:inst;
+            Disk.write (Node.random_disk node)
+          done;
+          Wal.append wal (Wal.Commit { tid; attempt });
+          Wal.mark_installed wal ~tid ~attempt;
+          incr redone
+        in
+        if jobs <= 1 || corrupt then begin
+          (* serial physical redo: with [jobs = 1] this is the original
+             recovery pass, event for event; it doubles as the degraded
+             path when corrupt dependency records rule out chaining *)
+          if jobs > 1 then t.recovery_degraded <- t.recovery_degraded + 1;
+          List.iter
+            (fun ((tid, attempt, _, decision) as answer) ->
+              match decision with
+              | Some true -> replay_commit ~tid ~attempt
+              | Some false | None -> abort_undecided answer)
+            !resolved
+        end
+        else begin
+          (* chain-parallel redo: aborts are appended up front (pure log
+             records, no installs), then the commit-decided set is
+             partitioned into dependency chains and dealt round-robin to
+             [jobs] worker fibers. Chains share no pages and no
+             dependency edges, so the fiber interleaving cannot change
+             the recovered state. *)
+          List.iter abort_undecided !resolved;
+          let commit_keys =
+            List.filter_map
+              (fun (tid, attempt, _, decision) ->
+                match decision with
+                | Some true -> Some (tid, attempt)
+                | Some false | None -> None)
+              !resolved
+          in
+          let chains = Array.of_list (Wal.redo_chains wal commit_keys) in
+          let nchains = Array.length chains in
+          (* cross-check the partition on the real domain pool (pure
+             wall-clock computation, invisible to simulated time): the
+             chains must cover the commit-decided set exactly. Degrades
+             to the serial short-circuit when this simulation itself
+             runs as a pool task (sweeps, conformance harness). *)
+          if nchains > 0 then begin
+            let pool_jobs =
+              if Par.Pool.inside_task () then 1
+              else Stdlib.min jobs (Par.Pool.default_jobs ())
+            in
+            let pool = Par.Pool.create ~jobs:pool_jobs () in
+            let sizes = Par.Pool.map_array pool List.length chains in
+            assert (Array.fold_left ( + ) 0 sizes = List.length commit_keys)
+          end;
+          if nchains > 0 then begin
+            let workers = Stdlib.min jobs nchains in
+            let dones =
+              Array.init workers (fun _ : unit Ivar.t -> Ivar.create ())
+            in
+            for w = 0 to workers - 1 do
+              Engine.spawn t.eng (fun () ->
+                  let c = ref w in
+                  while !c < nchains do
+                    let chain = !c in
+                    let members = chains.(chain) in
+                    let txns = List.length members in
+                    emit t (fun () ->
+                        Event.Recovery_chain_started { node = i; chain; txns });
+                    let c0 = Engine.now t.eng in
+                    List.iter
+                      (fun (tid, attempt) ->
+                        if Faults.Crashable.up f.node_state.(i) then
+                          replay_commit ~tid ~attempt)
+                      members;
+                    if Faults.Crashable.up f.node_state.(i) then begin
+                      let duration = Engine.now t.eng -. c0 in
+                      t.recovery_chains <- t.recovery_chains + 1;
+                      Metrics.record_chain t.metrics ~dur:duration;
+                      emit t (fun () ->
+                          Event.Recovery_chain_completed
+                            { node = i; chain; txns; duration })
+                    end;
+                    c := !c + workers
+                  done;
+                  Ivar.fill dones.(w) ())
+            done;
+            Array.iter Ivar.read dones
+          end
+        end;
+        Wal.append wal (Wal.Checkpoint { active = List.length doubts });
+        (* the recovery checkpoint force queues on the same log disk as
+           the forward path's forces; it joins the same latency
+           histogram, so histogram counts conserve against [Wal.forces] *)
+        let f0 = Engine.now t.eng in
+        Wal.force wal;
+        Metrics.record_log_force t.metrics ~dur:(Engine.now t.eng -. f0);
+        if Faults.Crashable.up f.node_state.(i) then begin
+          if corrupt then Wal.repair_deps wal;
+          let dur = Engine.now t.eng -. t0 in
+          t.recoveries <- t.recoveries + 1;
+          t.recovery_time <- t.recovery_time +. dur;
+          Metrics.record_recovery t.metrics ~dur;
+          emit t (fun () ->
+              Event.Recovery_completed
+                { node = i; duration = dur; redone = !redone })
+        end
+      end)
+
+and recover_node t f i =
+  if not (Faults.Crashable.up f.node_state.(i)) then begin
+    Faults.Crashable.recover f.node_state.(i);
+    (match f.node_down_since.(i) with
+    | Some since ->
+        let d = Engine.now t.eng -. since in
+        f.node_downtime.(i) <- f.node_downtime.(i) +. d;
+        f.total_downtime <- f.total_downtime +. d;
+        f.node_down_since.(i) <- None
+    | None -> ());
+    emit t (fun () -> Event.Node_recovered { node = Proc i });
+    match t.wal with
+    | Some wals -> spawn_recovery t f i wals.(i)
+    | None -> ()
+  end
+
 (* A processing-node crash loses volatile state, including the WAL's
    un-forced tail. A resident cohort that has not yet voted is a
    casualty: with primary/backup replication on, if its write-set was
@@ -931,13 +1074,24 @@ let run_cohort ?(proxy = false) t (rt : Messages.attempt_runtime)
    force-cleaned out of band, exactly as without replication. Prepared
    (voted) cohorts are in doubt: their durable prepare record and the
    termination protocol finish them after repair. *)
-let crash_node t f i ~duration =
+and crash_node t f i ~duration =
   if Faults.Crashable.up f.node_state.(i) then begin
     Faults.Crashable.crash f.node_state.(i);
     f.node_crashes <- f.node_crashes + 1;
     f.node_down_since.(i) <- Some (Engine.now t.eng);
     (match t.wal with
-    | Some wals -> Wal.on_crash wals.(i)
+    | Some wals ->
+        (* torn-tail fault: the crash not only drops the un-forced tail
+           but tears it — the tail's dependency records are clipped and
+           the next recovery must degrade to serial physical redo. One
+           draw per crash (the tear only takes effect when the dropped
+           tail is non-empty); zero draws when the mode is off, so
+           existing plans replay unchanged. *)
+        let torn =
+          f.plan.Fault_plan.torn_tail > 0.
+          && Rng.bool f.tear_rng ~p:f.plan.Fault_plan.torn_tail
+        in
+        Wal.on_crash ~torn wals.(i)
     | None -> ());
     emit t (fun () -> Event.Node_crashed { node = Proc i });
     let replicas = t.params.Params.durability.Params.replicas in
@@ -1833,6 +1987,13 @@ let collect_result t ~wall_seconds =
     mean_recovery_time =
       (if t.recoveries = 0 then 0.
        else t.recovery_time /. float_of_int t.recoveries);
+    recovery_chains = t.recovery_chains;
+    recovery_degraded = t.recovery_degraded;
+    wal_torn_tails =
+      (match t.wal with
+      | None -> 0
+      | Some wals ->
+          Array.fold_left (fun acc w -> acc + Wal.torn_tails w) 0 wals);
     failovers = (match t.faults with None -> 0 | Some f -> f.failovers);
     lost_commits = lost_commits t;
     indoubt_mean = Metrics.indoubt_mean t.metrics;
@@ -1894,6 +2055,18 @@ let registry t : Metric.t =
         | Some wals -> Array.fold_left (fun acc w -> acc + Wal.forces w) 0 wals);
       ic "ddbm_recoveries_total" "Completed crash-recovery passes"
         t.recoveries;
+      ic "ddbm_recovery_chains_total"
+        "Dependency chains replayed by chain-parallel recovery"
+        t.recovery_chains;
+      ic "ddbm_recovery_degraded_total"
+        "Chain-parallel recovery passes degraded to serial physical redo"
+        t.recovery_degraded;
+      ic "ddbm_wal_torn_tails_total"
+        "Crashes that tore the WAL's un-forced tail"
+        (match t.wal with
+        | None -> 0
+        | Some wals ->
+            Array.fold_left (fun acc w -> acc + Wal.torn_tails w) 0 wals);
       ic "ddbm_node_crashes_total" "Crash events (host and processing nodes)"
         (match t.faults with None -> 0 | Some f -> f.node_crashes);
       ic "ddbm_failovers_total"
@@ -1925,6 +2098,10 @@ let registry t : Metric.t =
         | Some wals -> mean_over wals Wal.utilization);
       g "ddbm_indoubt_open" "Cohorts still awaiting a 2PC decision"
         (float_of_int (Metrics.indoubt_open m));
+      g "ddbm_mttr_seconds"
+        "Mean completed crash-recovery duration (0 without recoveries)"
+        (if t.recoveries = 0 then 0.
+         else t.recovery_time /. float_of_int t.recoveries);
       g "ddbm_window_seconds" "Measurement window duration"
         (Metrics.window_duration m);
     ]
@@ -1969,6 +2146,9 @@ let registry t : Metric.t =
           ~help:"WAL force latency" (Metrics.log_force_hist m);
         Metric.histogram ~name:"ddbm_recovery_seconds"
           ~help:"Crash-recovery pass duration" (Metrics.recovery_hist m);
+        Metric.histogram ~name:"ddbm_recovery_chain_seconds"
+          ~help:"Per-chain redo replay duration (chain-parallel recovery)"
+          (Metrics.chain_hist m);
       ]
   in
   (* Overload telemetry only exists on an open-loop run, so closed-loop

@@ -204,7 +204,8 @@ let sink t : Tracer.sink =
   | Event.Snoop_round _ | Event.Node_crashed _ | Event.Node_recovered _
   | Event.Msg_dropped _ | Event.Timeout_fired _ | Event.Txn_orphaned _
   | Event.Cohort_resurrected _ | Event.Recovery_started _
-  | Event.Recovery_completed _ | Event.Sample _ ->
+  | Event.Recovery_completed _ | Event.Recovery_chain_started _
+  | Event.Recovery_chain_completed _ | Event.Sample _ ->
       ()
 
 (** Committed transactions reconstructed so far, oldest first. *)

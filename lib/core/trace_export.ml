@@ -283,10 +283,18 @@ module Chrome = struct
           ~ts:(time -. duration) ~dur:duration
           ~args:[ ("redone", Event.I redone) ]
           ()
+    (* chain slices ride on per-chain track ids (tid = chain + 1) so a
+       chain-parallel recovery renders as stacked lanes under the node *)
+    | Event.Recovery_chain_completed { node; chain; txns; duration } ->
+        event t ~ph:"X" ~pid:(node + 1) ~tid:(chain + 1)
+          ~name:"recovery-chain" ~ts:(time -. duration) ~dur:duration
+          ~args:[ ("txns", Event.I txns) ]
+          ()
     | Event.Submit _ | Event.Setup_done _ | Event.Cohort_load _
     | Event.Cohort_start _ | Event.Lock_request _ | Event.Lock_release _
     | Event.Msg_send _ | Event.Msg_recv _ | Event.Work_done _ | Event.Vote _
-    | Event.Decision _ | Event.Msg_dropped _ | Event.Timeout_fired _ ->
+    | Event.Decision _ | Event.Msg_dropped _ | Event.Timeout_fired _
+    | Event.Recovery_chain_started _ ->
         ()
 
   (** Terminate the JSON document (idempotent). *)

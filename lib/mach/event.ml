@@ -104,6 +104,15 @@ type t =
       (** recovery finished after [duration] seconds, having resolved
           [redone] in-doubt transactions to commit and redone their
           durable updates *)
+  | Recovery_chain_started of { node : int; chain : int; txns : int }
+      (** a redo worker began replaying dependency chain [chain]
+          ([txns] transactions) of [node]'s recovery *)
+  | Recovery_chain_completed of {
+      node : int;
+      chain : int;
+      txns : int;
+      duration : float;
+    }  (** chain [chain] finished replaying after [duration] seconds *)
   | Sample of sample
 
 let name = function
@@ -137,6 +146,8 @@ let name = function
   | Cohort_resurrected _ -> "cohort-resurrected"
   | Recovery_started _ -> "recovery-started"
   | Recovery_completed _ -> "recovery-completed"
+  | Recovery_chain_started _ -> "recovery-chain-started"
+  | Recovery_chain_completed _ -> "recovery-chain-completed"
   | Sample _ -> "sample"
 
 (** Transaction ids carried by the event, if any. *)
@@ -167,7 +178,8 @@ let txn_of = function
       Some (tid, attempt)
   | Msg_send _ | Msg_recv _ | Snoop_round _ | Sample _ | Node_crashed _
   | Node_recovered _ | Msg_dropped _ | Recovery_started _
-  | Recovery_completed _ ->
+  | Recovery_completed _ | Recovery_chain_started _
+  | Recovery_chain_completed _ ->
       None
 
 (** Flat field listing for serialization; {!Sample} payloads are handled
@@ -273,6 +285,15 @@ let fields ev : (string * field) list =
   | Recovery_started { node } -> [ ("node", I node) ]
   | Recovery_completed { node; duration; redone } ->
       [ ("node", I node); ("duration", F duration); ("redone", I redone) ]
+  | Recovery_chain_started { node; chain; txns } ->
+      [ ("node", I node); ("chain", I chain); ("txns", I txns) ]
+  | Recovery_chain_completed { node; chain; txns; duration } ->
+      [
+        ("node", I node);
+        ("chain", I chain);
+        ("txns", I txns);
+        ("duration", F duration);
+      ]
   | Sample { active; host_cpu_util; nodes } ->
       [
         ("active", I active);

@@ -107,6 +107,15 @@ type t =
       (** recovery finished after [duration] seconds, having resolved
           [redone] in-doubt transactions to commit and redone their
           durable updates *)
+  | Recovery_chain_started of { node : int; chain : int; txns : int }
+      (** a redo worker began replaying dependency chain [chain]
+          ([txns] transactions) of [node]'s recovery *)
+  | Recovery_chain_completed of {
+      node : int;
+      chain : int;
+      txns : int;
+      duration : float;
+    }  (** chain [chain] finished replaying after [duration] seconds *)
   | Sample of sample
 
 val name : t -> string

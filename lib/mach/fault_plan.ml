@@ -7,6 +7,8 @@ type t = {
   msg_loss : float;
   msg_dup : float;
   msg_delay : float;
+  recrash : float;
+  torn_tail : float;
   timeout : float;
   timeout_cap : float;
   timeout_jitter : float;
@@ -23,6 +25,8 @@ let zero =
     msg_loss = 0.;
     msg_dup = 0.;
     msg_delay = 0.;
+    recrash = 0.;
+    torn_tail = 0.;
     timeout = 1.;
     timeout_cap = 8.;
     timeout_jitter = 0.;
@@ -33,7 +37,7 @@ let zero =
 
 let active t =
   t.crashes <> [] || t.crash_rate > 0. || t.msg_loss > 0. || t.msg_dup > 0.
-  || t.msg_delay > 0.
+  || t.msg_delay > 0. || t.recrash > 0. || t.torn_tail > 0.
 
 let is_zero t = (not (active t)) && t.chaos = []
 
@@ -81,8 +85,9 @@ let validate ~num_proc_nodes t =
   in
   let* () =
     check
-      (Float.equal t.crash_rate 0. || finite_in ~lo:1e-9 ~hi:max_time t.mean_repair)
-      "faults: mttr must be positive when crash-rate > 0"
+      ((Float.equal t.crash_rate 0. && Float.equal t.recrash 0.)
+      || finite_in ~lo:1e-9 ~hi:max_time t.mean_repair)
+      "faults: mttr must be positive when crash-rate or recrash > 0"
   in
   let* () =
     check
@@ -96,6 +101,16 @@ let validate ~num_proc_nodes t =
     check
       (finite_in ~lo:0. ~hi:max_time t.msg_delay)
       "faults: delay out of range"
+  in
+  let* () =
+    check
+      (finite_in ~lo:0. ~hi:1. t.recrash)
+      "faults: recrash must be in [0, 1]"
+  in
+  let* () =
+    check
+      (finite_in ~lo:0. ~hi:1. t.torn_tail)
+      "faults: torn-tail must be in [0, 1]"
   in
   let* () =
     check
@@ -136,6 +151,8 @@ let to_spec t =
   if not (Float.equal t.timeout_cap zero.timeout_cap) then
     add ("timeout-cap=" ^ g t.timeout_cap);
   if not (Float.equal t.timeout zero.timeout) then add ("timeout=" ^ g t.timeout);
+  if not (Float.equal t.torn_tail 0.) then add ("torn-tail=" ^ g t.torn_tail);
+  if not (Float.equal t.recrash 0.) then add ("recrash=" ^ g t.recrash);
   if not (Float.equal t.mean_repair zero.mean_repair) then
     add ("mttr=" ^ g t.mean_repair);
   if not (Float.equal t.crash_rate 0.) then add ("crash-rate=" ^ g t.crash_rate);
@@ -219,6 +236,12 @@ let of_spec s =
           | "mttr" ->
               let* f = parse_float k v in
               Ok { t with mean_repair = f }
+          | "recrash" ->
+              let* f = parse_float k v in
+              Ok { t with recrash = f }
+          | "torn-tail" ->
+              let* f = parse_float k v in
+              Ok { t with torn_tail = f }
           | "timeout" ->
               let* f = parse_float k v in
               Ok { t with timeout = f }

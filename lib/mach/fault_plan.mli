@@ -35,6 +35,19 @@ type t = {
   msg_loss : float;  (** per-message drop probability, in [0, 1) *)
   msg_dup : float;  (** per-message duplication probability *)
   msg_delay : float;  (** mean exponential extra delivery delay (0 = none) *)
+  recrash : float;
+      (** crash-during-recovery probability in [0, 1]: each time a node's
+          recovery starts, the node is crashed again mid-redo with this
+          probability (seeded, replayable) — recovery must be re-entrant
+          and idempotent, still yielding [lost_commits = 0] *)
+  torn_tail : float;
+      (** torn-log-tail probability in [0, 1]: each node crash that drops
+          a non-empty volatile WAL tail additionally tears it with this
+          probability — the suffix partially reached the platter, the
+          next scan truncates it at the last checksum-valid record, and
+          the clipped dependency records force recovery to degrade to
+          serial physical redo (acknowledged records are never affected,
+          so no committed work is lost) *)
   timeout : float;  (** base protocol timeout, seconds *)
   timeout_cap : float;  (** backoff cap, >= [timeout] *)
   timeout_jitter : float;
@@ -67,7 +80,8 @@ val validate : num_proc_nodes:int -> t -> (unit, string) result
 (** Compact one-line spec, the same grammar the CLI accepts:
     comma-separated [key=value] items — [loss=P], [dup=P], [delay=MEAN],
     [crash=TGT\@AT+DUR] (repeatable; TGT a proc index or [host]),
-    [crash-rate=R], [mttr=M], [timeout=T], [timeout-cap=C], [jitter=J],
+    [crash-rate=R], [mttr=M], [recrash=P], [torn-tail=P], [timeout=T],
+    [timeout-cap=C], [jitter=J],
     [retries=N], [fault-seed=S], [chaos=NAME] (repeatable). Defaults are omitted, so
     {!zero} prints as the empty string; floats round-trip exactly. *)
 val to_spec : t -> string

@@ -166,6 +166,9 @@ val record_log_force : t -> dur:float -> unit
 (** A crash-recovery pass completed in [dur] simulated seconds. *)
 val record_recovery : t -> dur:float -> unit
 
+(** A recovery redo chain finished replaying in [dur] simulated seconds. *)
+val record_chain : t -> dur:float -> unit
+
 (** Histogram response-time quantile (upper-edge convention, see
     {!Desim.Stats.Hdr.quantile}); 0 when histograms are disabled or empty. *)
 val response_quantile : t -> float -> float
@@ -184,3 +187,6 @@ val log_force_hist : t -> Desim.Stats.Hdr.t
 
 (** Crash-recovery durations. *)
 val recovery_hist : t -> Desim.Stats.Hdr.t
+
+(** Per-chain redo replay durations (chain-parallel recovery only). *)
+val chain_hist : t -> Desim.Stats.Hdr.t

@@ -132,6 +132,11 @@ type durability = {
           its write-set to [replicas] successor nodes at work-done, and
           the coordinator fails over to a live backup when the primary
           crashes mid-transaction *)
+  recovery_jobs : int;
+      (** redo workers per recovering node (>= 1): with more than one,
+          recovery partitions the redo set into independent dependency
+          chains and replays them on [recovery_jobs] concurrent workers.
+          1 (the default) preserves the serial redo path bit-for-bit. *)
 }
 
 let default_durability =
@@ -141,6 +146,7 @@ let default_durability =
     log_max_time = 0.015;
     log_force = At_prepare;
     replicas = 0;
+    recovery_jobs = 1;
   }
 
 type run = {
@@ -284,6 +290,7 @@ let validate t =
       (dur.replicas >= 0 && dur.replicas <= d.num_proc_nodes - 1)
       "replicas must be in [0, num_proc_nodes - 1]"
   in
+  let* () = check (dur.recovery_jobs >= 1) "recovery_jobs must be >= 1" in
   let* () = Fault_plan.validate ~num_proc_nodes:d.num_proc_nodes t.faults in
   let* () = Arrival.validate t.arrivals in
   (* Open-loop restarts rerun the same plan: a fresh draw at a CC-timed

@@ -108,6 +108,12 @@ type durability = {
           its write-set to [replicas] successor nodes at work-done, and
           the coordinator fails over to a live backup when the primary
           crashes mid-transaction *)
+  recovery_jobs : int;
+      (** redo workers per recovering node (>= 1): with more than one,
+          recovery partitions the redo set into independent dependency
+          chains ({!Wal.redo_chains}) and replays them on [recovery_jobs]
+          concurrent workers, so MTTR stays flat as log volume grows.
+          1 (the default) preserves the serial redo path bit-for-bit. *)
 }
 
 (** Durability switched off entirely: no log disk, no replicas — the

@@ -12,7 +12,9 @@ type status = Absent | Volatile | Durable
 
 (* Per-(tid, attempt) digest of the log records this node holds. The full
    record sequence is never materialized: the model only needs enough to
-   answer durability questions and size the redo pass. *)
+   answer durability questions, size the redo pass, and reconstruct the
+   dependency records (write-set pages + predecessor transactions +
+   LSNs) that drive chain-parallel recovery. *)
 type txn_log = {
   mutable updates_vol : int;
   mutable updates_dur : int;
@@ -22,6 +24,16 @@ type txn_log = {
   mutable installed : bool;
       (** data-page installs completed (commit-time deferred writes hit
           the data disks, which survive crashes) *)
+  mutable pages_vol : Ids.Page.t list;
+      (** write-set pages of volatile update records, newest first *)
+  mutable pages_dur : Ids.Page.t list;
+      (** write-set pages whose update records are durable *)
+  mutable deps_vol : (int * int) list;
+      (** predecessor transactions (earlier writers of this write set)
+          recorded by volatile dependency records *)
+  mutable deps_dur : (int * int) list;  (** durable predecessor records *)
+  mutable lsn_vol : int;  (** LSN of the latest appended record *)
+  mutable lsn_dur : int;  (** LSN of the latest durable record *)
 }
 
 type t = {
@@ -34,6 +46,18 @@ type t = {
   mutable records : int;
   mutable forces : int;
   mutable forced_records : int;
+  page_writer : (int * int) Ids.Page_table.t;
+      (** last transaction that logged an update for each page; the
+          source of the predecessor edges in dependency records *)
+  mutable torn_tails : int;
+      (** crashes that tore a partially forced tail (checksum-invalid
+          suffix truncated by the next scan) *)
+  mutable torn_records : int;
+      (** volatile records lost to torn tails specifically *)
+  mutable deps_corrupt : bool;
+      (** a torn tail clipped dependency records: the chain partitioner
+          cannot trust the DAG until a full physical redo + checkpoint
+          rebuilds it *)
 }
 
 let create eng rng ~min_time ~max_time =
@@ -45,6 +69,10 @@ let create eng rng ~min_time ~max_time =
     records = 0;
     forces = 0;
     forced_records = 0;
+    page_writer = Ids.Page_table.create 64;
+    torn_tails = 0;
+    torn_records = 0;
+    deps_corrupt = false;
   }
 
 let fresh_entry () =
@@ -55,6 +83,12 @@ let fresh_entry () =
     committed = Absent;
     aborted = Absent;
     installed = false;
+    pages_vol = [];
+    pages_dur = [];
+    deps_vol = [];
+    deps_dur = [];
+    lsn_vol = 0;
+    lsn_dur = 0;
   }
 
 let key_equal (t1, a1) (t2, a2) = Int.equal t1 t2 && Int.equal a1 a2
@@ -95,13 +129,32 @@ let prune t =
 
 let append t record =
   t.records <- t.records + 1;
+  (* the running record count doubles as the LSN of this append *)
+  let lsn = t.records in
   match record with
   | Begin { tid; attempt } ->
-      ignore (entry_create t ~tid ~attempt : txn_log);
+      let e = entry_create t ~tid ~attempt in
+      e.lsn_vol <- lsn;
       mark_dirty t (tid, attempt)
-  | Update { tid; attempt; page = _ } ->
+  | Update { tid; attempt; page } ->
       let e = entry_create t ~tid ~attempt in
       e.updates_vol <- e.updates_vol + 1;
+      e.lsn_vol <- lsn;
+      let key = (tid, attempt) in
+      if
+        not
+          (List.exists (Ids.Page.equal page) e.pages_vol
+          || List.exists (Ids.Page.equal page) e.pages_dur)
+      then e.pages_vol <- page :: e.pages_vol;
+      (match Ids.Page_table.find_opt t.page_writer page with
+      | Some pred when not (key_equal pred key) ->
+          if
+            not
+              (List.exists (key_equal pred) e.deps_vol
+              || List.exists (key_equal pred) e.deps_dur)
+          then e.deps_vol <- pred :: e.deps_vol
+      | Some _ | None -> ());
+      Ids.Page_table.replace t.page_writer page key;
       mark_dirty t (tid, attempt)
   | Prepare { tid; attempt } -> (
       (* decision records without a footprint here (read-only cohort) are
@@ -110,18 +163,21 @@ let append t record =
       | None -> ()
       | Some e ->
           if e.prepared = Absent then e.prepared <- Volatile;
+          e.lsn_vol <- lsn;
           mark_dirty t (tid, attempt))
   | Commit { tid; attempt } -> (
       match entry t ~tid ~attempt with
       | None -> ()
       | Some e ->
           if e.committed = Absent then e.committed <- Volatile;
+          e.lsn_vol <- lsn;
           mark_dirty t (tid, attempt))
   | Abort { tid; attempt } -> (
       match entry t ~tid ~attempt with
       | None -> ()
       | Some e ->
           if e.aborted = Absent then e.aborted <- Volatile;
+          e.lsn_vol <- lsn;
           mark_dirty t (tid, attempt))
   | Checkpoint _ -> t.checkpoint_pending <- true
 
@@ -134,6 +190,11 @@ let promote t keys checkpointed =
           t.forced_records <- t.forced_records + e.updates_vol;
           e.updates_dur <- e.updates_dur + e.updates_vol;
           e.updates_vol <- 0;
+          e.pages_dur <- List.rev_append e.pages_vol e.pages_dur;
+          e.pages_vol <- [];
+          e.deps_dur <- List.rev_append e.deps_vol e.deps_dur;
+          e.deps_vol <- [];
+          e.lsn_dur <- e.lsn_vol;
           let promote_status s =
             match s with
             | Volatile ->
@@ -161,17 +222,28 @@ let force t =
 (* Recovery's analysis pass: one sequential read of the durable log. *)
 let scan t = Disk.read t.disk
 
-let on_crash t =
+let on_crash ?(torn = false) t =
   let keys = t.dirty in
   t.dirty <- [];
   t.checkpoint_pending <- false;
+  let dropped = ref 0 in
   List.iter
     (fun key ->
       match Hashtbl.find_opt t.txns key with
       | None -> ()
       | Some e ->
+          dropped := !dropped + e.updates_vol;
           e.updates_vol <- 0;
-          let drop s = match s with Volatile -> Absent | Absent | Durable -> s in
+          e.pages_vol <- [];
+          e.deps_vol <- [];
+          e.lsn_vol <- e.lsn_dur;
+          let drop s =
+            match s with
+            | Volatile ->
+                incr dropped;
+                Absent
+            | Absent | Durable -> s
+          in
           e.prepared <- drop e.prepared;
           e.committed <- drop e.committed;
           e.aborted <- drop e.aborted;
@@ -181,7 +253,17 @@ let on_crash t =
             e.updates_dur = 0 && e.prepared = Absent && e.committed = Absent
             && e.aborted = Absent && not e.installed
           then Hashtbl.remove t.txns key)
-    keys
+    keys;
+  (* A torn tail is the same volatile suffix, but it partially reached
+     the platter: the next scan finds checksum-invalid frames, truncates
+     to the last valid record, and — because dependency records ride in
+     the clipped suffix — must distrust the dependency DAG until a full
+     physical redo and checkpoint rebuild it. *)
+  if torn && !dropped > 0 then begin
+    t.torn_tails <- t.torn_tails + 1;
+    t.torn_records <- t.torn_records + !dropped;
+    t.deps_corrupt <- true
+  end
 
 let mark_installed t ~tid ~attempt =
   let e = entry_create t ~tid ~attempt in
@@ -219,6 +301,264 @@ let in_doubt t =
 let records t = t.records
 let forces t = t.forces
 let forced_records t = t.forced_records
+let torn_tails t = t.torn_tails
+let torn_records t = t.torn_records
+let deps_corrupt t = t.deps_corrupt
+let repair_deps t = t.deps_corrupt <- false
 let utilization t = Disk.utilization t.disk
 let busy_time t = Disk.busy_time t.disk
 let reset_window t = Disk.reset_window t.disk
+
+(* --- chain partitioning -------------------------------------------- *)
+
+module Chains = struct
+  type txn = {
+    key : int * int;
+    pages : Ids.Page.t list;
+    deps : (int * int) list;
+    lsn : int;
+  }
+
+  (* Union-find over transaction indices: two transactions land in the
+     same chain when they share a write-set page or a dependency edge
+     connects them. Purely structural, so the partition is a function of
+     the input list alone. *)
+  let partition (txns : txn list) : (int * int) list list =
+    let arr = Array.of_list txns in
+    let n = Array.length arr in
+    let parent = Array.init n Fun.id in
+    let rec find i =
+      if parent.(i) = i then i
+      else begin
+        let r = find parent.(i) in
+        parent.(i) <- r;
+        r
+      end
+    in
+    let union i j =
+      let ri = find i and rj = find j in
+      if ri <> rj then begin
+        let lo = Stdlib.min ri rj and hi = Stdlib.max ri rj in
+        parent.(hi) <- lo
+      end
+    in
+    let by_key = Hashtbl.create (2 * n + 1) in
+    Array.iteri (fun i tx -> Hashtbl.replace by_key tx.key i) arr;
+    let by_page = Ids.Page_table.create (2 * n + 1) in
+    Array.iteri
+      (fun i tx ->
+        List.iter
+          (fun p ->
+            (match Ids.Page_table.find_opt by_page p with
+            | Some j -> union i j
+            | None -> ());
+            Ids.Page_table.replace by_page p i)
+          tx.pages)
+      arr;
+    Array.iteri
+      (fun i tx ->
+        List.iter
+          (fun d ->
+            (* predecessors outside the redo set (already installed, or
+               pruned by a checkpoint) constrain nothing *)
+            match Hashtbl.find_opt by_key d with
+            | Some j -> union i j
+            | None -> ())
+          tx.deps)
+      arr;
+    (* materialize components in deterministic order: members sorted by
+       (LSN, key) — redo replays each chain in commit order — and chains
+       sorted by their first member's LSN *)
+    let members = Hashtbl.create (2 * n + 1) in
+    for i = n - 1 downto 0 do
+      let r = find i in
+      let tail = Option.value (Hashtbl.find_opt members r) ~default:[] in
+      Hashtbl.replace members r (i :: tail)
+    done;
+    let chains = ref [] in
+    for i = n - 1 downto 0 do
+      if find i = i then begin
+        let chain =
+          Option.value (Hashtbl.find_opt members i) ~default:[]
+          |> List.map (fun j -> arr.(j))
+          |> List.sort (fun a b ->
+                 match Int.compare a.lsn b.lsn with
+                 | 0 -> key_compare a.key b.key
+                 | c -> c)
+        in
+        chains := chain :: !chains
+      end
+    done;
+    List.sort
+      (fun a b ->
+        match (a, b) with
+        | ta :: _, tb :: _ -> (
+            match Int.compare ta.lsn tb.lsn with
+            | 0 -> key_compare ta.key tb.key
+            | c -> c)
+        | [], _ | _, [] -> 0)
+      !chains
+    |> List.map (List.map (fun tx -> tx.key))
+end
+
+(* [redo_chains t keys]: the dependency records of [keys] partitioned
+   into independent redo chains. Keys the digest no longer tracks
+   (read-only cohorts, pruned entries) have an empty footprint and fall
+   out as singleton chains. *)
+let redo_chains t keys =
+  let txns =
+    List.map
+      (fun (tid, attempt) ->
+        match entry t ~tid ~attempt with
+        | None ->
+            {
+              Chains.key = (tid, attempt);
+              pages = [];
+              deps = [];
+              lsn = max_int;
+            }
+        | Some e ->
+            {
+              Chains.key = (tid, attempt);
+              pages = e.pages_dur;
+              deps = e.deps_dur;
+              lsn = e.lsn_dur;
+            })
+      keys
+  in
+  Chains.partition txns
+
+(* --- dependency-record codec --------------------------------------- *)
+
+module Codec = struct
+  type dep_record = {
+    tid : int;
+    attempt : int;
+    lsn : int;
+    pages : (int * int) list;
+    deps : (int * int) list;
+  }
+
+  let magic = 0xD7
+
+  (* FNV-1a, 32-bit: cheap, deterministic, and sensitive to every byte —
+     exactly what torn-tail truncation needs. *)
+  let checksum payload =
+    let h = ref 0x811C9DC5 in
+    String.iter
+      (fun c ->
+        h := !h lxor Char.code c;
+        h := !h * 0x01000193 land 0xFFFFFFFF)
+      payload;
+    !h
+
+  let put_u32 buf v =
+    Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (v land 0xFF))
+
+  let get_u32 s pos =
+    (Char.code s.[pos] lsl 24)
+    lor (Char.code s.[pos + 1] lsl 16)
+    lor (Char.code s.[pos + 2] lsl 8)
+    lor Char.code s.[pos + 3]
+
+  (* Frame: magic byte, u32 payload length, payload, u32 FNV-1a of the
+     payload. Payload: tid, attempt, lsn, page count, (file, index)
+     pairs, dep count, (tid, attempt) pairs — all u32 big-endian. *)
+  let encode r =
+    let payload = Buffer.create 64 in
+    put_u32 payload r.tid;
+    put_u32 payload r.attempt;
+    put_u32 payload r.lsn;
+    put_u32 payload (List.length r.pages);
+    List.iter
+      (fun (f, i) ->
+        put_u32 payload f;
+        put_u32 payload i)
+      r.pages;
+    put_u32 payload (List.length r.deps);
+    List.iter
+      (fun (t, a) ->
+        put_u32 payload t;
+        put_u32 payload a)
+      r.deps;
+    let payload = Buffer.contents payload in
+    let frame = Buffer.create (String.length payload + 9) in
+    Buffer.add_char frame (Char.chr magic);
+    put_u32 frame (String.length payload);
+    Buffer.add_string frame payload;
+    put_u32 frame (checksum payload);
+    Buffer.contents frame
+
+  let encode_log rs = String.concat "" (List.map encode rs)
+
+  let decode s ~pos =
+    let len = String.length s in
+    if pos + 5 > len then None
+    else if Char.code s.[pos] <> magic then None
+    else begin
+      let plen = get_u32 s (pos + 1) in
+      if plen < 16 || pos + 5 + plen + 4 > len then None
+      else begin
+        let payload = String.sub s (pos + 5) plen in
+        if get_u32 s (pos + 5 + plen) <> checksum payload then None
+        else begin
+          let cursor = ref 0 in
+          let next () =
+            let v = get_u32 payload !cursor in
+            cursor := !cursor + 4;
+            v
+          in
+          let ok = ref true in
+          let need n = if !cursor + n > plen then ok := false in
+          let tid = next () in
+          let attempt = next () in
+          let lsn = next () in
+          need 4;
+          if not !ok then None
+          else begin
+            let npages = next () in
+            need (8 * npages);
+            if not !ok then None
+            else begin
+              let pages =
+                List.init npages (fun _ ->
+                    let f = next () in
+                    let i = next () in
+                    (f, i))
+              in
+              need 4;
+              if not !ok then None
+              else begin
+                let ndeps = next () in
+                need (8 * ndeps);
+                if (not !ok) || !cursor + (8 * ndeps) <> plen then None
+                else begin
+                  let deps =
+                    List.init ndeps (fun _ ->
+                        let t = next () in
+                        let a = next () in
+                        (t, a))
+                  in
+                  Some ({ tid; attempt; lsn; pages; deps }, pos + 5 + plen + 4)
+                end
+              end
+            end
+          end
+        end
+      end
+    end
+
+  let scan_valid s =
+    let len = String.length s in
+    let rec go acc pos =
+      if pos >= len then (List.rev acc, 0)
+      else
+        match decode s ~pos with
+        | Some (r, next) -> go (r :: acc) next
+        | None -> (List.rev acc, len - pos)
+    in
+    go [] 0
+end

@@ -15,7 +15,16 @@
     what the simulation observes: a {!force} makes every record appended
     before the call durable once the disk write completes; a crash
     ({!on_crash}) discards the volatile tail and nothing else — data-disk
-    installs and the durable log prefix survive. *)
+    installs and the durable log prefix survive.
+
+    Beyond the per-transaction digest, the log keeps {b dependency
+    records}: each update append assigns a log sequence number (LSN),
+    extends the transaction's write-set fingerprint, and records the
+    previous writer of the page as a predecessor edge. Recovery uses
+    them to partition the redo set into independent chains
+    ({!redo_chains}) that can replay in parallel; {!Codec} is the
+    checksummed on-disk framing those records stand for, with
+    torn-tail truncation to the last valid record. *)
 
 type record =
   | Begin of { tid : int; attempt : int }
@@ -52,8 +61,14 @@ val force : t -> unit
 val scan : t -> unit
 
 (** The node lost volatile state: drop the un-forced tail. The durable
-    prefix and install flags survive. *)
-val on_crash : t -> unit
+    prefix and install flags survive. With [~torn:true] (and a
+    non-empty tail) the suffix additionally reached the platter
+    partially: the tear is counted ({!torn_tails}, {!torn_records}) and
+    the dependency DAG is flagged corrupt ({!deps_corrupt}) — the next
+    recovery must degrade to serial physical redo until a checkpoint
+    rebuilds it ({!repair_deps}). Acknowledged (forced) records are
+    never affected, so durability of committed work is preserved. *)
+val on_crash : ?torn:bool -> t -> unit
 
 (** The transaction's commit-time deferred page writes reached the data
     disks at this node (data-disk state survives crashes, so an
@@ -90,7 +105,77 @@ val forced_records : t -> int
 
 val utilization : t -> float
 
+(** Crashes that tore a partially forced tail (the suffix the next scan
+    truncates at the last checksum-valid record). *)
+val torn_tails : t -> int
+
+(** Volatile records lost to torn tails specifically. *)
+val torn_records : t -> int
+
+(** A torn tail clipped dependency records: the chain partitioner must
+    not trust the DAG. Cleared by {!repair_deps} once a full physical
+    redo and checkpoint rebuild it. *)
+val deps_corrupt : t -> bool
+
+val repair_deps : t -> unit
+
 (** Cumulative log-disk busy time since creation (never reset). *)
 val busy_time : t -> float
 
 val reset_window : t -> unit
+
+(** Topological partitioning of dependency records into independent redo
+    chains. Pure: a function of the input list alone, so properties are
+    checkable without a log or an engine. *)
+module Chains : sig
+  type txn = {
+    key : int * int;  (** (tid, attempt) *)
+    pages : Ids.Page.t list;  (** write-set fingerprint *)
+    deps : (int * int) list;  (** predecessor transactions *)
+    lsn : int;  (** LSN of the latest durable record *)
+  }
+
+  (** Partition into chains such that transactions sharing a write-set
+      page or connected by a dependency edge (to a key inside the input
+      set) land in the same chain. Chains carry no cross-chain edges, so
+      they replay in parallel; the union of all chains is exactly the
+      input key set. Members are ordered by (LSN, key) — commit order —
+      and chains by their first member's (LSN, key). *)
+  val partition : txn list -> (int * int) list list
+end
+
+(** The dependency records of [keys], partitioned into independent redo
+    chains ({!Chains.partition}). Keys the digest no longer tracks
+    (read-only cohorts, pruned entries) have an empty footprint and fall
+    out as singleton chains. *)
+val redo_chains : t -> (int * int) list -> (int * int) list list
+
+(** The checksummed on-disk framing the dependency digest stands for:
+    magic byte, length, payload (tid, attempt, LSN, write-set pages,
+    predecessor keys — u32 big-endian), FNV-1a checksum. A torn tail
+    leaves a checksum-invalid suffix that {!Codec.scan_valid} truncates
+    at the last valid record. *)
+module Codec : sig
+  type dep_record = {
+    tid : int;
+    attempt : int;
+    lsn : int;
+    pages : (int * int) list;  (** (file, index) pairs *)
+    deps : (int * int) list;  (** predecessor (tid, attempt) pairs *)
+  }
+
+  val encode : dep_record -> string
+
+  (** Concatenated frames, in order. *)
+  val encode_log : dep_record list -> string
+
+  (** [decode s ~pos] parses one frame at [pos]; [Some (record, next)]
+      on a checksum-valid frame, [None] on a torn, corrupt or truncated
+      one. *)
+  val decode : string -> pos:int -> (dep_record * int) option
+
+  (** Walk frames from the start; stop at the first invalid one.
+      Returns the records of the valid prefix and the count of torn
+      bytes truncated from the tail. *)
+  val scan_valid : string -> dep_record list * int
+end

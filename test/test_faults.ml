@@ -94,6 +94,8 @@ let full_plan =
     msg_loss = 0.05;
     msg_dup = 0.01;
     msg_delay = 0.002;
+    recrash = 0.1;
+    torn_tail = 0.25;
     timeout = 0.5;
     timeout_cap = 4.;
     timeout_jitter = 0.25;

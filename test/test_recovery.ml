@@ -137,13 +137,15 @@ let test_jitter_bounded_and_deterministic () =
 
 (* --- end-to-end recovery runs -------------------------------------- *)
 
-let durability ?(replicas = 0) ?(log_force = Params.At_prepare) () =
+let durability ?(replicas = 0) ?(log_force = Params.At_prepare)
+    ?(recovery_jobs = 1) () =
   {
     Params.log_disk = true;
     log_min_time = 0.002;
     log_max_time = 0.006;
     log_force;
     replicas;
+    recovery_jobs;
   }
 
 let recovery_params ?(algorithm = Params.Twopl) ?(seed = 42)
@@ -320,11 +322,313 @@ let test_recovery_runs_replay_exactly () =
         durability ~replicas:1 ~log_force:Params.At_commit () );
     ]
 
+(* --- dependency-record codec ---------------------------------------- *)
+
+let dep_record_equal (a : Wal.Codec.dep_record) (b : Wal.Codec.dep_record) =
+  let pair_eq (x, y) (x', y') = Int.equal x x' && Int.equal y y' in
+  Int.equal a.Wal.Codec.tid b.Wal.Codec.tid
+  && Int.equal a.Wal.Codec.attempt b.Wal.Codec.attempt
+  && Int.equal a.Wal.Codec.lsn b.Wal.Codec.lsn
+  && List.equal pair_eq a.Wal.Codec.pages b.Wal.Codec.pages
+  && List.equal pair_eq a.Wal.Codec.deps b.Wal.Codec.deps
+
+let print_dep_record (r : Wal.Codec.dep_record) =
+  Printf.sprintf "t%d.%d@%d(%dp,%dd)" r.Wal.Codec.tid r.Wal.Codec.attempt
+    r.Wal.Codec.lsn
+    (List.length r.Wal.Codec.pages)
+    (List.length r.Wal.Codec.deps)
+
+let print_dep_log rs = String.concat ";" (List.map print_dep_record rs)
+
+(* Field values are u32 on the wire; keep generators inside that range. *)
+let gen_dep_record =
+  let open QCheck.Gen in
+  let* tid = int_range 0 0xFFFF in
+  let* attempt = int_range 1 64 in
+  let* lsn = int_range 0 1_000_000 in
+  let* pages =
+    list_size (int_range 0 8) (pair (int_range 0 31) (int_range 0 4095))
+  in
+  let* deps =
+    list_size (int_range 0 6) (pair (int_range 0 0xFFFF) (int_range 1 64))
+  in
+  return { Wal.Codec.tid; attempt; lsn; pages; deps }
+
+let gen_dep_log = QCheck.Gen.(list_size (int_range 0 12) gen_dep_record)
+
+let prop_codec_round_trip =
+  QCheck.Test.make ~name:"dep-record codec round-trips" ~count:300
+    (QCheck.make gen_dep_log ~print:print_dep_log)
+    (fun rs ->
+      let log = Wal.Codec.encode_log rs in
+      let decoded, torn = Wal.Codec.scan_valid log in
+      Int.equal torn 0 && List.equal dep_record_equal decoded rs)
+
+(* Cutting the encoded log at any byte leaves exactly the whole frames
+   before the cut: the valid prefix is a record prefix, and valid bytes
+   plus torn bytes account for every byte kept. *)
+let prop_codec_torn_tail =
+  QCheck.Test.make ~name:"torn tail truncates to the last valid record"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair (list_size (int_range 1 10) gen_dep_record) (float_bound_inclusive 1.))
+       ~print:(fun (rs, frac) ->
+         Printf.sprintf "%s cut@%.3f" (print_dep_log rs) frac))
+    (fun (rs, frac) ->
+      let log = Wal.Codec.encode_log rs in
+      let len = String.length log in
+      let cut = Stdlib.max 0 (Stdlib.min (len - 1) (int_of_float (frac *. float_of_int len))) in
+      let decoded, torn = Wal.Codec.scan_valid (String.sub log 0 cut) in
+      let k = List.length decoded in
+      k <= List.length rs
+      && List.equal dep_record_equal decoded (List.filteri (fun i _ -> i < k) rs)
+      && Int.equal (String.length (Wal.Codec.encode_log decoded) + torn) cut)
+
+(* A flipped payload byte fails the frame checksum: the scan keeps
+   exactly the records before the corrupt frame and counts the rest as
+   torn. *)
+let prop_codec_detects_corruption =
+  QCheck.Test.make ~name:"corrupt frame stops the scan at its predecessor"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         let* rs = list_size (int_range 1 8) gen_dep_record in
+         let* victim = int_range 0 (List.length rs - 1) in
+         return (rs, victim))
+       ~print:(fun (rs, victim) ->
+         Printf.sprintf "%s victim=%d" (print_dep_log rs) victim))
+    (fun (rs, victim) ->
+      let prefix = List.filteri (fun i _ -> i < victim) rs in
+      let before = String.length (Wal.Codec.encode_log prefix) in
+      let log = Bytes.of_string (Wal.Codec.encode_log rs) in
+      (* first payload byte of the victim frame: magic + u32 length *)
+      let p = before + 5 in
+      Bytes.set log p (Char.chr (Char.code (Bytes.get log p) lxor 0x5A));
+      let decoded, torn = Wal.Codec.scan_valid (Bytes.to_string log) in
+      List.equal dep_record_equal decoded prefix
+      && Int.equal (before + torn) (Bytes.length log))
+
+(* --- chain partitioner ---------------------------------------------- *)
+
+(* Random transaction sets: distinct keys, small page universe (to force
+   sharing), dependency edges both inside and outside the input set. *)
+let gen_chain_txns =
+  let open QCheck.Gen in
+  let* n = int_range 0 20 in
+  let gen_txn idx =
+    let* pages =
+      list_size (int_range 0 4) (pair (int_range 0 15) (int_range 0 7))
+    in
+    let* deps = list_size (int_range 0 3) (int_range 0 (n + 2)) in
+    let* lsn = int_range 0 1000 in
+    return
+      {
+        Wal.Chains.key = (idx, 1);
+        pages = List.map (fun (f, i) -> Ids.Page.make ~file:f ~index:i) pages;
+        deps = List.map (fun d -> (d, 1)) deps;
+        lsn;
+      }
+  in
+  flatten_l (List.init n gen_txn)
+
+let print_chain_txns txns =
+  String.concat ";"
+    (List.map
+       (fun t ->
+         let tid, _ = t.Wal.Chains.key in
+         Printf.sprintf "t%d@%d(%dp,%dd)" tid t.Wal.Chains.lsn
+           (List.length t.Wal.Chains.pages)
+           (List.length t.Wal.Chains.deps))
+       txns)
+
+let key_compare (t, a) (t', a') =
+  match Int.compare t t' with 0 -> Int.compare a a' | c -> c
+
+let prop_chains_partition =
+  QCheck.Test.make ~name:"chain partition covers exactly, no cross edges"
+    ~count:300
+    (QCheck.make gen_chain_txns ~print:print_chain_txns)
+    (fun txns ->
+      let chains = Wal.Chains.partition txns in
+      let input_keys =
+        List.sort key_compare (List.map (fun t -> t.Wal.Chains.key) txns)
+      in
+      let union = List.sort key_compare (List.concat chains) in
+      (* union of chains = input key set, each key exactly once *)
+      List.equal (fun a b -> Int.equal (key_compare a b) 0) union input_keys
+      &&
+      let by_key = Hashtbl.create 64 in
+      List.iter (fun t -> Hashtbl.replace by_key t.Wal.Chains.key t) txns;
+      let chain_of = Hashtbl.create 64 in
+      List.iteri
+        (fun c members ->
+          List.iter (fun k -> Hashtbl.replace chain_of k c) members)
+        chains;
+      (* no page is written by members of two different chains, and no
+         dependency edge inside the input set crosses chains *)
+      List.for_all
+        (fun t ->
+          let c = Hashtbl.find chain_of t.Wal.Chains.key in
+          List.for_all
+            (fun d ->
+              (not (Hashtbl.mem by_key d))
+              || Int.equal (Hashtbl.find chain_of d) c)
+            t.Wal.Chains.deps
+          && List.for_all
+               (fun page ->
+                 List.for_all
+                   (fun t' ->
+                     Int.equal (Hashtbl.find chain_of t'.Wal.Chains.key) c
+                     || not
+                          (List.exists (Ids.Page.equal page)
+                             t'.Wal.Chains.pages))
+                   txns)
+               t.Wal.Chains.pages)
+        txns)
+
+(* --- chain-parallel recovery ----------------------------------------- *)
+
+(* Without a crash there is no recovery: the job count is inert and the
+   results are bit-identical. *)
+let test_recovery_jobs_noop_without_crashes () =
+  let run recovery_jobs =
+    Ddbm.Machine.run
+      (recovery_params ~durability:(durability ~recovery_jobs ()) ())
+  in
+  let a = run 1 and b = run 4 in
+  (* the job count itself lives in Params; neutralize it so the diff
+     compares only what the runs measured *)
+  let b = { b with Ddbm.Sim_result.params = a.Ddbm.Sim_result.params } in
+  match Ddbm.Sim_result.diff a b with
+  | [] -> ()
+  | diffs ->
+      Alcotest.fail ("jobs changed a crash-free run: " ^ String.concat "; " diffs)
+
+(* Chain-parallel recovery is still deterministic: same plan, same
+   result, run after run. *)
+let test_parallel_recovery_deterministic () =
+  let params =
+    recovery_params ~faults:crashy_plan
+      ~durability:(durability ~recovery_jobs:4 ())
+      ()
+  in
+  let a = Ddbm.Machine.run params and b = Ddbm.Machine.run params in
+  match Ddbm.Sim_result.diff a b with
+  | [] -> ()
+  | diffs ->
+      Alcotest.fail
+        ("jobs=4 runs differ across replays: " ^ String.concat "; " diffs)
+
+(* The crashy plan drives commit-decided in-doubt transactions through
+   the chain path: chains replay, chain lifecycle events fire, and the
+   correctness bar (no lost commit) holds exactly as it does serially. *)
+let test_parallel_recovery_replays_chains () =
+  let run recovery_jobs =
+    audited_run
+      (recovery_params ~faults:crashy_plan
+         ~durability:(durability ~recovery_jobs ())
+         ())
+  in
+  let serial, _ = run 1 in
+  let parallel, events = run 4 in
+  check_conforming "serial" serial;
+  check_conforming "jobs=4" parallel;
+  Alcotest.(check int) "serial loses nothing" 0
+    serial.Ddbm.Sim_result.lost_commits;
+  Alcotest.(check int) "jobs=4 loses nothing" 0
+    parallel.Ddbm.Sim_result.lost_commits;
+  Alcotest.(check int) "serial never chains" 0
+    serial.Ddbm.Sim_result.recovery_chains;
+  Alcotest.(check bool) "chains replayed" true
+    (parallel.Ddbm.Sim_result.recovery_chains > 0);
+  Alcotest.(check int) "nothing degraded without torn tails" 0
+    parallel.Ddbm.Sim_result.recovery_degraded;
+  Alcotest.(check bool) "chain start events emitted" true
+    (List.exists
+       (function Event.Recovery_chain_started _ -> true | _ -> false)
+       events);
+  Alcotest.(check bool) "chain completion events emitted" true
+    (List.exists
+       (function Event.Recovery_chain_completed _ -> true | _ -> false)
+       events)
+
+(* Every crash tears the dropped tail: the dependency DAG is corrupt at
+   each recovery, so chain-parallel passes degrade to serial physical
+   redo — and still lose nothing. *)
+let test_torn_tail_degrades_to_serial () =
+  let faults = { crashy_plan with Fault_plan.torn_tail = 1. } in
+  let r, _ =
+    audited_run
+      (recovery_params ~faults ~durability:(durability ~recovery_jobs:4 ()) ())
+  in
+  check_conforming "torn tail" r;
+  Alcotest.(check bool) "tails tore" true (r.Ddbm.Sim_result.wal_torn_tails > 0);
+  Alcotest.(check bool) "passes degraded" true
+    (r.Ddbm.Sim_result.recovery_degraded > 0);
+  (* a crash with an empty volatile tail tears nothing, so a later pass
+     may still chain — degradation and chaining are per-pass, not global *)
+  Alcotest.(check int) "no commit lost" 0 r.Ddbm.Sim_result.lost_commits;
+  Alcotest.(check int) "nothing overdue in doubt" 0
+    r.Ddbm.Sim_result.indoubt_overdue_at_end
+
+(* Every recovery pass is interrupted by a second crash: recovery is
+   re-entrant and idempotent, so the machine converges and the capstone
+   bar still holds. *)
+let test_recrash_survives_double_crash () =
+  let faults =
+    { crashy_plan with Fault_plan.recrash = 1.; mean_repair = 1. }
+  in
+  let r, _ =
+    audited_run
+      (recovery_params ~faults ~durability:(durability ~recovery_jobs:4 ()) ())
+  in
+  check_conforming "recrash" r;
+  Alcotest.(check bool) "re-crashes happened beyond the plan" true
+    (r.Ddbm.Sim_result.node_crashes > 3);
+  Alcotest.(check bool) "some recovery still completed" true
+    (r.Ddbm.Sim_result.recoveries > 0);
+  Alcotest.(check int) "no commit lost" 0 r.Ddbm.Sim_result.lost_commits;
+  Alcotest.(check int) "nothing overdue in doubt" 0
+    r.Ddbm.Sim_result.indoubt_overdue_at_end
+
+(* Satellite fix: the recovery checkpoint force joins the same log-force
+   latency histogram as the forward path, so with no warmup reset the
+   histogram count conserves exactly against Wal.forces. *)
+let test_log_force_histogram_conserves () =
+  let params = recovery_params ~faults:crashy_plan () in
+  let params =
+    { params with Params.run = { params.Params.run with Params.warmup = 0. } }
+  in
+  let m = Ddbm.Machine.create params in
+  let r = Ddbm.Machine.execute m in
+  Alcotest.(check bool) "recoveries happened" true
+    (r.Ddbm.Sim_result.recoveries > 0);
+  Alcotest.(check bool) "forces happened" true
+    (r.Ddbm.Sim_result.log_forces > 0);
+  let count =
+    List.find_map
+      (fun (fam : Metric.family) ->
+        if String.equal fam.Metric.name "ddbm_log_force_seconds" then
+          match fam.Metric.samples with
+          | { Metric.value = Metric.H h; _ } :: _ ->
+              Some (Desim.Stats.Hdr.count h)
+          | _ -> None
+        else None)
+      (Ddbm.Machine.registry m)
+  in
+  match count with
+  | None -> Alcotest.fail "ddbm_log_force_seconds histogram missing"
+  | Some n ->
+      Alcotest.(check int) "histogram count = completed forces"
+        r.Ddbm.Sim_result.log_forces n
+
 (* --- the capstone sweep -------------------------------------------- *)
 
-(* Random fault plans (crashes, loss, duplication, jitter, replication
-   on or off): no committed transaction is ever lost. The count is
-   env-capped so CI can dial it down; the default meets the >= 100 bar. *)
+(* Random fault plans (crashes, loss, duplication, jitter, torn tails,
+   crash-during-recovery, replication and chain-parallel recovery on or
+   off): no committed transaction is ever lost. The count is env-capped
+   so CI can dial it down; the default meets the >= 100 bar. *)
 let sweep_count () =
   match Sys.getenv_opt "DDBM_RECOVERY_SWEEP" with
   | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 100)
@@ -347,6 +651,8 @@ let random_plan rng =
     Fault_plan.crashes;
     crash_rate = (if Desim.Rng.bool rng ~p:0.5 then f 0.005 0.04 else 0.);
     mean_repair = f 0.5 2.;
+    recrash = (if Desim.Rng.bool rng ~p:0.3 then f 0.1 0.6 else 0.);
+    torn_tail = (if Desim.Rng.bool rng ~p:0.3 then f 0.3 1. else 0.);
     msg_loss = (if Desim.Rng.bool rng ~p:0.5 then f 0.01 0.1 else 0.);
     msg_dup = (if Desim.Rng.bool rng ~p:0.5 then f 0.01 0.05 else 0.);
     msg_delay = f 0. 0.005;
@@ -381,9 +687,10 @@ let test_no_lost_commit_sweep () =
           if Desim.Rng.bool rng ~p:0.5 then Params.At_prepare
           else Params.At_commit
         in
+        let recovery_jobs = if Desim.Rng.bool rng ~p:0.5 then 4 else 1 in
         let params =
           recovery_params ~seed:(1000 + i) ~faults
-            ~durability:(durability ~replicas ~log_force ())
+            ~durability:(durability ~replicas ~log_force ~recovery_jobs ())
             ()
         in
         let params =
@@ -437,6 +744,22 @@ let suite =
       test_failover_beats_doom_baseline;
     Alcotest.test_case "recovery-heavy plans replay exactly" `Slow
       test_recovery_runs_replay_exactly;
+    QCheck_alcotest.to_alcotest prop_codec_round_trip;
+    QCheck_alcotest.to_alcotest prop_codec_torn_tail;
+    QCheck_alcotest.to_alcotest prop_codec_detects_corruption;
+    QCheck_alcotest.to_alcotest prop_chains_partition;
+    Alcotest.test_case "recovery jobs are inert without crashes" `Slow
+      test_recovery_jobs_noop_without_crashes;
+    Alcotest.test_case "chain-parallel recovery is deterministic" `Slow
+      test_parallel_recovery_deterministic;
+    Alcotest.test_case "chain-parallel recovery replays chains" `Slow
+      test_parallel_recovery_replays_chains;
+    Alcotest.test_case "torn tails degrade recovery to serial" `Slow
+      test_torn_tail_degrades_to_serial;
+    Alcotest.test_case "recrash double-crash still loses nothing" `Slow
+      test_recrash_survives_double_crash;
+    Alcotest.test_case "log-force histogram conserves" `Slow
+      test_log_force_histogram_conserves;
     Alcotest.test_case "no-lost-commit sweep over random fault plans" `Slow
       test_no_lost_commit_sweep;
   ]
